@@ -1,0 +1,67 @@
+// Command adaptbarrier regenerates Case Study I (Chapter 7): the SSS
+// clustering outputs of Tables 7.1/7.2 and the adapted-vs-default barrier
+// comparisons of Figs. 7.4–7.7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "run the full sweep instead of the quick one")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+
+	// Tables 7.1 and 7.2.
+	for _, tc := range []struct {
+		prof  *platform.Profile
+		procs int
+		title string
+	}{
+		{platform.Xeon8x2x4(), 60, "Table 7.1: 60-process SSS clustering on the 8x2x4 configuration"},
+		{platform.Opteron10x2x6(), 115, "Table 7.2: 115-process SSS clustering on the 10x2x6 configuration"},
+	} {
+		res, err := experiments.Table7_1(tc.prof, tc.procs)
+		if err != nil {
+			log.Fatalf("adaptbarrier: %v", err)
+		}
+		tbl := &experiments.Table{Title: tc.title, Columns: []string{"platform", "processes", "subsets", "sizes", "threshold [s]"}}
+		tbl.AddRow(res.Platform, fmt.Sprintf("%d", res.Procs), fmt.Sprintf("%d", res.Subsets),
+			fmt.Sprintf("%v", res.Sizes), fmt.Sprintf("%.3e", res.Threshold))
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+
+	// Figs. 7.4–7.7.
+	for _, tc := range []struct {
+		prof  *platform.Profile
+		max   int
+		title string
+	}{
+		{platform.Xeon8x2x4(), opts.MaxProcsXeon, "Figs 7.4/7.6: adapted barrier vs defaults on the 8x2x4 cluster"},
+		{platform.Opteron12x2x6(), opts.MaxProcsOpteron, "Figs 7.5/7.7: adapted barrier vs defaults on the 12x2x6 cluster"},
+	} {
+		points, err := experiments.Fig7_4Series(tc.prof, tc.max, opts)
+		if err != nil {
+			log.Fatalf("adaptbarrier: %v", err)
+		}
+		tbl := &experiments.Table{Title: tc.title,
+			Columns: []string{"P", "best pattern", "adapted [s]", "predicted [s]", "dissemination [s]", "tree [s]", "linear [s]"}}
+		for _, p := range points {
+			tbl.AddRow(fmt.Sprintf("%d", p.Procs), p.BestName, fmt.Sprintf("%.3e", p.Adapted), fmt.Sprintf("%.3e", p.Predicted),
+				fmt.Sprintf("%.3e", p.Dissemination), fmt.Sprintf("%.3e", p.Tree), fmt.Sprintf("%.3e", p.Linear))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,68 @@
+// Command barrierbench regenerates the Chapter 5 and Chapter 6 barrier
+// figures: measured vs. predicted barrier cost with absolute and relative
+// errors on both cluster profiles (Figs. 5.6–5.13), and the payload-extended
+// synchronization estimate (Figs. 6.3/6.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		full     = flag.Bool("full", false, "run the full sweep instead of the quick one")
+		platName = flag.String("platform", "both", "platform: xeon, opteron or both")
+	)
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+
+	type target struct {
+		prof *platform.Profile
+		max  int
+		figA string
+		figB string
+	}
+	var targets []target
+	if *platName == "xeon" || *platName == "both" {
+		targets = append(targets, target{platform.Xeon8x2x4(), opts.MaxProcsXeon,
+			"Figs 5.6-5.9: barrier cost on the 8-way 2x4-core cluster", "Fig 6.3: BSP sync on the 8x2x4 cluster"})
+	}
+	if *platName == "opteron" || *platName == "both" {
+		targets = append(targets, target{platform.Opteron12x2x6(), opts.MaxProcsOpteron,
+			"Figs 5.10-5.13: barrier cost on the 12-way 2x6-core cluster", "Fig 6.4: BSP sync on the 12x2x6 cluster"})
+	}
+	if len(targets) == 0 {
+		log.Fatalf("barrierbench: unknown platform %q", *platName)
+	}
+
+	for _, tg := range targets {
+		points, err := experiments.Fig5_6Series(tg.prof, tg.max, opts)
+		if err != nil {
+			log.Fatalf("barrierbench: %v", err)
+		}
+		fmt.Print(experiments.BarrierTable(tg.figA, points).String())
+		fmt.Println()
+
+		sync, err := experiments.Fig6_3Series(tg.prof, tg.max, opts)
+		if err != nil {
+			log.Fatalf("barrierbench: %v", err)
+		}
+		tbl := &experiments.Table{Title: tg.figB, Columns: []string{"P", "measured [s]", "estimate [s]", "rel err"}}
+		for _, p := range sync {
+			tbl.AddRow(fmt.Sprintf("%d", p.Procs), fmt.Sprintf("%.3e", p.Measured), fmt.Sprintf("%.3e", p.Predicted),
+				fmt.Sprintf("%.1f%%", 100*p.RelError))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,49 @@
+// Command bspbench regenerates Table 3.1 (the classic bspbench parameters on
+// the simulated Xeon 8x2x4 cluster) and the Fig. 3.2 comparison of measured
+// inner-product timings against the classic BSP estimate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		full = flag.Bool("full", false, "run the full sweep instead of the quick one")
+		n    = flag.Int("n", 1<<22, "inner product problem size (elements)")
+	)
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	prof := platform.Xeon8x2x4()
+
+	rows, err := experiments.Table3_1(prof, opts)
+	if err != nil {
+		log.Fatalf("bspbench: %v", err)
+	}
+	fmt.Print(experiments.Table3_1Table(rows).String())
+	fmt.Println()
+
+	points, err := experiments.Fig3_2(prof, rows, *n, opts)
+	if err != nil {
+		log.Fatalf("bspbench: %v", err)
+	}
+	tbl := &experiments.Table{
+		Title:   fmt.Sprintf("Fig 3.2: inner product (N=%d), measured vs classic BSP estimate", *n),
+		Columns: []string{"P", "measured [s]", "estimate [s]", "ratio"},
+	}
+	for _, p := range points {
+		tbl.AddRow(fmt.Sprintf("%d", p.P), fmt.Sprintf("%.3e", p.Measured), fmt.Sprintf("%.3e", p.Estimated),
+			fmt.Sprintf("%.1fx", p.Estimated/p.Measured))
+	}
+	fmt.Print(tbl.String())
+}

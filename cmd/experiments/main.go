@@ -1,0 +1,26 @@
+// Command experiments regenerates every table and figure of the evaluation in
+// one run. Use -full for the complete sweeps (minutes) or the default quick
+// mode for a fast sanity pass (tens of seconds).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"hbsp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "run the full sweeps instead of the quick ones")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	if err := experiments.RunAll(os.Stdout, opts); err != nil {
+		log.Fatalf("experiments: %v", err)
+	}
+}

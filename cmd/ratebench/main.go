@@ -1,0 +1,72 @@
+// Command ratebench regenerates the Chapter 4 computational-rate figures:
+// the bspbench rate sweep (Fig. 4.2), the kernel-specific predictions and
+// their relative error (Figs. 4.3/4.4), and the L1 BLAS footprint sweeps
+// (Figs. 4.5/4.6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "run the full sweep instead of the quick one")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	xeon := platform.Xeon8x2x4()
+
+	rates, err := experiments.Fig4_2(xeon)
+	if err != nil {
+		log.Fatalf("ratebench: %v", err)
+	}
+	tbl := &experiments.Table{Title: "Fig 4.2: bspbench computation rates (2x4 cluster node)", Columns: []string{"vector size", "Mflop/s"}}
+	for _, r := range rates {
+		tbl.AddRow(fmt.Sprintf("%d", r.VectorSize), fmt.Sprintf("%.1f", r.Mflops))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+
+	preds, err := experiments.Fig4_3(xeon, opts)
+	if err != nil {
+		log.Fatalf("ratebench: %v", err)
+	}
+	tbl = &experiments.Table{
+		Title:   "Figs 4.3/4.4: kernel rate predictions vs measurement (1024-element problems)",
+		Columns: []string{"kernel", "applications", "predicted [s]", "measured [s]", "Mflops-derived [s]", "rel err"},
+	}
+	for _, p := range preds {
+		tbl.AddRow(p.Kernel, fmt.Sprintf("%d", p.Applications), fmt.Sprintf("%.3e", p.Predicted),
+			fmt.Sprintf("%.3e", p.Measured), fmt.Sprintf("%.3e", p.MflopsDerived), fmt.Sprintf("%.1f%%", 100*p.RelativeError))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+
+	athlon := platform.AthlonX2()
+	for _, sweep := range []struct {
+		title    string
+		maxBytes float64
+	}{
+		{"Fig 4.5: L1 BLAS, in-cache problem sizes (Athlon X2)", 60 * 1024},
+		{"Fig 4.6: L1 BLAS, sizes crossing the L1 boundary (Athlon X2)", 512 * 1024},
+	} {
+		points, err := experiments.Fig4_5(athlon, sweep.maxBytes)
+		if err != nil {
+			log.Fatalf("ratebench: %v", err)
+		}
+		tbl = &experiments.Table{Title: sweep.title, Columns: []string{"kernel", "memory use [bytes]", "time [s]"}}
+		for _, p := range points {
+			tbl.AddRow(p.Kernel, fmt.Sprintf("%.0f", p.FootprintBytes), fmt.Sprintf("%.3e", p.Seconds))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+}

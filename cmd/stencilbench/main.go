@@ -1,0 +1,92 @@
+// Command stencilbench regenerates Case Study II (Chapter 8): the
+// experimental configuration and wall-time tables (Tables 8.1/8.2), the
+// strong-scaling A-series (Figs. 8.4–8.7), the prediction-vs-measurement
+// B-series (Figs. 8.10–8.15), and the overlap adaptation sweep (Fig. 8.18).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "run the full sweep instead of the quick one")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+	prof := platform.Xeon8x2x4()
+
+	fmt.Print(experiments.Table8_1Table(experiments.Table8_1(opts)).String())
+	fmt.Println()
+
+	wall, err := experiments.Table8_2(prof, opts)
+	if err != nil {
+		log.Fatalf("stencilbench: %v", err)
+	}
+	tbl := &experiments.Table{Title: "Table 8.2: MPI and MPI+R wall times (large problem)",
+		Columns: []string{"P", "MPI [s]", "MPI+R [s]", "speedup"}}
+	for _, w := range wall {
+		tbl.AddRow(fmt.Sprintf("%d", w.Procs), fmt.Sprintf("%.3e", w.MPI), fmt.Sprintf("%.3e", w.MPIR), fmt.Sprintf("%.2fx", w.Speedup))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+
+	series := []struct {
+		title string
+		n     int
+		impls []string
+	}{
+		{"Fig 8.4 (A1): all implementations, large problem", opts.StencilLargeN, nil},
+		{"Fig 8.5 (A2): BSP implementations only, large problem", opts.StencilLargeN, []string{"bsp", "bsp-serial"}},
+		{"Fig 8.6 (A3): selected implementations, large problem", opts.StencilLargeN, []string{"bsp", "mpi+r", "hybrid"}},
+		{"Fig 8.7 (A4): selected implementations, small problem", opts.StencilSmallN, []string{"bsp", "mpi+r", "hybrid"}},
+	}
+	for _, s := range series {
+		points, err := experiments.Fig8_4Series(prof, s.n, s.impls, opts)
+		if err != nil {
+			log.Fatalf("stencilbench: %v", err)
+		}
+		tbl := &experiments.Table{Title: s.title, Columns: []string{"implementation", "P", "time/iteration [s]"}}
+		for _, p := range points {
+			tbl.AddRow(p.Implementation, fmt.Sprintf("%d", p.Procs), fmt.Sprintf("%.3e", p.PerIteration))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+
+	preds, err := experiments.Fig8_10Series(prof, opts)
+	if err != nil {
+		log.Fatalf("stencilbench: %v", err)
+	}
+	tbl = &experiments.Table{Title: "Figs 8.10-8.15 (B1-B6): prediction vs measurement",
+		Columns: []string{"problem", "variant", "P", "predicted [s]", "measured [s]", "rel err"}}
+	for _, p := range preds {
+		tbl.AddRow(p.Problem, p.Variant, fmt.Sprintf("%d", p.Procs), fmt.Sprintf("%.3e", p.Predicted),
+			fmt.Sprintf("%.3e", p.Measured), fmt.Sprintf("%.1f%%", 100*p.RelError))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println()
+
+	procs := 16
+	if opts.MaxProcsXeon < procs {
+		procs = opts.MaxProcsXeon
+	}
+	sweep, err := experiments.Fig8_18Series(prof, procs, opts)
+	if err != nil {
+		log.Fatalf("stencilbench: %v", err)
+	}
+	tbl = &experiments.Table{Title: fmt.Sprintf("Fig 8.18 (C1): overlap adaptation sweep (P=%d)", procs),
+		Columns: []string{"overlap fraction", "predicted [s]", "measured [s]"}}
+	for _, p := range sweep {
+		tbl.AddRow(fmt.Sprintf("%.2f", p.Fraction), fmt.Sprintf("%.3e", p.Predicted), fmt.Sprintf("%.3e", p.Measured))
+	}
+	fmt.Print(tbl.String())
+}

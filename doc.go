@@ -1,0 +1,15 @@
+// Package hbsp is a Go reproduction of "Performance Modeling of Heterogeneous
+// Systems" (Jan Christian Meyer, NTNU): a framework that models heterogeneous
+// SMP clusters by replacing the scalar BSP parameters with matrices of
+// pairwise and per-kernel performance parameters, a matrix-based cost model
+// for barrier synchronization, an overlapping BSPlib run-time, and the two
+// case studies (model-driven barrier adaptation and a 5-point Laplacian
+// stencil) — all executed against a virtual-time cluster simulator that
+// stands in for the thesis' physical test systems.
+//
+// The implementation lives under internal/; see README.md for the package
+// map, DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for the paper-vs-measured record. The root package only
+// hosts the repository-level benchmark harness (bench_test.go), which
+// regenerates every table and figure of the evaluation.
+package hbsp

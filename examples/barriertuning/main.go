@@ -1,0 +1,57 @@
+// Barrier tuning (Case Study I): benchmark the pairwise latency matrix of a
+// cluster, cluster the processes into latency-homogeneous subsets, let the
+// greedy model-driven construction pick a hierarchical hybrid barrier, and
+// verify in simulation that it beats the flat system defaults.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbsp/internal/adapt"
+	"hbsp/internal/barrier"
+	"hbsp/internal/bench"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	const procs = 48
+	prof := platform.Xeon8x2x4()
+	machine, err := prof.Machine(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Architectural profile: benchmarked pairwise parameter matrices.
+	pair, err := bench.MeasurePairwise(machine, bench.DefaultPairwiseOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Subset-size selection and greedy construction.
+	result, err := adapt.Greedy(pair.Params(), barrier.DefaultCostOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering: %s\n", result.Clustering)
+	fmt.Println("candidates (predicted cost):")
+	for _, c := range result.Candidates {
+		fmt.Printf("  %-28s %.3e s\n", c.Name, c.Predicted)
+	}
+
+	// Validate the winner against the flat defaults in simulation.
+	fmt.Println("\nmeasured (mean worst-case over 8 repetitions):")
+	adapted, err := barrier.Measure(machine, result.Best.Pattern, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-28s %.3e s\n", "adapted: "+result.Best.Name, adapted.MeanWorst)
+	flat, err := barrier.MeasureAlgorithms(machine, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"dissemination", "tree", "linear"} {
+		fmt.Printf("  %-28s %.3e s\n", "flat "+name, flat[name].MeanWorst)
+	}
+}

@@ -1,0 +1,99 @@
+// Inner product (bspinprod): the Section 3.1 strong-scaling experiment. The
+// distributed inner product is executed with the BSP run-time on the
+// simulated Xeon cluster for growing process counts and compared against the
+// classic scalar BSP estimate built from bspbench parameters — reproducing
+// the Fig. 3.2 observation that the scalar model misprices the program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbsp/internal/bench"
+	"hbsp/internal/bsp"
+	"hbsp/internal/kernels"
+	"hbsp/internal/platform"
+)
+
+const n = 1 << 22 // problem size (elements)
+
+func main() {
+	log.SetFlags(0)
+	prof := platform.Xeon8x2x4()
+
+	fmt.Printf("%-6s %-14s %-14s %-14s %s\n", "P", "measured [s]", "estimate [s]", "serial dot", "check")
+	for _, procs := range []int{8, 16, 32, 64} {
+		machine, err := prof.Machine(procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Classic parameters from bspbench at this process count.
+		cfg := bench.DefaultBSPBenchConfig()
+		cfg.MaxH = 128
+		bres, err := bench.BSPBench(machine, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		estimate, err := bres.Params().InnerProductCost(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The actual bspinprod program, computing real values.
+		totals := make([]float64, procs)
+		res, err := bsp.Run(machine, func(ctx *bsp.Ctx) error {
+			p := ctx.NProcs()
+			local := n / p
+			x := make([]float64, local)
+			y := make([]float64, local)
+			for i := range x {
+				gi := ctx.Pid()*local + i
+				x[i] = float64(gi%13) / 13
+				y[i] = float64(gi%7) / 7
+			}
+			partials := make([]float64, p)
+			ctx.PushReg("partials", partials)
+			if err := ctx.Sync(); err != nil {
+				return err
+			}
+			sum, err := kernels.RunDot(x, y)
+			if err != nil {
+				return err
+			}
+			ctx.ComputeKernel(kernels.Dot, local, 1)
+			for d := 0; d < p; d++ {
+				if err := ctx.Put(d, "partials", ctx.Pid(), []float64{sum}); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Sync(); err != nil {
+				return err
+			}
+			total := 0.0
+			for _, v := range partials {
+				total += v
+			}
+			ctx.ComputeKernel(kernels.Asum, p, 1)
+			totals[ctx.Pid()] = total
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Serial reference for correctness.
+		want := 0.0
+		local := n / procs
+		for gi := 0; gi < local*procs; gi++ {
+			want += float64(gi%13) / 13 * float64(gi%7) / 7
+		}
+		check := "ok"
+		// Parallel and serial summation orders differ, so allow a relative
+		// rounding tolerance.
+		if diff := totals[0] - want; diff > 1e-9*want || diff < -1e-9*want {
+			check = fmt.Sprintf("MISMATCH (%g vs %g)", totals[0], want)
+		}
+		fmt.Printf("%-6d %-14.3e %-14.3e %-14.4g %s\n", procs, res.MakeSpan, estimate, totals[0], check)
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart: build a synthetic cluster platform, benchmark its pairwise
+// communication parameters, assemble a heterogeneous superstep model for a
+// small SPMD computation, and compare the model's prediction against the
+// simulated execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/bench"
+	"hbsp/internal/bsp"
+	"hbsp/internal/core"
+	"hbsp/internal/kernels"
+	"hbsp/internal/matrix"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	const procs = 16
+	const localElems = 64 * 1024
+
+	// 1. Instantiate a platform profile (8 nodes × 2 sockets × 4 cores).
+	prof := platform.Xeon8x2x4()
+	machine, err := prof.Machine(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %s\n", machine)
+
+	// 2. Benchmark the pairwise latency/overhead/bandwidth matrices.
+	pair, err := bench.MeasurePairwise(machine, bench.DefaultPairwiseOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmarked %dx%d parameter matrices (max latency %.1f us)\n",
+		procs, procs, pair.Latency.Max()*1e6)
+
+	// 3. Predict the synchronization cost of a superstep.
+	diss, err := barrier.Dissemination(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	syncPred, err := barrier.Predict(barrier.WithSyncPayload(diss, 4), pair.Params(), barrier.DefaultCostOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Assemble the superstep model: every process applies the DAXPY
+	// kernel to its local block and sends one 8 KiB message to its right
+	// neighbour.
+	req := core.UniformRequirement(procs, []float64{localElems})
+	cost := matrix.NewDense(procs, 1)
+	msgs := matrix.NewDense(procs, procs)
+	data := matrix.NewDense(procs, procs)
+	for p := 0; p < procs; p++ {
+		cost.Set(p, 0, prof.SecondsPerElement(p%prof.Topology.Nodes, kernels.DAXPY, localElems))
+		next := (p + 1) % procs
+		msgs.Set(p, next, 1)
+		data.Set(p, next, 8*1024)
+	}
+	step := core.Superstep{
+		Compute:      core.ComputeModel{Requirement: req, Cost: cost},
+		Comm:         core.CommModel{Messages: msgs, Latency: pair.Latency, Data: data, Beta: pair.Beta},
+		SyncCost:     syncPred.Total,
+		MaskableComm: 1,
+		MaskableComp: 0.9,
+	}
+	pred, err := step.Predict()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted superstep time: %.3e s (sync %.3e s, imbalance %.1f%%)\n",
+		pred.Total, syncPred.Total, 100*core.Imbalance(pred.CompTimes))
+
+	// 5. Execute the same superstep on the simulated platform with the BSP
+	// run-time and compare.
+	res, err := bsp.Run(machine, func(ctx *bsp.Ctx) error {
+		buf := make([]float64, 1024)
+		ctx.PushReg("buf", buf)
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		next := (ctx.Pid() + 1) % ctx.NProcs()
+		if err := ctx.Put(next, "buf", 0, make([]float64, 1024)); err != nil {
+			return err
+		}
+		ctx.ComputeKernel(kernels.DAXPY, localElems, 1)
+		return ctx.Sync()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated superstep time: %.3e s\n", res.MakeSpan)
+	fmt.Printf("prediction / measurement: %.2f\n", pred.Total/res.MakeSpan)
+}

@@ -1,0 +1,82 @@
+// Stencil (Case Study II): run the 5-point Laplacian stencil in its BSP,
+// MPI, restructured-MPI and hybrid variants on the simulated cluster, verify
+// that all variants compute the same result, predict the BSP iteration time
+// with the framework, and use the model to pick the overlap split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbsp/internal/platform"
+	"hbsp/internal/stencil"
+)
+
+func main() {
+	log.SetFlags(0)
+	const procs = 16
+	cfg := stencil.Config{N: 512, Iterations: 4, C: 0.2}
+
+	prof := platform.Xeon8x2x4()
+	machine, err := prof.Machine(procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%dx%d grid, %d iterations, %d processes\n\n", cfg.N, cfg.N, cfg.Iterations, procs)
+	fmt.Printf("%-10s %-16s %-16s %s\n", "variant", "wall time [s]", "per iter [s]", "checksum")
+
+	bspRes, err := stencil.RunBSP(machine, cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpiRes, err := stencil.RunMPI(machine, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpirRes, err := stencil.RunMPIRestructured(machine, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybridRes, err := stencil.RunHybrid(prof, 4, cfg, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range []*stencil.RunResult{bspRes, mpiRes, mpirRes, hybridRes} {
+		fmt.Printf("%-10s %-16.3e %-16.3e %.6f\n", r.Implementation, r.WallTime, r.PerIteration, r.Checksum)
+	}
+
+	// Model prediction for the BSP variant.
+	params, err := stencil.GroundTruthParams(prof, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := stencil.PredictIteration(prof, params, procs, cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted BSP iteration time: %.3e s (measured %.3e s)\n", pred.Total, bspRes.PerIteration)
+
+	// Model-driven choice of the overlap split (Section 8.6).
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	sweep, err := stencil.PredictOverlapSweep(prof, params, procs, cfg, fractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := stencil.OptimalOverlap(sweep, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noverlap adaptation sweep (predicted / measured per iteration):")
+	for _, pt := range sweep {
+		meas, err := stencil.RunBSP(machine, cfg, pt.Fraction)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if pt.Fraction == best.Fraction {
+			marker = "  <- selected by the model"
+		}
+		fmt.Printf("  f=%.2f  %.3e s / %.3e s%s\n", pt.Fraction, pt.Predicted, meas.PerIteration, marker)
+	}
+}

@@ -1,0 +1,230 @@
+package barrier
+
+import (
+	"errors"
+	"fmt"
+
+	"hbsp/internal/matrix"
+)
+
+// Params are the architectural performance matrices the barrier cost model
+// consumes: pairwise wire latencies L, per-request overheads O (with the
+// invocation overhead O_ii on the diagonal), and optionally pairwise inverse
+// bandwidths β for patterns that carry payload.
+type Params struct {
+	// Latency is the P×P matrix of pairwise zero-length-message latencies.
+	Latency *matrix.Dense
+	// Overhead is the P×P matrix of per-request overheads; the diagonal
+	// holds the invocation overheads O_ii.
+	Overhead *matrix.Dense
+	// Beta is the optional P×P matrix of inverse bandwidths (s/byte); it may
+	// be nil when no pattern carries payload.
+	Beta *matrix.Dense
+}
+
+// Validate checks that the matrices exist, are square and mutually sized.
+func (pr Params) Validate() error {
+	if pr.Latency == nil || pr.Overhead == nil {
+		return errors.New("barrier: params need latency and overhead matrices")
+	}
+	p := pr.Latency.Rows()
+	if pr.Latency.Cols() != p || pr.Overhead.Rows() != p || pr.Overhead.Cols() != p {
+		return errors.New("barrier: parameter matrices must be square and equally sized")
+	}
+	if pr.Beta != nil && (pr.Beta.Rows() != p || pr.Beta.Cols() != p) {
+		return errors.New("barrier: beta matrix size mismatch")
+	}
+	return nil
+}
+
+// Procs returns the process count the parameters describe.
+func (pr Params) Procs() int { return pr.Latency.Rows() }
+
+// CostOptions tune the cost model; the defaults reproduce the thesis' model,
+// and the switches exist for the ablation benchmarks called out in DESIGN.md.
+type CostOptions struct {
+	// AckFactor multiplies the summed latency term; the thesis uses 2 to
+	// account for the acknowledgement of each signal on symmetric links
+	// (Section 5.6.5).
+	AckFactor float64
+	// PostedReceive enables the refinement that replaces O_ij with O_jj when
+	// the destination is known to be waiting for the signal.
+	PostedReceive bool
+	// MinInvocation enables the refinement that the per-stage overhead term
+	// never drops below the invocation cost O_ii.
+	MinInvocation bool
+}
+
+// DefaultCostOptions returns the thesis' model: acknowledgement factor 2 with
+// both refinements enabled.
+func DefaultCostOptions() CostOptions {
+	return CostOptions{AckFactor: 2, PostedReceive: true, MinInvocation: true}
+}
+
+// Prediction is the result of evaluating the cost model on a pattern.
+type Prediction struct {
+	// Total is the predicted worst-case completion time of the barrier: the
+	// longest path through the layered dependency graph.
+	Total float64
+	// PerProcess holds the predicted completion time of each process after
+	// the final stage.
+	PerProcess []float64
+	// StageCosts[s][i] is the cost process i adds to any path passing
+	// through it in stage s (Eq. 5.4 with the refinements applied).
+	StageCosts [][]float64
+}
+
+// Predict evaluates the barrier cost model: per-stage, per-process costs from
+// Eq. 5.4 combined by a critical-path search over the layered dependency
+// graph (the recursive search of Fig. 6.2, implemented as a longest-path
+// dynamic program over the stages).
+func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.Procs() != pat.Procs {
+		return nil, fmt.Errorf("barrier: params describe %d processes, pattern has %d", params.Procs(), pat.Procs)
+	}
+	if opts.AckFactor <= 0 {
+		opts.AckFactor = 1
+	}
+	p := pat.Procs
+	nStages := pat.NumStages()
+
+	stageCosts := make([][]float64, nStages)
+	for s := 0; s < nStages; s++ {
+		stageCosts[s] = make([]float64, p)
+		for i := 0; i < p; i++ {
+			stageCosts[s][i] = stageCost(pat, params, opts, s, i)
+		}
+	}
+
+	// Longest path through the layered dependency graph. A path visits one
+	// process per stage; an edge i→j in stage s makes j's stage s+1 depend
+	// on i's completion of stage s (the thesis' path sum Σ_k cost(k, p_k)).
+	// completion[j] therefore carries j's cost through stage s, and the
+	// predecessors considered for stage s are the senders of stage s−1.
+	completion := make([]float64, p)
+	next := make([]float64, p)
+	for s := 0; s < nStages; s++ {
+		for j := 0; j < p; j++ {
+			best := completion[j]
+			if s > 0 {
+				for _, i := range pat.Stages[s-1].ColTrue(j) {
+					if completion[i] > best {
+						best = completion[i]
+					}
+				}
+			}
+			next[j] = best + stageCosts[s][j]
+		}
+		copy(completion, next)
+	}
+	// The receivers of the final stage inherit the longest path into them;
+	// this does not change the maximum but gives meaningful per-process
+	// values for hierarchical (tree-like) patterns.
+	last := pat.Stages[nStages-1]
+	for j := 0; j < p; j++ {
+		for _, i := range last.ColTrue(j) {
+			if completion[i] > completion[j] {
+				completion[j] = completion[i]
+			}
+		}
+	}
+
+	pred := &Prediction{PerProcess: append([]float64(nil), completion...), StageCosts: stageCosts}
+	for _, t := range completion {
+		if t > pred.Total {
+			pred.Total = t
+		}
+	}
+	return pred, nil
+}
+
+// stageCost evaluates Eq. 5.4 for process i in stage s:
+//
+//	cost(s, i) = AckFactor · Σ_j (L_ij + payload_ij·β_ij) · S_s(i,j) + max_j O'_ij·S_s(i,j)
+//
+// where O'_ij is O_jj instead of O_ij when j is known to have posted its
+// receive (it signalled i earlier and has been idle for at least one stage),
+// and the max term is initialised to the invocation overhead O_ii.
+func stageCost(pat *Pattern, params Params, opts CostOptions, s, i int) float64 {
+	st := pat.Stages[s]
+	dests := st.RowTrue(i)
+
+	sum := 0.0
+	maxOverhead := 0.0
+	if opts.MinInvocation {
+		maxOverhead = params.Overhead.At(i, i)
+	}
+	for _, j := range dests {
+		term := params.Latency.At(i, j)
+		if payload := pat.PayloadAt(s, i, j); payload > 0 && params.Beta != nil {
+			term += payload * params.Beta.At(i, j)
+		}
+		sum += term
+
+		o := params.Overhead.At(i, j)
+		if opts.PostedReceive && receiverPosted(pat, s, i, j) {
+			o = params.Overhead.At(j, j)
+		}
+		if o > maxOverhead {
+			maxOverhead = o
+		}
+	}
+	return opts.AckFactor*sum + maxOverhead
+}
+
+// receiverPosted reports whether, for the signal i→j in stage s, process j is
+// known to already be waiting: j's most recent send activity was a signal to
+// i, and j has been idle for at least one full stage since (Section 5.6.5).
+func receiverPosted(pat *Pattern, s, i, j int) bool {
+	for prev := s - 1; prev >= 0; prev-- {
+		dests := pat.Stages[prev].RowTrue(j)
+		if len(dests) == 0 {
+			continue // idle stage
+		}
+		// j's last activity was in stage prev; it must have targeted i and
+		// have been followed by at least one idle stage.
+		if prev >= s-1 {
+			return false
+		}
+		for _, d := range dests {
+			if d == i {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// PredictAlgorithms is a convenience that evaluates the cost model for the
+// three reference algorithms at the given process count and returns the
+// predictions keyed by pattern name.
+func PredictAlgorithms(p int, params Params, opts CostOptions) (map[string]*Prediction, error) {
+	linear, err := Linear(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	diss, err := Dissemination(p)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := Tree(p)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Prediction{}
+	for _, pat := range []*Pattern{linear, diss, tree} {
+		pred, err := Predict(pat, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[pat.Name] = pred
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+// Package barrier implements the thesis' matrix representation of barrier
+// synchronization algorithms (Chapter 5) and everything built on it: pattern
+// generators for the linear, tree and dissemination barriers, the knowledge
+// recursion that checks a pattern's correctness (Eqs. 5.1/5.2), a general
+// pattern simulator with MPI_Startall/MPI_Waitall semantics (Fig. 5.5), and
+// the latency-driven cost model with its critical-path search and the
+// payload extension of Chapter 6.
+package barrier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hbsp/internal/matrix"
+)
+
+// Pattern is a barrier communication pattern: an ordered sequence of P×P
+// boolean stage matrices, where Stages[s].At(i, j) means "process i signals
+// process j during stage s". An optional payload matrix per stage gives the
+// message sizes in bytes (zero size = pure signal), which the Chapter 6
+// synchronization-with-data extension uses.
+type Pattern struct {
+	// Name identifies the algorithm ("linear", "dissemination", ...).
+	Name string
+	// Procs is the number of participating processes.
+	Procs int
+	// Stages holds one incidence matrix per stage.
+	Stages []*matrix.Bool
+	// Payload optionally holds per-stage, per-edge payload sizes in bytes.
+	// When nil, all signals carry no payload. When non-nil it must have the
+	// same length as Stages.
+	Payload []*matrix.Dense
+}
+
+// ErrInvalidPattern is returned for structurally broken patterns.
+var ErrInvalidPattern = errors.New("barrier: invalid pattern")
+
+// Validate checks the structural consistency of the pattern: square stage
+// matrices of the right size, no self-signals, and payload shapes that match.
+func (pat *Pattern) Validate() error {
+	if pat.Procs < 1 {
+		return fmt.Errorf("%w: %d processes", ErrInvalidPattern, pat.Procs)
+	}
+	if len(pat.Stages) == 0 {
+		return fmt.Errorf("%w: no stages", ErrInvalidPattern)
+	}
+	if pat.Payload != nil && len(pat.Payload) != len(pat.Stages) {
+		return fmt.Errorf("%w: %d payload matrices for %d stages", ErrInvalidPattern, len(pat.Payload), len(pat.Stages))
+	}
+	for s, st := range pat.Stages {
+		if st == nil || st.Rows() != pat.Procs || st.Cols() != pat.Procs {
+			return fmt.Errorf("%w: stage %d has wrong shape", ErrInvalidPattern, s)
+		}
+		for i := 0; i < pat.Procs; i++ {
+			if st.At(i, i) {
+				return fmt.Errorf("%w: stage %d contains a self-signal at process %d", ErrInvalidPattern, s, i)
+			}
+		}
+		if pat.Payload != nil {
+			pm := pat.Payload[s]
+			if pm == nil || pm.Rows() != pat.Procs || pm.Cols() != pat.Procs {
+				return fmt.Errorf("%w: payload matrix %d has wrong shape", ErrInvalidPattern, s)
+			}
+		}
+	}
+	return nil
+}
+
+// NumStages returns the number of stages.
+func (pat *Pattern) NumStages() int { return len(pat.Stages) }
+
+// Signals returns the total number of signals across all stages.
+func (pat *Pattern) Signals() int {
+	n := 0
+	for _, st := range pat.Stages {
+		n += st.CountTrue()
+	}
+	return n
+}
+
+// PayloadAt returns the payload size in bytes of the signal i→j in stage s
+// (zero when the pattern carries no payload information).
+func (pat *Pattern) PayloadAt(s, i, j int) float64 {
+	if pat.Payload == nil {
+		return 0
+	}
+	return pat.Payload[s].At(i, j)
+}
+
+// Verify runs the knowledge recursion of Eqs. 5.1/5.2 and reports whether
+// every process can prove that every other process has arrived when the last
+// stage completes:
+//
+//	K_0 = I + S_0
+//	K_i = K_{i−1} + K_{i−1}·S_i
+//
+// where the final K must contain no zero element. This is the thesis' debug
+// aid for automatically generated patterns.
+func (pat *Pattern) Verify() error {
+	if err := pat.Validate(); err != nil {
+		return err
+	}
+	p := pat.Procs
+	// K(i, j) counts the signals process j has received that prove process
+	// i's arrival. Knowledge starts as the identity.
+	k := matrix.Identity(p)
+	for s, st := range pat.Stages {
+		sd := st.ToDense()
+		spread, err := k.Mul(sd)
+		if err != nil {
+			return err
+		}
+		k, err = k.AddTo(spread)
+		if err != nil {
+			return err
+		}
+		_ = s
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if k.At(i, j) == 0 {
+				return fmt.Errorf("%w: process %d cannot prove the arrival of process %d", ErrInvalidPattern, j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Linear returns the 2-stage linear (central counter) barrier: every process
+// signals the root, then the root signals every process (Fig. 5.2 uses root 0).
+func Linear(p, root int) (*Pattern, error) {
+	if p < 1 || root < 0 || root >= p {
+		return nil, fmt.Errorf("%w: linear barrier with p=%d root=%d", ErrInvalidPattern, p, root)
+	}
+	arrive := matrix.NewBool(p, p)
+	release := matrix.NewBool(p, p)
+	for i := 0; i < p; i++ {
+		if i == root {
+			continue
+		}
+		arrive.Set(i, root, true)
+		release.Set(root, i, true)
+	}
+	pat := &Pattern{Name: "linear", Procs: p, Stages: []*matrix.Bool{arrive, release}}
+	if p == 1 {
+		pat.Stages = []*matrix.Bool{matrix.NewBool(1, 1)}
+	}
+	return pat, nil
+}
+
+// Dissemination returns the ⌈log2 P⌉-stage dissemination barrier: in stage s,
+// process i signals process (i + 2^s) mod P (Fig. 5.3).
+func Dissemination(p int) (*Pattern, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: dissemination barrier with p=%d", ErrInvalidPattern, p)
+	}
+	var stages []*matrix.Bool
+	for dist := 1; dist < p; dist *= 2 {
+		st := matrix.NewBool(p, p)
+		for i := 0; i < p; i++ {
+			st.Set(i, (i+dist)%p, true)
+		}
+		stages = append(stages, st)
+	}
+	if len(stages) == 0 {
+		stages = []*matrix.Bool{matrix.NewBool(p, p)}
+	}
+	return &Pattern{Name: "dissemination", Procs: p, Stages: stages}, nil
+}
+
+// Tree returns the binary combining-tree barrier of Fig. 5.4: in arrival
+// stage s, processes whose index is an odd multiple of 2^s signal the process
+// 2^s below them; the release stages are the transposed arrival stages in
+// reverse order.
+func Tree(p int) (*Pattern, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: tree barrier with p=%d", ErrInvalidPattern, p)
+	}
+	var arrive []*matrix.Bool
+	for dist := 1; dist < p; dist *= 2 {
+		st := matrix.NewBool(p, p)
+		used := false
+		for i := dist; i < p; i += 2 * dist {
+			st.Set(i, i-dist, true)
+			used = true
+		}
+		if used {
+			arrive = append(arrive, st)
+		}
+	}
+	stages := make([]*matrix.Bool, 0, 2*len(arrive))
+	stages = append(stages, arrive...)
+	for s := len(arrive) - 1; s >= 0; s-- {
+		stages = append(stages, arrive[s].Transpose())
+	}
+	if len(stages) == 0 {
+		stages = []*matrix.Bool{matrix.NewBool(p, p)}
+	}
+	return &Pattern{Name: "tree", Procs: p, Stages: stages}, nil
+}
+
+// FullyConnected returns the single-stage all-to-all barrier, one of the two
+// extreme patterns the thesis mentions as scaling (and predicting) poorly.
+func FullyConnected(p int) (*Pattern, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: fully connected barrier with p=%d", ErrInvalidPattern, p)
+	}
+	st := matrix.NewBool(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				st.Set(i, j, true)
+			}
+		}
+	}
+	return &Pattern{Name: "all-to-all", Procs: p, Stages: []*matrix.Bool{st}}, nil
+}
+
+// Ring returns the (2P−1)-stage token-ring barrier: a single token travels
+// around the ring once to collect every arrival and most of a second time to
+// release everyone. It is the other extreme pattern the thesis mentions:
+// minimal concurrency and maximal stage count.
+func Ring(p int) (*Pattern, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: ring barrier with p=%d", ErrInvalidPattern, p)
+	}
+	var stages []*matrix.Bool
+	if p > 1 {
+		for k := 0; k < 2*p-1; k++ {
+			st := matrix.NewBool(p, p)
+			st.Set(k%p, (k+1)%p, true)
+			stages = append(stages, st)
+		}
+	}
+	if len(stages) == 0 {
+		stages = []*matrix.Bool{matrix.NewBool(p, p)}
+	}
+	return &Pattern{Name: "ring", Procs: p, Stages: stages}, nil
+}
+
+// WithSyncPayload returns a copy of a dissemination-style pattern carrying
+// the message-count payload of the thesis' BSP synchronization (Section 6.5):
+// the payload doubles each stage, starting from one P-entry row of 32-bit
+// counters, so that after ⌈log2 P⌉ stages every process holds the full P×P
+// message-count map.
+func WithSyncPayload(pat *Pattern, bytesPerEntry int) *Pattern {
+	if bytesPerEntry <= 0 {
+		bytesPerEntry = 4
+	}
+	out := &Pattern{Name: pat.Name + "+payload", Procs: pat.Procs, Stages: pat.Stages}
+	out.Payload = make([]*matrix.Dense, len(pat.Stages))
+	rows := 1.0
+	for s, st := range pat.Stages {
+		pm := matrix.NewDense(pat.Procs, pat.Procs)
+		size := math.Min(rows, float64(pat.Procs)) * float64(pat.Procs) * float64(bytesPerEntry)
+		for i := 0; i < pat.Procs; i++ {
+			for _, j := range st.RowTrue(i) {
+				pm.Set(i, j, size)
+			}
+		}
+		out.Payload[s] = pm
+		rows *= 2
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package barrier
+
+import (
+	"errors"
+	"fmt"
+
+	"hbsp/internal/mpi"
+	"hbsp/internal/simnet"
+	"hbsp/internal/stats"
+)
+
+// The tag space used by the pattern simulator. Each stage uses its own tag so
+// repeated executions of the same pattern cannot cross-match messages.
+const baseTag = 1 << 20
+
+// Execute runs one execution of the barrier pattern on the calling rank,
+// mirroring the general simulation function of Fig. 5.5: for every stage, the
+// receives and sends prescribed by the stage matrix are started together and
+// waited for together (MPI_Startall / MPI_Waitall).
+func Execute(c *mpi.Comm, pat *Pattern, generation int) {
+	rank := c.Rank()
+	tagBase := baseTag + (generation%64)*1024
+	for s, st := range pat.Stages {
+		tag := tagBase + s
+		var reqs []*mpi.PersistentRequest
+		for _, src := range st.ColTrue(rank) {
+			reqs = append(reqs, c.RecvInit(src, tag))
+		}
+		for _, dst := range st.RowTrue(rank) {
+			size := int(pat.PayloadAt(s, rank, dst))
+			reqs = append(reqs, c.SendInit(dst, tag, size, nil))
+		}
+		if len(reqs) == 0 {
+			// A process with no signals in this stage still pays the
+			// invocation overhead of the empty Startall/Waitall pair.
+			c.Compute(0)
+			continue
+		}
+		c.Startall(reqs)
+		c.WaitallPersistent(reqs)
+	}
+}
+
+// Measurement holds the result of measuring a barrier pattern on a simulated
+// machine, following the thesis' methodology: for every repetition the
+// worst-case (slowest process) duration is recorded, and the arithmetic mean
+// of those worst cases is reported.
+type Measurement struct {
+	// Pattern is the name of the measured pattern.
+	Pattern string
+	// Procs is the number of participating processes.
+	Procs int
+	// Reps is the number of measured repetitions.
+	Reps int
+	// WorstPerRep holds the slowest process' duration for each repetition.
+	WorstPerRep []float64
+	// MeanWorst is the arithmetic mean of WorstPerRep, the quantity plotted
+	// in Figs. 5.6 and 5.10.
+	MeanWorst float64
+	// MedianWorst is the median of WorstPerRep.
+	MedianWorst float64
+}
+
+// ErrNoReps is returned when a measurement is requested with no repetitions.
+var ErrNoReps = errors.New("barrier: at least one repetition required")
+
+// Measure executes the pattern reps times on the machine and gathers the
+// worst-case duration of each repetition. A warm-up execution aligns the
+// ranks before timing starts.
+func Measure(m simnet.Machine, pat *Pattern, reps int) (*Measurement, error) {
+	if reps < 1 {
+		return nil, ErrNoReps
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if pat.Procs != m.Procs() {
+		return nil, fmt.Errorf("barrier: pattern for %d processes on a %d-rank machine", pat.Procs, m.Procs())
+	}
+
+	durations := make([][]float64, reps)
+	for r := range durations {
+		durations[r] = make([]float64, pat.Procs)
+	}
+
+	_, err := mpi.Run(m, func(c *mpi.Comm) error {
+		// Warm-up execution to bring all ranks to a common point.
+		Execute(c, pat, 0)
+		for rep := 0; rep < reps; rep++ {
+			start := c.Wtime()
+			Execute(c, pat, rep+1)
+			durations[rep][c.Rank()] = c.Wtime() - start
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	meas := &Measurement{Pattern: pat.Name, Procs: pat.Procs, Reps: reps}
+	meas.WorstPerRep = make([]float64, reps)
+	for rep := 0; rep < reps; rep++ {
+		worst := 0.0
+		for _, d := range durations[rep] {
+			if d > worst {
+				worst = d
+			}
+		}
+		meas.WorstPerRep[rep] = worst
+	}
+	meas.MeanWorst, _ = stats.Mean(meas.WorstPerRep)
+	meas.MedianWorst, _ = stats.Median(meas.WorstPerRep)
+	return meas, nil
+}
+
+// MeasureAlgorithms measures the three reference barriers on the machine and
+// returns the results keyed by pattern name.
+func MeasureAlgorithms(m simnet.Machine, reps int) (map[string]*Measurement, error) {
+	p := m.Procs()
+	linear, err := Linear(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	diss, err := Dissemination(p)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := Tree(p)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Measurement{}
+	for _, pat := range []*Pattern{linear, diss, tree} {
+		meas, err := Measure(m, pat, reps)
+		if err != nil {
+			return nil, err
+		}
+		out[pat.Name] = meas
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"hbsp/internal/bsp"
+	"hbsp/internal/core"
+	"hbsp/internal/kernels"
+	"hbsp/internal/stats"
+)
+
+// BSPBenchConfig configures the classic bspbench measurement.
+type BSPBenchConfig struct {
+	// MaxVectorSize is the largest DAXPY vector used for the rate
+	// measurement (1024 in BSPEdupack's bspbench).
+	MaxVectorSize int
+	// MaxH is the largest h-relation used for the g/l regression (255 in
+	// bspbench).
+	MaxH int
+	// HStep is the increment between measured h values.
+	HStep int
+	// Repetitions is the number of repetitions per measured point.
+	Repetitions int
+}
+
+// DefaultBSPBenchConfig mirrors bspbench with a coarser h sweep to keep the
+// simulated benchmark quick.
+func DefaultBSPBenchConfig() BSPBenchConfig {
+	return BSPBenchConfig{MaxVectorSize: 1024, MaxH: 256, HStep: 32, Repetitions: 3}
+}
+
+// RatePoint is one entry of the computation-rate sweep (Fig. 4.2).
+type RatePoint struct {
+	// VectorSize is the DAXPY vector length.
+	VectorSize int
+	// Mflops is the measured average rate at that size.
+	Mflops float64
+}
+
+// BSPBenchResult holds the measured scalar BSP parameters of Table 3.1.
+type BSPBenchResult struct {
+	// P is the number of processes.
+	P int
+	// R is the computation rate in flop/s.
+	R float64
+	// G is the communication throughput cost in flops per 8-byte word.
+	G float64
+	// L is the synchronization cost in flops.
+	L float64
+	// RateSweep holds the per-size computation rates (Fig. 4.2).
+	RateSweep []RatePoint
+}
+
+// Params converts the result into classic BSP cost parameters.
+func (r *BSPBenchResult) Params() core.ClassicParams {
+	return core.ClassicParams{P: r.P, R: r.R, G: r.G, L: r.L}
+}
+
+// String renders one row of Table 3.1.
+func (r *BSPBenchResult) String() string {
+	return fmt.Sprintf("P=%d r=%.3f Mflop/s g=%.1f l=%.1f", r.P, r.R/1e6, r.G, r.L)
+}
+
+// BSPBench reproduces the bspbench procedure of Section 3.1 on the simulated
+// platform: the computation rate r is the regression gradient of DAXPY time
+// against operation count over growing vector sizes, and g and l are the
+// gradient and intercept of superstep time against h for growing h-relations,
+// converted to flop units with r.
+func BSPBench(m bsp.Machine, cfg BSPBenchConfig) (*BSPBenchResult, error) {
+	if m == nil {
+		return nil, errors.New("bench: nil machine")
+	}
+	if cfg.MaxVectorSize < 4 {
+		cfg.MaxVectorSize = DefaultBSPBenchConfig().MaxVectorSize
+	}
+	if cfg.MaxH < 2 || cfg.HStep < 1 {
+		def := DefaultBSPBenchConfig()
+		cfg.MaxH, cfg.HStep = def.MaxH, def.HStep
+	}
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	p := m.Procs()
+
+	// Per-rank measurements gathered from inside the simulation.
+	rateByRank := make([][]RatePoint, p)
+	hTimes := make([][]float64, p)
+
+	_, err := bsp.Run(m, func(ctx *bsp.Ctx) error {
+		rank := ctx.Pid()
+
+		// Computation rate: time growing DAXPY vectors.
+		var sweep []RatePoint
+		for n := 4; n <= cfg.MaxVectorSize; n *= 2 {
+			const reps = 8
+			start := ctx.Time()
+			ctx.ComputeKernel(kernels.DAXPY, n, reps)
+			elapsed := ctx.Time() - start
+			if elapsed <= 0 {
+				return fmt.Errorf("bench: non-positive DAXPY time on rank %d", rank)
+			}
+			mflops := kernels.DAXPY.Flops(n) * reps / elapsed / 1e6
+			sweep = append(sweep, RatePoint{VectorSize: n, Mflops: mflops})
+		}
+		rateByRank[rank] = sweep
+
+		// h-relation sweep: everyone puts h words, distributed cyclically
+		// over the other processes, then synchronizes.
+		area := make([]float64, cfg.MaxH+p)
+		ctx.PushReg("bspbench", area)
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		var times []float64
+		for h := 0; h <= cfg.MaxH; h += cfg.HStep {
+			var perRep []float64
+			for rep := 0; rep < cfg.Repetitions; rep++ {
+				start := ctx.Time()
+				if p > 1 && h > 0 {
+					perDest := h / (p - 1)
+					extra := h % (p - 1)
+					word := []float64{float64(rank)}
+					d := 0
+					for dst := 0; dst < p; dst++ {
+						if dst == rank {
+							continue
+						}
+						count := perDest
+						if d < extra {
+							count++
+						}
+						d++
+						for w := 0; w < count; w++ {
+							if err := ctx.Put(dst, "bspbench", w, word); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				if err := ctx.Sync(); err != nil {
+					return err
+				}
+				perRep = append(perRep, ctx.Time()-start)
+			}
+			med, err := stats.Median(perRep)
+			if err != nil {
+				return err
+			}
+			times = append(times, med)
+		}
+		hTimes[rank] = times
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate the computation rate across ranks (bspbench averages over
+	// the homogeneous process set) and fit the h sweep with the worst rank
+	// per h value, as the barrier semantics make the slowest process
+	// decisive.
+	res := &BSPBenchResult{P: p}
+	res.RateSweep = rateByRank[0]
+	var rates []float64
+	for _, sweep := range rateByRank {
+		if len(sweep) == 0 {
+			continue
+		}
+		rates = append(rates, sweep[len(sweep)-1].Mflops*1e6)
+	}
+	r, err := stats.Mean(rates)
+	if err != nil {
+		return nil, err
+	}
+	res.R = r
+
+	var hs, ts []float64
+	idx := 0
+	for h := 0; h <= cfg.MaxH; h += cfg.HStep {
+		worst := 0.0
+		for rank := 0; rank < p; rank++ {
+			if idx < len(hTimes[rank]) && hTimes[rank][idx] > worst {
+				worst = hTimes[rank][idx]
+			}
+		}
+		hs = append(hs, float64(h))
+		ts = append(ts, worst)
+		idx++
+	}
+	fit, err := stats.LinearFit(hs, ts)
+	if err != nil {
+		return nil, err
+	}
+	g := fit.Gradient * res.R
+	l := fit.Intercept * res.R
+	if g < 0 {
+		g = 0
+	}
+	if l < 0 {
+		l = 0
+	}
+	res.G = g
+	res.L = l
+	return res, nil
+}

@@ -1,0 +1,209 @@
+// Package bench implements the thesis' benchmark procedures: the classic
+// bspbench measurement of the scalar BSP parameters (Section 3.1, Table 3.1),
+// the kernel-rate benchmark with Student-t outlier filtering (Chapter 4), and
+// the pairwise latency/overhead/bandwidth benchmark that produces the P×P
+// parameter matrices the barrier cost model consumes (Section 5.6.3).
+//
+// All benchmarks run against the virtual-time simulator, so the "measured"
+// values include the run-to-run noise of the platform profile and differ
+// slightly from the ground-truth matrices — exactly the relationship between
+// benchmark and reality the thesis relies on.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/matrix"
+	"hbsp/internal/mpi"
+	"hbsp/internal/simnet"
+	"hbsp/internal/stats"
+)
+
+// PairwiseOptions configure the pairwise benchmark.
+type PairwiseOptions struct {
+	// Samples is the number of repetitions per pair and message size.
+	Samples int
+	// Sizes are the message sizes (bytes) used for the latency/bandwidth
+	// regression; they must contain at least two distinct values.
+	Sizes []int
+	// OverheadBatch is the number of back-to-back request initiations used
+	// to estimate the per-request overhead.
+	OverheadBatch int
+}
+
+// DefaultPairwiseOptions keep the benchmark quick while remaining stable: the
+// thesis notes that stable medians were obtained with sample sizes above 25;
+// the virtual-time simulator is far less noisy, so fewer repetitions suffice.
+func DefaultPairwiseOptions() PairwiseOptions {
+	return PairwiseOptions{
+		Samples:       5,
+		Sizes:         []int{0, 4 * 1024, 16 * 1024, 64 * 1024},
+		OverheadBatch: 8,
+	}
+}
+
+// PairwiseResult holds the benchmarked parameter matrices.
+type PairwiseResult struct {
+	// Latency is the estimated P×P zero-length-message latency matrix.
+	Latency *matrix.Dense
+	// Overhead is the estimated P×P per-request overhead matrix, with the
+	// invocation overhead on the diagonal.
+	Overhead *matrix.Dense
+	// Beta is the estimated P×P inverse-bandwidth matrix in s/byte.
+	Beta *matrix.Dense
+}
+
+// Params converts the benchmark result into barrier cost-model parameters.
+func (r *PairwiseResult) Params() barrier.Params {
+	return barrier.Params{Latency: r.Latency, Overhead: r.Overhead, Beta: r.Beta}
+}
+
+const (
+	tagPing = 1 << 16
+	tagPong = 1<<16 + 1
+)
+
+// MeasurePairwise estimates the pairwise parameter matrices by running
+// overhead and ping-pong micro-benchmarks for every process pair, one pair at
+// a time (Section 5.6.3). The per-request overhead is the median cost of
+// initiating a batch of requests; the latency and inverse bandwidth are the
+// intercept and gradient of a least-squares fit of half the round-trip time
+// against the message size.
+func MeasurePairwise(m simnet.Machine, opts PairwiseOptions) (*PairwiseResult, error) {
+	if m == nil || m.Procs() < 1 {
+		return nil, errors.New("bench: machine with at least one rank required")
+	}
+	if opts.Samples < 1 {
+		return nil, errors.New("bench: need at least one sample")
+	}
+	if len(opts.Sizes) < 2 {
+		return nil, errors.New("bench: need at least two message sizes")
+	}
+	if opts.OverheadBatch < 1 {
+		opts.OverheadBatch = 1
+	}
+	p := m.Procs()
+	lat := matrix.NewDense(p, p)
+	ovh := matrix.NewDense(p, p)
+	beta := matrix.NewDense(p, p)
+
+	// Every rank executes the same deterministic schedule of pair
+	// experiments and participates in the ones that involve it.
+	_, err := mpi.Run(m, func(c *mpi.Comm) error {
+		me := c.Rank()
+		// Invocation overhead: the cost of the locally observed empty
+		// operation, measured directly on each rank.
+		ovh.Set(me, me, m.SelfOverhead(me))
+
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if i == j {
+					continue
+				}
+				if me != i && me != j {
+					continue
+				}
+				if err := measurePair(c, m, i, j, opts, lat, ovh, beta); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PairwiseResult{Latency: lat, Overhead: ovh, Beta: beta}, nil
+}
+
+// measurePair runs the micro-benchmarks for the ordered pair (i, j); rank i
+// is the active sender, rank j echoes. Results are written into the shared
+// matrices at (i, j) only by rank i, so there are no concurrent writers.
+func measurePair(c *mpi.Comm, m simnet.Machine, i, j int, opts PairwiseOptions, lat, ovh, beta *matrix.Dense) error {
+	me := c.Rank()
+	proc := c.Proc()
+
+	// Untimed warm-up round trip. Its only purpose is clock alignment: the
+	// active rank cannot observe the echo before the echoing rank produced
+	// it, so after the exchange rank i's clock is at least rank j's, and the
+	// timed samples below are not distorted by the idle time accumulated
+	// while other pairs were being measured.
+	if me == i {
+		proc.Post(j, tagPing, 0, nil)
+		proc.Recv(j, tagPong)
+	} else {
+		proc.Recv(i, tagPing)
+		proc.Post(i, tagPong, 0, nil)
+	}
+
+	// Per-request overhead: rank i starts a batch of fire-and-forget
+	// requests and divides the observed local time by the batch size;
+	// rank j drains them.
+	if me == i {
+		var samples []float64
+		for s := 0; s < opts.Samples; s++ {
+			start := proc.Now()
+			for k := 0; k < opts.OverheadBatch; k++ {
+				proc.Post(j, tagPing, 0, nil)
+			}
+			samples = append(samples, (proc.Now()-start)/float64(opts.OverheadBatch))
+		}
+		med, err := stats.Median(samples)
+		if err != nil {
+			return err
+		}
+		ovh.Set(i, j, med)
+	} else {
+		for s := 0; s < opts.Samples; s++ {
+			for k := 0; k < opts.OverheadBatch; k++ {
+				proc.Recv(i, tagPing)
+			}
+		}
+	}
+
+	// Latency and inverse bandwidth: ping-pong round trips over growing
+	// message sizes; half the round trip regressed against the size.
+	var xs, ys []float64
+	for _, size := range opts.Sizes {
+		var samples []float64
+		for s := 0; s < opts.Samples; s++ {
+			if me == i {
+				start := proc.Now()
+				proc.Post(j, tagPing, size, nil)
+				proc.Recv(j, tagPong)
+				samples = append(samples, (proc.Now()-start)/2)
+			} else {
+				proc.Recv(i, tagPing)
+				proc.Post(i, tagPong, size, nil)
+			}
+		}
+		if me == i {
+			med, err := stats.Median(samples)
+			if err != nil {
+				return err
+			}
+			xs = append(xs, float64(size))
+			ys = append(ys, med)
+		}
+	}
+	if me != i {
+		return nil
+	}
+	fit, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		return fmt.Errorf("bench: pair (%d,%d): %w", i, j, err)
+	}
+	latency := fit.Intercept - ovh.At(i, j)
+	if latency < 0 {
+		latency = fit.Intercept
+	}
+	b := fit.Gradient
+	if b < 0 {
+		b = 0
+	}
+	lat.Set(i, j, latency)
+	beta.Set(i, j, b)
+	return nil
+}

@@ -1,0 +1,169 @@
+package bsp
+
+import (
+	"fmt"
+)
+
+// Sync ends the current superstep (bsp_sync). It implements the thesis'
+// design: a dissemination-pattern total exchange of per-pair message counts
+// (Section 6.4) establishes how many eagerly injected one-sided messages each
+// process must drain; the messages are then drained (benefitting from any
+// overlap already achieved in the background), get requests are served
+// against the pre-put state of the registered areas, buffered puts are
+// applied, pending registrations take effect, and the BSMP queue is swapped.
+func (c *Ctx) Sync() error {
+	counts, err := c.exchangeCounts()
+	if err != nil {
+		return err
+	}
+
+	// Drain every one-sided message addressed to this process, in source
+	// order. Puts are deferred so that gets observe the pre-put state.
+	var puts []*putMsg
+	for src := 0; src < c.NProcs(); src++ {
+		expect := counts[src][c.Pid()]
+		for k := 0; k < expect; k++ {
+			payload := c.proc.Recv(src, tagOneSided)
+			msg, ok := payload.(*oneSided)
+			if !ok {
+				return fmt.Errorf("bsp: process %d received an unexpected message type from %d", c.Pid(), src)
+			}
+			switch {
+			case msg.Put != nil:
+				puts = append(puts, msg.Put)
+			case msg.Get != nil:
+				if err := c.serveGet(msg.Get); err != nil {
+					return err
+				}
+			case msg.Bsmp != nil:
+				c.nextQueue = append(c.nextQueue, *msg.Bsmp)
+			default:
+				return fmt.Errorf("bsp: process %d received an empty one-sided message from %d", c.Pid(), src)
+			}
+		}
+	}
+
+	// Collect the replies to this process' own get requests, in issue order.
+	for _, g := range c.pendingGets {
+		payload := c.proc.Recv(g.src, tagGetReply)
+		data, ok := payload.([]float64)
+		if !ok {
+			return fmt.Errorf("bsp: process %d received a malformed get reply from %d", c.Pid(), g.src)
+		}
+		if len(data) != len(g.dest) {
+			return fmt.Errorf("bsp: get reply from %d has %d elements, expected %d", g.src, len(data), len(g.dest))
+		}
+		copy(g.dest, data)
+	}
+
+	// Apply buffered puts now that all gets (everywhere) observe the old
+	// state of this process' areas.
+	for _, put := range puts {
+		if err := c.applyPut(put); err != nil {
+			return err
+		}
+	}
+
+	// Registrations and de-registrations committed during the superstep take
+	// effect now.
+	for _, op := range c.pendingReg {
+		if op.push {
+			c.regs[op.name] = op.buf
+		} else {
+			delete(c.regs, op.name)
+		}
+	}
+	c.pendingReg = c.pendingReg[:0]
+
+	// The BSMP queue delivered by this synchronization replaces the previous
+	// superstep's queue.
+	c.queue = c.nextQueue
+	c.nextQueue = nil
+
+	// Reset per-superstep state.
+	for i := range c.outCounts {
+		c.outCounts[i] = 0
+	}
+	c.pendingGets = c.pendingGets[:0]
+	c.currentStep++
+	return nil
+}
+
+// serveGet reads the requested slice of a registered area and sends it back
+// to the requester.
+func (c *Ctx) serveGet(req *getReq) error {
+	buf, ok := c.regs[req.Name]
+	if !ok {
+		return fmt.Errorf("%w: %q on process %d", ErrNotRegistered, req.Name, c.Pid())
+	}
+	if req.Offset < 0 || req.Offset+req.N > len(buf) {
+		return fmt.Errorf("bsp: get of [%d,%d) exceeds area %q of length %d on process %d",
+			req.Offset, req.Offset+req.N, req.Name, len(buf), c.Pid())
+	}
+	data := append([]float64(nil), buf[req.Offset:req.Offset+req.N]...)
+	c.proc.Post(req.Requester, tagGetReply, headerBytes+8*len(data), data)
+	return nil
+}
+
+// applyPut writes a buffered put into the local registered area.
+func (c *Ctx) applyPut(put *putMsg) error {
+	buf, ok := c.regs[put.Name]
+	if !ok {
+		return fmt.Errorf("%w: %q on process %d", ErrNotRegistered, put.Name, c.Pid())
+	}
+	if put.Offset < 0 || put.Offset+len(put.Data) > len(buf) {
+		return fmt.Errorf("bsp: put of [%d,%d) exceeds area %q of length %d on process %d",
+			put.Offset, put.Offset+len(put.Data), put.Name, len(buf), c.Pid())
+	}
+	copy(buf[put.Offset:], put.Data)
+	return nil
+}
+
+// exchangeCounts performs the dissemination total exchange of the per-pair
+// one-sided message counts: after ⌈log2 P⌉ stages with doubling payloads,
+// every process holds the full P×P count map (Section 6.5). It returns the
+// map indexed [source][destination].
+func (c *Ctx) exchangeCounts() ([][]int, error) {
+	p := c.NProcs()
+	rank := c.Pid()
+	known := map[int][]int{rank: append([]int(nil), c.outCounts...)}
+	stage := 0
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (rank + dist) % p
+		src := (rank - dist + p) % p
+		tag := tagCountBase + stage
+
+		// Snapshot of everything known so far travels to the next neighbour.
+		payload := make(map[int][]int, len(known))
+		for r, row := range known {
+			payload[r] = row
+		}
+		size := headerBytes + len(payload)*p*4
+
+		rreq := c.proc.Irecv(src, tag)
+		sreq := c.proc.Isend(dst, tag, size, payload)
+		in := c.proc.Wait(rreq)
+		c.proc.Wait(sreq)
+
+		got, ok := in.(map[int][]int)
+		if !ok {
+			return nil, fmt.Errorf("bsp: process %d received a malformed count map from %d", rank, src)
+		}
+		for r, row := range got {
+			if _, seen := known[r]; !seen {
+				known[r] = row
+			}
+		}
+		stage++
+	}
+
+	counts := make([][]int, p)
+	for r := 0; r < p; r++ {
+		row, ok := known[r]
+		if !ok || len(row) != p {
+			return nil, fmt.Errorf("bsp: process %d is missing the count row of process %d after synchronization", rank, r)
+		}
+		counts[r] = row
+	}
+	return counts, nil
+}

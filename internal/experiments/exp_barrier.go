@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbsp/internal/adapt"
+	"hbsp/internal/barrier"
+	"hbsp/internal/bench"
+	"hbsp/internal/platform"
+)
+
+// BarrierPoint is one point of the Chapter 5 barrier figures: the measured
+// and predicted cost of one algorithm at one process count, with the derived
+// absolute and relative errors.
+type BarrierPoint struct {
+	Algorithm string
+	Procs     int
+	Measured  float64
+	Predicted float64
+	// AbsError is Predicted − Measured (Figs. 5.8/5.12).
+	AbsError float64
+	// RelError is AbsError / Measured (Figs. 5.9/5.13).
+	RelError float64
+}
+
+// barrierParams obtains the cost-model parameter matrices for a machine by
+// running the pairwise benchmark (the thesis' independently collected
+// architectural profile).
+func barrierParams(m *platform.Machine, reps int) (barrier.Params, error) {
+	opts := bench.DefaultPairwiseOptions()
+	if reps < opts.Samples {
+		opts.Samples = maxInt(2, reps)
+	}
+	res, err := bench.MeasurePairwise(m, opts)
+	if err != nil {
+		return barrier.Params{}, err
+	}
+	return res.Params(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig5_6Series reproduces Figs. 5.6–5.9 (on the Xeon profile) or 5.10–5.13
+// (on the Opteron profile): measured and predicted execution times of the
+// dissemination (D), tree (T) and linear (L) barriers over a sweep of process
+// counts, with absolute and relative prediction errors.
+func Fig5_6Series(prof *platform.Profile, maxProcs int, opts Options) ([]BarrierPoint, error) {
+	opts = opts.normalize()
+	var out []BarrierPoint
+	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+		m, err := prof.Machine(p)
+		if err != nil {
+			return nil, err
+		}
+		params, err := barrierParams(m, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := barrier.MeasureAlgorithms(m.WithRunSeed(int64(100+p)), opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := barrier.PredictAlgorithms(p, params, barrier.DefaultCostOptions())
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"dissemination", "tree", "linear"} {
+			measured := meas[name].MeanWorst
+			predicted := preds[name].Total
+			pt := BarrierPoint{Algorithm: name, Procs: p, Measured: measured, Predicted: predicted}
+			pt.AbsError = predicted - measured
+			if measured > 0 {
+				pt.RelError = pt.AbsError / measured
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// BarrierTable renders barrier points in the four-figure layout of the
+// thesis' chapters (measured, predicted, absolute error, relative error).
+func BarrierTable(title string, points []BarrierPoint) *Table {
+	t := &Table{Title: title, Columns: []string{"P", "algorithm", "measured [s]", "predicted [s]", "abs err [s]", "rel err"}}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.Procs), p.Algorithm, fmtSeconds(p.Measured), fmtSeconds(p.Predicted),
+			fmtSeconds(p.AbsError), fmtPercent(p.RelError))
+	}
+	return t
+}
+
+// SyncPoint is one point of Figs. 6.3/6.4: the measured cost of the BSP
+// synchronization (dissemination pattern carrying the message-count payload)
+// against the extended cost-model estimate.
+type SyncPoint struct {
+	Procs     int
+	Measured  float64
+	Predicted float64
+	RelError  float64
+}
+
+// Fig6_3Series reproduces Figs. 6.3/6.4 for the given platform.
+func Fig6_3Series(prof *platform.Profile, maxProcs int, opts Options) ([]SyncPoint, error) {
+	opts = opts.normalize()
+	var out []SyncPoint
+	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+		m, err := prof.Machine(p)
+		if err != nil {
+			return nil, err
+		}
+		params, err := barrierParams(m, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		diss, err := barrier.Dissemination(p)
+		if err != nil {
+			return nil, err
+		}
+		pat := barrier.WithSyncPayload(diss, 4)
+		meas, err := barrier.Measure(m.WithRunSeed(int64(200+p)), pat, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := barrier.Predict(pat, params, barrier.DefaultCostOptions())
+		if err != nil {
+			return nil, err
+		}
+		pt := SyncPoint{Procs: p, Measured: meas.MeanWorst, Predicted: pred.Total}
+		if pt.Measured > 0 {
+			pt.RelError = (pt.Predicted - pt.Measured) / pt.Measured
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ClusteringResult captures the SSS clustering output of Tables 7.1/7.2.
+type ClusteringResult struct {
+	Platform  string
+	Procs     int
+	Subsets   int
+	Sizes     []int
+	Threshold float64
+}
+
+// Table7_1 reproduces Table 7.1 (60 processes on the Xeon 8×2×4 profile) and
+// Table 7.2 (115 processes on the Opteron 10×2×6 profile) depending on the
+// supplied profile and process count.
+func Table7_1(prof *platform.Profile, procs int) (*ClusteringResult, error) {
+	pl, err := prof.Place(procs)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := adapt.ClusterAuto(prof.LatencyMatrix(pl))
+	if err != nil {
+		return nil, err
+	}
+	return &ClusteringResult{
+		Platform:  prof.Name,
+		Procs:     procs,
+		Subsets:   len(cl.Groups),
+		Sizes:     cl.Sizes(),
+		Threshold: cl.Threshold,
+	}, nil
+}
+
+// HybridPoint is one point of Figs. 7.4–7.7: the measured cost of the best
+// adapted barrier against the flat reference algorithms.
+type HybridPoint struct {
+	Procs         int
+	BestName      string
+	Adapted       float64
+	Dissemination float64
+	Tree          float64
+	Linear        float64
+	Predicted     float64
+}
+
+// Fig7_4Series reproduces Figs. 7.4–7.7: for a sweep of process counts, the
+// greedily adapted barrier is constructed from benchmarked parameter matrices
+// and measured against the flat reference algorithms.
+func Fig7_4Series(prof *platform.Profile, maxProcs int, opts Options) ([]HybridPoint, error) {
+	opts = opts.normalize()
+	var out []HybridPoint
+	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+		if p < 4 {
+			continue
+		}
+		m, err := prof.Machine(p)
+		if err != nil {
+			return nil, err
+		}
+		params, err := barrierParams(m, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		res, err := adapt.Greedy(params, barrier.DefaultCostOptions())
+		if err != nil {
+			return nil, err
+		}
+		adaptedMeas, err := barrier.Measure(m.WithRunSeed(int64(300+p)), res.Best.Pattern, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := barrier.MeasureAlgorithms(m.WithRunSeed(int64(300+p)), opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HybridPoint{
+			Procs:         p,
+			BestName:      res.Best.Name,
+			Adapted:       adaptedMeas.MeanWorst,
+			Dissemination: flat["dissemination"].MeanWorst,
+			Tree:          flat["tree"].MeanWorst,
+			Linear:        flat["linear"].MeanWorst,
+			Predicted:     res.Best.Predicted,
+		})
+	}
+	return out, nil
+}

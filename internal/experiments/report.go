@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hbsp/internal/platform"
+)
+
+// RunAll regenerates every table and figure in thesis order and writes the
+// resulting text tables to w. It is the backing implementation of
+// cmd/experiments and is also exercised by the repository's benchmark
+// harness.
+func RunAll(w io.Writer, opts Options) error {
+	opts = opts.normalize()
+	xeon := platform.Xeon8x2x4()
+	opteron := platform.Opteron12x2x6()
+
+	// Chapter 3.
+	rows, err := Table3_1(xeon, opts)
+	if err != nil {
+		return fmt.Errorf("table 3.1: %w", err)
+	}
+	fmt.Fprint(w, Table3_1Table(rows).String(), "\n")
+
+	inner, err := Fig3_2(xeon, rows, 1<<22, opts)
+	if err != nil {
+		return fmt.Errorf("fig 3.2: %w", err)
+	}
+	tbl := &Table{Title: "Fig 3.2: inner product, measured vs classic estimate", Columns: []string{"P", "measured [s]", "estimate [s]"}}
+	for _, p := range inner {
+		tbl.AddRow(fmt.Sprintf("%d", p.P), fmtSeconds(p.Measured), fmtSeconds(p.Estimated))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	// Chapter 4.
+	rates, err := Fig4_2(xeon)
+	if err != nil {
+		return fmt.Errorf("fig 4.2: %w", err)
+	}
+	tbl = &Table{Title: "Fig 4.2: bspbench computation rates", Columns: []string{"vector size", "Mflop/s"}}
+	for _, r := range rates {
+		tbl.AddRow(fmt.Sprintf("%d", r.VectorSize), fmt.Sprintf("%.1f", r.Mflops))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	preds43, err := Fig4_3(xeon, opts)
+	if err != nil {
+		return fmt.Errorf("fig 4.3: %w", err)
+	}
+	tbl = &Table{Title: "Figs 4.3/4.4: kernel predictions vs measurement", Columns: []string{"kernel", "applications", "predicted [s]", "measured [s]", "rel err"}}
+	for _, p := range preds43 {
+		tbl.AddRow(p.Kernel, fmt.Sprintf("%d", p.Applications), fmtSeconds(p.Predicted), fmtSeconds(p.Measured), fmtPercent(p.RelativeError))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	blas, err := Fig4_5(platform.AthlonX2(), 512*1024)
+	if err != nil {
+		return fmt.Errorf("fig 4.5: %w", err)
+	}
+	tbl = &Table{Title: "Figs 4.5/4.6: L1 BLAS time vs memory footprint (Athlon X2)", Columns: []string{"kernel", "bytes", "time [s]"}}
+	for _, p := range blas {
+		tbl.AddRow(p.Kernel, fmt.Sprintf("%.0f", p.FootprintBytes), fmtSeconds(p.Seconds))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	// Chapters 5 and 6, on both platforms.
+	for _, tc := range []struct {
+		prof  *platform.Profile
+		max   int
+		nameA string
+		nameB string
+	}{
+		{xeon, opts.MaxProcsXeon, "Figs 5.6-5.9: barriers on the 8x2x4 cluster", "Fig 6.3: BSP sync on the 8x2x4 cluster"},
+		{opteron, opts.MaxProcsOpteron, "Figs 5.10-5.13: barriers on the 12x2x6 cluster", "Fig 6.4: BSP sync on the 12x2x6 cluster"},
+	} {
+		points, err := Fig5_6Series(tc.prof, tc.max, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.nameA, err)
+		}
+		fmt.Fprint(w, BarrierTable(tc.nameA, points).String(), "\n")
+
+		sync, err := Fig6_3Series(tc.prof, tc.max, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.nameB, err)
+		}
+		tbl = &Table{Title: tc.nameB, Columns: []string{"P", "measured [s]", "estimate [s]", "rel err"}}
+		for _, p := range sync {
+			tbl.AddRow(fmt.Sprintf("%d", p.Procs), fmtSeconds(p.Measured), fmtSeconds(p.Predicted), fmtPercent(p.RelError))
+		}
+		fmt.Fprint(w, tbl.String(), "\n")
+	}
+
+	// Chapter 7.
+	for _, tc := range []struct {
+		prof  *platform.Profile
+		procs int
+		title string
+	}{
+		{xeon, 60, "Table 7.1: 60-process SSS clustering (8x2x4)"},
+		{platform.Opteron10x2x6(), 115, "Table 7.2: 115-process SSS clustering (10x2x6)"},
+	} {
+		res, err := Table7_1(tc.prof, tc.procs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.title, err)
+		}
+		tbl = &Table{Title: tc.title, Columns: []string{"processes", "subsets", "sizes", "threshold [s]"}}
+		tbl.AddRow(fmt.Sprintf("%d", res.Procs), fmt.Sprintf("%d", res.Subsets), fmt.Sprintf("%v", res.Sizes), fmtSeconds(res.Threshold))
+		fmt.Fprint(w, tbl.String(), "\n")
+	}
+	hybrid, err := Fig7_4Series(xeon, opts.MaxProcsXeon, opts)
+	if err != nil {
+		return fmt.Errorf("figs 7.4-7.7: %w", err)
+	}
+	tbl = &Table{Title: "Figs 7.4-7.7: adapted barrier vs defaults (8x2x4)",
+		Columns: []string{"P", "best", "adapted [s]", "dissemination [s]", "tree [s]", "linear [s]"}}
+	for _, h := range hybrid {
+		tbl.AddRow(fmt.Sprintf("%d", h.Procs), h.BestName, fmtSeconds(h.Adapted), fmtSeconds(h.Dissemination), fmtSeconds(h.Tree), fmtSeconds(h.Linear))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	// Chapter 8.
+	fmt.Fprint(w, Table8_1Table(Table8_1(opts)).String(), "\n")
+	wall, err := Table8_2(xeon, opts)
+	if err != nil {
+		return fmt.Errorf("table 8.2: %w", err)
+	}
+	tbl = &Table{Title: "Table 8.2: MPI and MPI+R wall times", Columns: []string{"P", "MPI [s]", "MPI+R [s]"}}
+	for _, r := range wall {
+		tbl.AddRow(fmt.Sprintf("%d", r.Procs), fmtSeconds(r.MPI), fmtSeconds(r.MPIR))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	scaling, err := Fig8_4Series(xeon, opts.StencilLargeN, nil, opts)
+	if err != nil {
+		return fmt.Errorf("figs 8.4-8.7: %w", err)
+	}
+	tbl = &Table{Title: "Figs 8.4-8.7 (A1-A4): strong scaling of the stencil implementations",
+		Columns: []string{"implementation", "P", "time/iteration [s]"}}
+	for _, p := range scaling {
+		tbl.AddRow(p.Implementation, fmt.Sprintf("%d", p.Procs), fmtSeconds(p.PerIteration))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	bseries, err := Fig8_10Series(xeon, opts)
+	if err != nil {
+		return fmt.Errorf("figs 8.10-8.15: %w", err)
+	}
+	tbl = &Table{Title: "Figs 8.10-8.15 (B1-B6): prediction vs measurement",
+		Columns: []string{"problem", "variant", "P", "predicted [s]", "measured [s]", "rel err"}}
+	for _, p := range bseries {
+		tbl.AddRow(p.Problem, p.Variant, fmt.Sprintf("%d", p.Procs), fmtSeconds(p.Predicted), fmtSeconds(p.Measured), fmtPercent(p.RelError))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+
+	procs := 16
+	if opts.MaxProcsXeon < procs {
+		procs = opts.MaxProcsXeon
+	}
+	sweep, err := Fig8_18Series(xeon, procs, opts)
+	if err != nil {
+		return fmt.Errorf("fig 8.18: %w", err)
+	}
+	tbl = &Table{Title: "Fig 8.18 (C1): overlap adaptation sweep", Columns: []string{"fraction", "predicted [s]", "measured [s]"}}
+	for _, p := range sweep {
+		tbl.AddRow(fmt.Sprintf("%.2f", p.Fraction), fmtSeconds(p.Predicted), fmtSeconds(p.Measured))
+	}
+	fmt.Fprint(w, tbl.String(), "\n")
+	return nil
+}

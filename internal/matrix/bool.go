@@ -1,0 +1,179 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bool is a row-major dense boolean matrix. The barrier cost model of the
+// thesis encodes each barrier stage as a P×P boolean incidence matrix where
+// element (i, j) means "process i signals process j during this stage".
+type Bool struct {
+	rows, cols int
+	data       []bool
+}
+
+// NewBool allocates a rows×cols boolean matrix of false values.
+func NewBool(rows, cols int) *Bool {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Bool{rows: rows, cols: cols, data: make([]bool, rows*cols)}
+}
+
+// NewBoolFrom builds a boolean matrix from 0/1 integer rows, matching the way
+// the thesis prints stage matrices (Figs. 5.2–5.4).
+func NewBoolFrom(rows [][]int) (*Bool, error) {
+	if len(rows) == 0 {
+		return NewBool(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewBool(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: ragged input, row %d has %d columns, want %d", i, len(r), cols)
+		}
+		for j, v := range r {
+			m.data[i*cols+j] = v != 0
+		}
+	}
+	return m, nil
+}
+
+// MustBool is NewBoolFrom that panics on ragged input.
+func MustBool(rows [][]int) *Bool {
+	m, err := NewBoolFrom(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Bool) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Bool) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Bool) At(i, j int) bool {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Bool) Set(i, j int, v bool) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Bool) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Bool) Clone() *Bool {
+	c := NewBool(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Transpose returns the transpose of m. The release half of a tree barrier is
+// the transposed arrival stages in reverse order (Fig. 5.4).
+func (m *Bool) Transpose() *Bool {
+	t := NewBool(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// CountTrue returns the number of true elements (signals in a stage).
+func (m *Bool) CountTrue() int {
+	n := 0
+	for _, v := range m.data {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// RowTrue returns the column indices j for which row i is true, i.e. the set
+// of destinations process i signals during the stage.
+func (m *Bool) RowTrue(i int) []int {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	var out []int
+	for j := 0; j < m.cols; j++ {
+		if m.data[i*m.cols+j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ColTrue returns the row indices i for which column j is true, i.e. the set
+// of sources that signal process j during the stage.
+func (m *Bool) ColTrue(j int) []int {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
+	}
+	var out []int
+	for i := 0; i < m.rows; i++ {
+		if m.data[i*m.cols+j] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and other have the same shape and elements.
+func (m *Bool) Equal(other *Bool) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != other.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToDense converts to a float64 matrix with 1.0 for true and 0.0 for false,
+// which is the form the knowledge recursion (Eqs. 5.1/5.2) multiplies with.
+func (m *Bool) ToDense() *Dense {
+	d := NewDense(m.rows, m.cols)
+	for i := range m.data {
+		if m.data[i] {
+			d.data[i] = 1
+		}
+	}
+	return d
+}
+
+// String renders the matrix with 0/1 entries as in the thesis figures.
+func (m *Bool) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			if m.data[i*m.cols+j] {
+				b.WriteString("1")
+			} else {
+				b.WriteString("0")
+			}
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoolBasics(t *testing.T) {
+	m := NewBool(3, 3)
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, true)
+	if !m.At(1, 2) || m.At(2, 1) {
+		t.Fatal("Set/At inconsistent")
+	}
+	if m.CountTrue() != 1 {
+		t.Fatalf("CountTrue = %d", m.CountTrue())
+	}
+}
+
+func TestBoolFromAndString(t *testing.T) {
+	m := MustBool([][]int{{0, 1}, {1, 0}})
+	if !m.At(0, 1) || !m.At(1, 0) || m.At(0, 0) {
+		t.Fatalf("MustBool contents wrong: %v", m)
+	}
+	if got := m.String(); got != "[0 1]\n[1 0]\n" {
+		t.Fatalf("String() = %q", got)
+	}
+	if _, err := NewBoolFrom([][]int{{1}, {1, 0}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestBoolRowColTrue(t *testing.T) {
+	m := MustBool([][]int{
+		{0, 1, 1, 0},
+		{0, 0, 0, 1},
+		{0, 0, 0, 0},
+		{1, 0, 0, 0},
+	})
+	if got := m.RowTrue(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("RowTrue(0) = %v", got)
+	}
+	if got := m.ColTrue(0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("ColTrue(0) = %v", got)
+	}
+	if got := m.RowTrue(2); got != nil {
+		t.Fatalf("RowTrue(2) = %v, want nil", got)
+	}
+}
+
+func TestBoolTransposeAndEqual(t *testing.T) {
+	m := MustBool([][]int{{0, 1}, {0, 0}})
+	tr := m.Transpose()
+	want := MustBool([][]int{{0, 0}, {1, 0}})
+	if !tr.Equal(want) {
+		t.Fatalf("transpose = %v, want %v", tr, want)
+	}
+	if m.Equal(NewBool(3, 3)) {
+		t.Fatal("Equal should be false for different shapes")
+	}
+}
+
+func TestBoolCloneIndependence(t *testing.T) {
+	m := NewBool(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, true)
+	if m.At(0, 0) {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestBoolToDense(t *testing.T) {
+	m := MustBool([][]int{{1, 0}, {0, 1}})
+	d := m.ToDense()
+	if !d.Equal(Identity(2), 0) {
+		t.Fatalf("ToDense = %v", d)
+	}
+}
+
+func TestBoolPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBool(1, 1).Set(1, 0, true)
+}
+
+// Property: transpose is an involution and preserves the signal count.
+func TestBoolTransposeProperty(t *testing.T) {
+	f := func(bits [16]bool) bool {
+		m := NewBool(4, 4)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				m.Set(i, j, bits[i*4+j])
+			}
+		}
+		tr := m.Transpose()
+		return tr.Transpose().Equal(m) && tr.CountTrue() == m.CountTrue()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"hbsp/internal/kernels"
+	"hbsp/internal/topology"
+)
+
+// Machine is a fully instantiated platform for a given process count: the
+// profile's ground-truth pairwise parameters frozen for one placement, plus a
+// deterministic run-to-run noise source. It satisfies the simnet.Machine
+// interface structurally and is what the virtual-time simulator executes
+// against.
+type Machine struct {
+	profile   *Profile
+	placement *topology.Placement
+	runSeed   int64
+
+	latency  [][]float64
+	gap      [][]float64
+	beta     [][]float64
+	overhead [][]float64
+}
+
+// Machine instantiates the profile for the given number of ranks using the
+// profile's default placement policy.
+func (p *Profile) Machine(ranks int) (*Machine, error) {
+	pl, err := p.Place(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return p.MachineFor(pl), nil
+}
+
+// MachineFor instantiates the profile for an explicit placement.
+func (p *Profile) MachineFor(pl *topology.Placement) *Machine {
+	n := pl.Ranks()
+	m := &Machine{profile: p, placement: pl, runSeed: p.Seed}
+	alloc := func() [][]float64 {
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+		}
+		return rows
+	}
+	m.latency, m.gap, m.beta, m.overhead = alloc(), alloc(), alloc(), alloc()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.latency[i][j] = p.Latency(pl, i, j)
+			m.gap[i][j] = p.Gap(pl, i, j)
+			m.beta[i][j] = p.Beta(pl, i, j)
+			m.overhead[i][j] = p.Overhead(pl, i, j)
+		}
+	}
+	return m
+}
+
+// WithRunSeed returns a copy of the machine whose noise stream is derived
+// from the given seed, so that repeated "runs" of the same experiment observe
+// different jitter while remaining reproducible.
+func (m *Machine) WithRunSeed(seed int64) *Machine {
+	c := *m
+	c.runSeed = seed
+	return &c
+}
+
+// Profile returns the profile the machine was instantiated from.
+func (m *Machine) Profile() *Profile { return m.profile }
+
+// Placement returns the rank placement of the machine.
+func (m *Machine) Placement() *topology.Placement { return m.placement }
+
+// Procs returns the number of ranks.
+func (m *Machine) Procs() int { return m.placement.Ranks() }
+
+// Latency returns the ground-truth latency from rank i to rank j.
+func (m *Machine) Latency(i, j int) float64 { return m.latency[i][j] }
+
+// Gap returns the per-message NIC occupancy from rank i to rank j.
+func (m *Machine) Gap(i, j int) float64 { return m.gap[i][j] }
+
+// Beta returns the inverse bandwidth from rank i to rank j.
+func (m *Machine) Beta(i, j int) float64 { return m.beta[i][j] }
+
+// Overhead returns the per-request sender CPU overhead from rank i to rank j.
+func (m *Machine) Overhead(i, j int) float64 { return m.overhead[i][j] }
+
+// SelfOverhead returns the invocation overhead of rank i.
+func (m *Machine) SelfOverhead(i int) float64 { return m.profile.SelfOverhead }
+
+// NIC returns the network-interface index of rank i. Ranks on the same node
+// share a NIC; messages between different NICs occupy both for their gap and
+// serialized transfer time.
+func (m *Machine) NIC(i int) int { return m.placement.NodeOf(i) }
+
+// Noise returns a multiplicative jitter factor (>= 1) for the seq-th noisy
+// event observed by rank i. The stream is a deterministic function of the
+// machine's run seed, the rank and the sequence number, so simulations are
+// reproducible regardless of goroutine scheduling. The factor follows a
+// half-normal-like shape: most events see almost no jitter, a few see spikes
+// of a few NoiseRel.
+func (m *Machine) Noise(i int, seq uint64) float64 {
+	rel := m.profile.NoiseRel
+	if rel <= 0 {
+		return 1
+	}
+	h := hash64(uint64(m.runSeed)*0x9e3779b97f4a7c15 ^ (uint64(i)+1)*0xff51afd7ed558ccd ^ (seq+1)*0xc4ceb9fe1a85ec53)
+	u1 := (float64(h>>11) + 0.5) / float64(1<<53)
+	h2 := hash64(h ^ 0x2545f4914f6cdd1d)
+	u2 := (float64(h2>>11) + 0.5) / float64(1<<53)
+	// Box-Muller; take the absolute value for a half-normal excess.
+	z := math.Abs(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+	return 1 + rel*z
+}
+
+// KernelTime returns the ground-truth time for rank r to apply the kernel
+// once to n elements, without noise.
+func (m *Machine) KernelTime(rank int, k kernels.Kernel, n int) float64 {
+	return m.profile.KernelTime(m.placement.NodeOf(rank), k, n)
+}
+
+// KernelRate returns the ground-truth rate of a kernel for rank r.
+func (m *Machine) KernelRate(rank int, k kernels.Kernel, n int) float64 {
+	return m.profile.KernelRate(m.placement.NodeOf(rank), k, n)
+}
+
+// String describes the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s, %d ranks (%s placement)", m.profile, m.Procs(), m.placement.Policy)
+}

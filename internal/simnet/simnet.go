@@ -1,0 +1,429 @@
+// Package simnet is a virtual-time message-passing simulator. It is the
+// substrate that replaces the thesis' physical clusters: each rank runs as a
+// goroutine with its own logical clock, and communication delays are computed
+// from the pairwise latency/gap/bandwidth/overhead parameters supplied by a
+// Machine (normally a platform.Machine).
+//
+// The timing rules follow the LogGP decomposition the thesis builds on:
+//
+//   - initiating a request costs the sender the per-request software overhead
+//     o(i,j) on its own clock;
+//   - each rank's injection port serializes its outgoing messages, each
+//     occupying the port for gap(i,j) + size·β(i,j);
+//   - a message becomes available at the destination latency L(i,j) plus the
+//     serialized transfer time after it left the injection port;
+//   - the destination's extraction port serializes incoming messages by
+//     gap(i,j) as they are matched;
+//   - optionally (the default), a send request only completes once a
+//     zero-size acknowledgement has travelled back, which is the behaviour
+//     the thesis' factor-2 stage cost approximates.
+//
+// Because every delay is derived from per-rank counters and per-rank state,
+// simulations are deterministic regardless of goroutine scheduling, provided
+// the simulated program itself is deterministic (receives name their source).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Machine supplies the platform parameters the simulator needs. It is
+// implemented by platform.Machine.
+type Machine interface {
+	// Procs returns the number of ranks.
+	Procs() int
+	// Latency returns the end-to-end latency of a minimal message from i to j.
+	Latency(i, j int) float64
+	// Gap returns the per-message port occupancy between i and j.
+	Gap(i, j int) float64
+	// Beta returns the inverse bandwidth between i and j in seconds per byte.
+	Beta(i, j int) float64
+	// Overhead returns the per-request sender CPU overhead from i to j.
+	Overhead(i, j int) float64
+	// SelfOverhead returns the invocation overhead of rank i.
+	SelfOverhead(i int) float64
+	// NIC returns the network interface index of rank i (ranks sharing a
+	// node share a NIC index; intra-NIC messages skip port serialization).
+	NIC(i int) int
+	// Noise returns a multiplicative jitter factor (>= 1) for rank i's
+	// seq-th noisy event.
+	Noise(rank int, seq uint64) float64
+}
+
+// Options configure a simulation run.
+type Options struct {
+	// AckSends makes send requests complete only when an acknowledgement
+	// has returned from the destination (one extra latency). This is the
+	// default and corresponds to the factor 2 in the thesis' stage cost.
+	AckSends bool
+	// Deadline bounds the real (wall-clock) duration of the simulated run as
+	// a guard against deadlocked simulated programs.
+	Deadline time.Duration
+}
+
+// DefaultOptions returns the options used when none are supplied.
+func DefaultOptions() Options {
+	return Options{AckSends: true, Deadline: 2 * time.Minute}
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Times holds each rank's final virtual time in seconds.
+	Times []float64
+	// MakeSpan is the maximum of Times.
+	MakeSpan float64
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// Bytes is the total number of payload bytes delivered.
+	Bytes int64
+}
+
+// ErrDeadline is returned when the simulated program does not finish within
+// the wall-clock deadline (usually a deadlocked communication pattern).
+var ErrDeadline = errors.New("simnet: simulation exceeded wall-clock deadline (deadlock?)")
+
+type message struct {
+	src, dst, tag int
+	size          int
+	payload       any
+	arrival       float64
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) deliver(m *message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message from src with the given tag is available and
+// removes the first such message (FIFO per source/tag pair).
+func (mb *mailbox) take(src, tag int) *message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if m.src == src && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+type world struct {
+	machine   Machine
+	opts      Options
+	mailboxes []*mailbox
+	messages  atomic.Int64
+	bytes     atomic.Int64
+}
+
+// Proc is the handle a simulated rank uses to compute, communicate and read
+// its clock.
+type Proc struct {
+	w    *world
+	rank int
+
+	now      float64
+	txFree   float64
+	rxFree   float64
+	noiseSeq uint64
+}
+
+// Rank returns the rank of the process.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the simulation.
+func (p *Proc) Size() int { return p.w.machine.Procs() }
+
+// Now returns the process' current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// noise draws the next jitter factor for this rank.
+func (p *Proc) noise() float64 {
+	f := p.w.machine.Noise(p.rank, p.noiseSeq)
+	p.noiseSeq++
+	return f
+}
+
+// Compute advances the process' clock by the given number of seconds of work,
+// subject to run-to-run noise.
+func (p *Proc) Compute(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	p.now += seconds * p.noise()
+}
+
+// ComputeExact advances the clock without noise; benchmark inner loops use it
+// when the noise is applied at a coarser granularity.
+func (p *Proc) ComputeExact(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	p.now += seconds
+}
+
+// AdvanceTo moves the clock forward to at least t (no-op if already past).
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.now {
+		p.now = t
+	}
+}
+
+// Request represents an outstanding non-blocking operation.
+type Request struct {
+	proc    *Proc
+	isSend  bool
+	peer    int
+	tag     int
+	size    int
+	payload any
+
+	postTime   float64
+	completeAt float64
+	resolved   bool
+	msg        *message
+}
+
+// IsSend reports whether the request is a send request.
+func (r *Request) IsSend() bool { return r.isSend }
+
+// Peer returns the remote rank of the request.
+func (r *Request) Peer() int { return r.peer }
+
+// Isend posts a non-blocking send of size bytes carrying an arbitrary payload
+// to rank dst with the given tag. The message is delivered eagerly; the
+// returned request completes (for Wait purposes) when the transfer — and, in
+// ack mode, its acknowledgement — is done.
+func (p *Proc) Isend(dst, tag, size int, payload any) *Request {
+	if dst < 0 || dst >= p.Size() {
+		panic(fmt.Sprintf("simnet: send to invalid rank %d", dst))
+	}
+	m := p.w.machine
+	// Per-request software overhead on the sender's CPU.
+	p.now += m.Overhead(p.rank, dst) * p.noise()
+
+	var txStart, transfer float64
+	sameNIC := m.NIC(p.rank) == m.NIC(dst)
+	transfer = float64(size) * m.Beta(p.rank, dst)
+	if sameNIC && p.rank != dst {
+		// Intra-node transfers bypass the injection port.
+		txStart = p.now
+	} else {
+		txStart = p.now
+		if p.txFree > txStart {
+			txStart = p.txFree
+		}
+		p.txFree = txStart + m.Gap(p.rank, dst) + transfer
+	}
+	arrival := txStart + (m.Latency(p.rank, dst)+transfer)*p.noise()
+
+	msg := &message{src: p.rank, dst: dst, tag: tag, size: size, payload: payload, arrival: arrival}
+	p.w.mailboxes[dst].deliver(msg)
+	p.w.messages.Add(1)
+	p.w.bytes.Add(int64(size))
+
+	completeAt := p.txFree
+	if p.rank == dst || sameNIC {
+		completeAt = arrival
+	}
+	if p.w.opts.AckSends && p.rank != dst {
+		completeAt = arrival + m.Latency(dst, p.rank)
+	}
+	return &Request{
+		proc: p, isSend: true, peer: dst, tag: tag, size: size, payload: payload,
+		postTime: p.now, completeAt: completeAt, resolved: true,
+	}
+}
+
+// Post is a fire-and-forget eager send: the sender pays its overhead and port
+// occupancy, the message is delivered, and no request has to be waited for.
+// The BSP run-time uses it for one-sided communication committed during a
+// superstep.
+func (p *Proc) Post(dst, tag, size int, payload any) {
+	_ = p.Isend(dst, tag, size, payload)
+}
+
+// Irecv posts a non-blocking receive for a message from rank src with the
+// given tag. Matching happens at Wait time.
+func (p *Proc) Irecv(src, tag int) *Request {
+	if src < 0 || src >= p.Size() {
+		panic(fmt.Sprintf("simnet: receive from invalid rank %d", src))
+	}
+	return &Request{proc: p, isSend: false, peer: src, tag: tag, postTime: p.now}
+}
+
+// resolveRecv blocks until the matching message exists and computes the
+// completion time of the receive.
+func (r *Request) resolveRecv() {
+	if r.resolved {
+		return
+	}
+	p := r.proc
+	m := p.w.machine
+	msg := p.w.mailboxes[p.rank].take(r.peer, r.tag)
+	r.msg = msg
+	start := r.postTime
+	if msg.arrival > start {
+		start = msg.arrival
+	}
+	sameNIC := m.NIC(p.rank) == m.NIC(r.peer)
+	if !sameNIC {
+		if p.rxFree > start {
+			start = p.rxFree
+		}
+		p.rxFree = start + m.Gap(r.peer, p.rank)
+	}
+	r.completeAt = start
+	r.resolved = true
+}
+
+// Wait blocks until the request completes and advances the caller's clock to
+// the completion time. For receives it returns the message payload.
+func (p *Proc) Wait(r *Request) any {
+	if r.proc != p {
+		panic("simnet: waiting on a request posted by a different rank")
+	}
+	if !r.isSend {
+		r.resolveRecv()
+	}
+	if r.completeAt > p.now {
+		p.now = r.completeAt
+	}
+	if r.isSend {
+		return nil
+	}
+	return r.msg.payload
+}
+
+// WaitAll waits for every request, in order, and returns the payloads of the
+// receive requests (send requests contribute nil entries).
+func (p *Proc) WaitAll(reqs []*Request) []any {
+	out := make([]any, len(reqs))
+	for i, r := range reqs {
+		out[i] = p.Wait(r)
+	}
+	return out
+}
+
+// Send is a blocking send: Isend followed by Wait.
+func (p *Proc) Send(dst, tag, size int, payload any) {
+	p.Wait(p.Isend(dst, tag, size, payload))
+}
+
+// Recv is a blocking receive from a specific source; it returns the payload.
+func (p *Proc) Recv(src, tag int) any {
+	return p.Wait(p.Irecv(src, tag))
+}
+
+// Run executes body once per rank of the machine, each in its own goroutine,
+// and returns the per-rank finishing times. An error returned by any rank, a
+// panic in any rank, or exceeding the wall-clock deadline aborts the run.
+func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) {
+	if m == nil || m.Procs() < 1 {
+		return nil, errors.New("simnet: machine with at least one rank required")
+	}
+	o := DefaultOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+		if o.Deadline <= 0 {
+			o.Deadline = DefaultOptions().Deadline
+		}
+	}
+	w := &world{machine: m, opts: o, mailboxes: make([]*mailbox, m.Procs())}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+
+	procs := make([]*Proc, m.Procs())
+	errs := make([]error, m.Procs())
+	var wg sync.WaitGroup
+	for rank := 0; rank < m.Procs(); rank++ {
+		p := &Proc{w: w, rank: rank}
+		procs[rank] = p
+		wg.Add(1)
+		go func(rank int, p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("simnet: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = body(p)
+		}(rank, p)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(o.Deadline):
+		return nil, ErrDeadline
+	}
+
+	var errList []error
+	for rank, err := range errs {
+		if err != nil {
+			errList = append(errList, fmt.Errorf("rank %d: %w", rank, err))
+		}
+	}
+	if len(errList) > 0 {
+		return nil, errors.Join(errList...)
+	}
+
+	res := &Result{Times: make([]float64, m.Procs()), Messages: w.messages.Load(), Bytes: w.bytes.Load()}
+	for rank, p := range procs {
+		res.Times[rank] = p.now
+		if p.now > res.MakeSpan {
+			res.MakeSpan = p.now
+		}
+	}
+	return res, nil
+}
+
+// MaxTime returns the largest of the supplied times; it is a small helper for
+// computing collective completion times from per-rank clocks.
+func MaxTime(times []float64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	max := times[0]
+	for _, t := range times[1:] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// SortedCopy returns a sorted copy of times; reporting code uses it for
+// medians and percentiles of per-rank results.
+func SortedCopy(times []float64) []float64 {
+	out := make([]float64, len(times))
+	copy(out, times)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,234 @@
+// Package topology describes the hierarchical structure of the commodity SMP
+// clusters the thesis models: a number of compute nodes, each with a number
+// of processor sockets, each with a number of cores. It also implements the
+// process-placement (affinity) schemes the thesis relies on to keep locality
+// under experimental control: round-robin placement across nodes (the test
+// clusters' scheduler default, responsible for the odd/even oscillations of
+// Fig. 5.6) and block placement (fill one node before the next).
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Topology is a three-level cluster description: nodes × sockets × cores.
+type Topology struct {
+	// Nodes is the number of compute nodes in the cluster.
+	Nodes int
+	// SocketsPerNode is the number of processor sockets per node.
+	SocketsPerNode int
+	// CoresPerSocket is the number of cores per socket.
+	CoresPerSocket int
+}
+
+// New returns a validated topology.
+func New(nodes, socketsPerNode, coresPerSocket int) (Topology, error) {
+	t := Topology{Nodes: nodes, SocketsPerNode: socketsPerNode, CoresPerSocket: coresPerSocket}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// Validate reports whether every level has at least one element.
+func (t Topology) Validate() error {
+	if t.Nodes < 1 || t.SocketsPerNode < 1 || t.CoresPerSocket < 1 {
+		return fmt.Errorf("topology: all levels must be >= 1, got %dx%dx%d",
+			t.Nodes, t.SocketsPerNode, t.CoresPerSocket)
+	}
+	return nil
+}
+
+// CoresPerNode returns the number of cores in one node.
+func (t Topology) CoresPerNode() int { return t.SocketsPerNode * t.CoresPerSocket }
+
+// TotalCores returns the number of cores in the whole cluster.
+func (t Topology) TotalCores() int { return t.Nodes * t.CoresPerNode() }
+
+// String renders the topology in the thesis' NxSxC shorthand (e.g. "8x2x4").
+func (t Topology) String() string {
+	return fmt.Sprintf("%dx%dx%d", t.Nodes, t.SocketsPerNode, t.CoresPerSocket)
+}
+
+// CoreID identifies a physical core inside a topology.
+type CoreID struct {
+	Node   int
+	Socket int
+	Core   int
+}
+
+// Distance classifies the topological distance between two placed processes.
+// It is the independent variable of the heterogeneous latency, overhead and
+// bandwidth matrices.
+type Distance int
+
+const (
+	// DistanceSelf is a process communicating with itself (the invocation
+	// overhead case, O_ii in the thesis notation).
+	DistanceSelf Distance = iota
+	// DistanceSocket is communication between cores on the same socket.
+	DistanceSocket
+	// DistanceNode is communication between sockets of the same node.
+	DistanceNode
+	// DistanceNetwork is communication between different nodes.
+	DistanceNetwork
+)
+
+// String names the distance class.
+func (d Distance) String() string {
+	switch d {
+	case DistanceSelf:
+		return "self"
+	case DistanceSocket:
+		return "socket"
+	case DistanceNode:
+		return "node"
+	case DistanceNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("Distance(%d)", int(d))
+	}
+}
+
+// DistanceBetween classifies the distance between two cores.
+func DistanceBetween(a, b CoreID) Distance {
+	switch {
+	case a == b:
+		return DistanceSelf
+	case a.Node != b.Node:
+		return DistanceNetwork
+	case a.Socket != b.Socket:
+		return DistanceNode
+	default:
+		return DistanceSocket
+	}
+}
+
+// PlacementPolicy selects how MPI-style ranks are mapped onto cores.
+type PlacementPolicy int
+
+const (
+	// RoundRobin distributes consecutive ranks over consecutive nodes, the
+	// default behaviour of the thesis' cluster scheduler. Within a node,
+	// ranks take consecutive core indices in arrival order (the sorted-rank
+	// affinity scheme of Section 5.2).
+	RoundRobin PlacementPolicy = iota
+	// Block fills each node completely before moving to the next.
+	Block
+)
+
+// String names the placement policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// ErrTooManyRanks is returned when a placement requests more processes than
+// the topology has cores.
+var ErrTooManyRanks = errors.New("topology: more ranks than cores")
+
+// Placement maps ranks 0..P-1 onto cores of a topology.
+type Placement struct {
+	Topology Topology
+	Policy   PlacementPolicy
+	cores    []CoreID
+}
+
+// Place computes the placement of p ranks onto the topology under the given
+// policy. Placement is one-to-one (no oversubscription), matching the thesis'
+// restriction to one process per physical core.
+func Place(t Topology, p int, policy PlacementPolicy) (*Placement, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("topology: need at least one rank, got %d", p)
+	}
+	if p > t.TotalCores() {
+		return nil, fmt.Errorf("%w: %d ranks on %d cores", ErrTooManyRanks, p, t.TotalCores())
+	}
+	cores := make([]CoreID, p)
+	switch policy {
+	case Block:
+		for rank := 0; rank < p; rank++ {
+			node := rank / t.CoresPerNode()
+			within := rank % t.CoresPerNode()
+			cores[rank] = CoreID{
+				Node:   node,
+				Socket: within / t.CoresPerSocket,
+				Core:   within % t.CoresPerSocket,
+			}
+		}
+	case RoundRobin:
+		// Ranks are dealt to nodes round-robin; the n-th rank landing on a
+		// node occupies core index n within that node (sorted-rank affinity).
+		perNodeCount := make([]int, t.Nodes)
+		for rank := 0; rank < p; rank++ {
+			node := rank % t.Nodes
+			within := perNodeCount[node]
+			perNodeCount[node]++
+			if within >= t.CoresPerNode() {
+				return nil, fmt.Errorf("%w: node %d oversubscribed", ErrTooManyRanks, node)
+			}
+			cores[rank] = CoreID{
+				Node:   node,
+				Socket: within / t.CoresPerSocket,
+				Core:   within % t.CoresPerSocket,
+			}
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown placement policy %v", policy)
+	}
+	return &Placement{Topology: t, Policy: policy, cores: cores}, nil
+}
+
+// Ranks returns the number of placed ranks.
+func (pl *Placement) Ranks() int { return len(pl.cores) }
+
+// Core returns the core a rank is pinned to.
+func (pl *Placement) Core(rank int) CoreID {
+	if rank < 0 || rank >= len(pl.cores) {
+		panic(fmt.Sprintf("topology: rank %d out of range %d", rank, len(pl.cores)))
+	}
+	return pl.cores[rank]
+}
+
+// Distance returns the distance class between two ranks.
+func (pl *Placement) Distance(a, b int) Distance {
+	return DistanceBetween(pl.Core(a), pl.Core(b))
+}
+
+// SameNode reports whether two ranks share a node.
+func (pl *Placement) SameNode(a, b int) bool {
+	return pl.Core(a).Node == pl.Core(b).Node
+}
+
+// NodeOf returns the node index hosting a rank.
+func (pl *Placement) NodeOf(rank int) int { return pl.Core(rank).Node }
+
+// RanksOnNode returns the ranks placed on the given node, in rank order.
+func (pl *Placement) RanksOnNode(node int) []int {
+	var out []int
+	for rank, c := range pl.cores {
+		if c.Node == node {
+			out = append(out, rank)
+		}
+	}
+	return out
+}
+
+// NodesUsed returns the number of distinct nodes that host at least one rank.
+func (pl *Placement) NodesUsed() int {
+	seen := make(map[int]bool)
+	for _, c := range pl.cores {
+		seen[c.Node] = true
+	}
+	return len(seen)
+}
