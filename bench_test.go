@@ -1,8 +1,8 @@
 package hbsp
 
 // The repository-level benchmark harness: one testing.B benchmark per table
-// and figure of the thesis' evaluation (see the per-experiment index in
-// DESIGN.md), plus ablation benchmarks for the design choices the cost model
+// and figure of the thesis' evaluation (see the package map in README.md),
+// plus ablation benchmarks for the design choices the cost model
 // depends on. Every benchmark wraps the corresponding function of
 // internal/experiments with reduced sweep settings so that
 //
@@ -127,6 +127,7 @@ func BenchmarkFig5_6_BarrierXeon(b *testing.B) {
 	prof := platform.Xeon8x2x4()
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
 		if _, err := experiments.Fig5_6Series(prof, opts.MaxProcsXeon, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -137,6 +138,7 @@ func BenchmarkFig5_10_BarrierOpteron(b *testing.B) {
 	prof := platform.Opteron12x2x6()
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
 		if _, err := experiments.Fig5_6Series(prof, opts.MaxProcsOpteron, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -149,6 +151,7 @@ func BenchmarkFig6_3_SyncPayloadXeon(b *testing.B) {
 	prof := platform.Xeon8x2x4()
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
 		if _, err := experiments.Fig6_3Series(prof, opts.MaxProcsXeon, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -159,6 +162,7 @@ func BenchmarkFig6_4_SyncPayloadOpteron(b *testing.B) {
 	prof := platform.Opteron12x2x6()
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
 		if _, err := experiments.Fig6_3Series(prof, opts.MaxProcsOpteron, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -182,6 +186,7 @@ func BenchmarkFig7_4_HybridBarriersXeon(b *testing.B) {
 	prof := platform.Xeon8x2x4()
 	opts := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
 		if _, err := experiments.Fig7_4Series(prof, opts.MaxProcsXeon, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -193,6 +198,7 @@ func BenchmarkFig7_6_AdaptedBarriersOpteron(b *testing.B) {
 	opts := benchOptions()
 	opts.MaxProcsOpteron = 48
 	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
 		if _, err := experiments.Fig7_4Series(prof, opts.MaxProcsOpteron, opts); err != nil {
 			b.Fatal(err)
 		}
@@ -276,7 +282,7 @@ func BenchmarkFig8_18_OverlapAdaptation(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (design choices called out in DESIGN.md) ----------
+// --- Ablation benchmarks (cost-model design choices) -----------------------
 
 // benchParams builds ground-truth cost-model parameters for ablations.
 func benchParams(b *testing.B, prof *platform.Profile, procs int) barrier.Params {
@@ -459,6 +465,38 @@ func BenchmarkSimulatorBarrierThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := barrier.Measure(m, pat, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Collective schedules ---------------------------------------------------
+
+func BenchmarkCollectiveComparison(b *testing.B) {
+	prof := platform.Xeon8x2x4()
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
+		points, err := experiments.CollectiveSeries(prof, 32, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no collective points")
+		}
+	}
+}
+
+func BenchmarkAdaptedSynchronizer(b *testing.B) {
+	prof := platform.Xeon8x2x4()
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetParamsCache()
+		points, err := experiments.AdaptedSyncSeries(prof, 32, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no adapted-sync points")
 		}
 	}
 }

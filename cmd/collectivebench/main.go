@@ -1,0 +1,48 @@
+// Command collectivebench compares the cost model against the simulator for
+// every collective schedule (broadcast, reduce, allreduce, allgather, total
+// exchange) on the built-in platform presets, and shows the model-selected
+// count-exchange schedule running inside the BSP synchronizer against the
+// dissemination default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	full := flag.Bool("full", false, "run the full sweeps instead of the quick ones")
+	flag.Parse()
+
+	opts := experiments.Quick()
+	if *full {
+		opts = experiments.Full()
+	}
+
+	for _, tc := range []struct {
+		prof *platform.Profile
+		max  int
+	}{
+		{platform.Xeon8x2x4(), opts.MaxProcsXeon},
+		{platform.Opteron12x2x6(), opts.MaxProcsOpteron},
+	} {
+		points, err := experiments.CollectiveSeries(tc.prof, tc.max, opts)
+		if err != nil {
+			log.Fatalf("collectivebench: %v", err)
+		}
+		title := fmt.Sprintf("Collectives on %s: measured vs predicted", tc.prof.Name)
+		fmt.Print(experiments.CollectiveTable(title, points).String())
+		fmt.Println()
+	}
+
+	sync, err := experiments.AdaptedSyncSeries(platform.Xeon8x2x4(), opts.MaxProcsXeon, opts)
+	if err != nil {
+		log.Fatalf("collectivebench: %v", err)
+	}
+	fmt.Print(experiments.AdaptedSyncTable("Adapted count-exchange schedule vs dissemination default (8x2x4)", sync).String())
+}

@@ -8,8 +8,8 @@
 // stands in for the thesis' physical test systems.
 //
 // The implementation lives under internal/; see README.md for the package
-// map, DESIGN.md for the system inventory and per-experiment index, and
-// EXPERIMENTS.md for the paper-vs-measured record. The root package only
+// map, including the collective-schedule engine (internal/barrier) and the
+// pluggable superstep synchronizer (internal/bsp). The root package only
 // hosts the repository-level benchmark harness (bench_test.go), which
 // regenerates every table and figure of the evaluation.
 package hbsp

@@ -1,0 +1,3 @@
+module hbsp
+
+go 1.24

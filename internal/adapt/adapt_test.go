@@ -265,3 +265,35 @@ func TestSubPatternString(t *testing.T) {
 		t.Fatal("unknown sub-pattern should render")
 	}
 }
+
+func TestGreedySyncCostsCandidatesWithCountPayload(t *testing.T) {
+	params := xeonParams(t, 32)
+	res, err := GreedySync(params, barrier.DefaultCostOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 9 {
+		t.Fatalf("expected 9 candidates, got %d", len(res.Candidates))
+	}
+	plain, err := Greedy(params, barrier.DefaultCostOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Candidates {
+		if !strings.HasSuffix(c.Name, "+counts") {
+			t.Errorf("candidate %q not costed with the count payload", c.Name)
+		}
+		if c.Pattern.Payload == nil {
+			t.Errorf("candidate %q carries no payload matrices", c.Name)
+		}
+		if c.Pattern.Verify() != nil {
+			t.Errorf("candidate %q does not verify", c.Name)
+		}
+	}
+	// Carrying the count map can only make a schedule more expensive than its
+	// signal-only counterpart.
+	if res.Best.Predicted < plain.Best.Predicted {
+		t.Fatalf("payload-carrying best (%g) cheaper than signal-only best (%g)",
+			res.Best.Predicted, plain.Best.Predicted)
+	}
+}

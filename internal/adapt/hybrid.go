@@ -3,6 +3,7 @@ package adapt
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"hbsp/internal/barrier"
 	"hbsp/internal/matrix"
@@ -234,6 +235,32 @@ type Result struct {
 // tree, dissemination}, adds the flat reference algorithms, predicts each
 // candidate's cost with the Chapter 5 model, and returns them ranked.
 func Greedy(params barrier.Params, opts barrier.CostOptions) (*Result, error) {
+	return greedyAuto(params, opts, nil)
+}
+
+// GreedyWithClustering is Greedy with an externally supplied clustering.
+func GreedyWithClustering(params barrier.Params, opts barrier.CostOptions, cl *Clustering) (*Result, error) {
+	return greedyWithClustering(params, opts, cl, nil)
+}
+
+// GreedySync performs the same model-driven construction for the BSP
+// count-exchange schedule: every candidate is costed carrying the message
+// counts it would transport at run time (barrier.WithCountPayload with
+// bytesPerEntry-sized counters), so the winner is the schedule a
+// bsp.Synchronizer should actually execute. bytesPerEntry must match the
+// wire width of the runtime that will execute the winner — the internal/bsp
+// count exchange sends 4-byte counters (bsp.NewAdaptedSynchronizer passes
+// its own wire constant); pricing a different width can rank candidates by
+// payloads the runtime never sends.
+func GreedySync(params barrier.Params, opts barrier.CostOptions, bytesPerEntry int) (*Result, error) {
+	return greedyAuto(params, opts, func(pat *barrier.Pattern) *barrier.Pattern {
+		return barrier.WithCountPayload(pat, bytesPerEntry)
+	})
+}
+
+// greedyAuto derives the clustering from the latency matrix and runs the
+// greedy construction, optionally transforming every candidate first.
+func greedyAuto(params barrier.Params, opts barrier.CostOptions, transform func(*barrier.Pattern) *barrier.Pattern) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -241,11 +268,12 @@ func Greedy(params barrier.Params, opts barrier.CostOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return GreedyWithClustering(params, opts, cl)
+	return greedyWithClustering(params, opts, cl, transform)
 }
 
-// GreedyWithClustering is Greedy with an externally supplied clustering.
-func GreedyWithClustering(params barrier.Params, opts barrier.CostOptions, cl *Clustering) (*Result, error) {
+// greedyWithClustering evaluates every candidate, optionally transformed
+// (e.g. payload-attached) before prediction.
+func greedyWithClustering(params barrier.Params, opts barrier.CostOptions, cl *Clustering, transform func(*barrier.Pattern) *barrier.Pattern) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,6 +290,19 @@ func GreedyWithClustering(params barrier.Params, opts barrier.CostOptions, cl *C
 
 	var candidates []Candidate
 	add := func(name string, pat *barrier.Pattern) error {
+		if transform != nil {
+			// Keep the caller-supplied candidate name (e.g. the "flat-"
+			// prefix) and carry over any suffix the transform appended to
+			// the pattern's own name, so rankings stay comparable with the
+			// untransformed Greedy path.
+			base := pat.Name
+			pat = transform(pat)
+			if suffix, ok := strings.CutPrefix(pat.Name, base); ok {
+				name += suffix
+			} else {
+				name = pat.Name
+			}
+		}
 		pred, err := barrier.Predict(pat, params, opts)
 		if err != nil {
 			return err

@@ -41,7 +41,7 @@ func (pr Params) Validate() error {
 func (pr Params) Procs() int { return pr.Latency.Rows() }
 
 // CostOptions tune the cost model; the defaults reproduce the thesis' model,
-// and the switches exist for the ablation benchmarks called out in DESIGN.md.
+// and the switches exist for the ablation benchmarks in bench_test.go.
 type CostOptions struct {
 	// AckFactor multiplies the summed latency term; the thesis uses 2 to
 	// account for the acknowledgement of each signal on symmetric links
@@ -61,6 +61,22 @@ func DefaultCostOptions() CostOptions {
 	return CostOptions{AckFactor: 2, PostedReceive: true, MinInvocation: true}
 }
 
+// CostOptionsFor returns the cost options matching a collective's data flow.
+// The thesis' factor-2 acknowledgement term models senders that cannot
+// proceed before their signal is acknowledged, which holds whenever a sender
+// signals again in a later stage: every flooding schedule, and also the
+// binomial broadcast, whose interior nodes (the root above all) keep sending
+// in consecutive stages. Only in the reduction tree is every sender finished
+// after its single signal, so only there does the acknowledgement leave the
+// critical path and the factor drop to 1.
+func CostOptionsFor(sem Semantics) CostOptions {
+	opts := DefaultCostOptions()
+	if sem == SemReduce {
+		opts.AckFactor = 1
+	}
+	return opts
+}
+
 // Prediction is the result of evaluating the cost model on a pattern.
 type Prediction struct {
 	// Total is the predicted worst-case completion time of the barrier: the
@@ -77,7 +93,8 @@ type Prediction struct {
 // Predict evaluates the barrier cost model: per-stage, per-process costs from
 // Eq. 5.4 combined by a critical-path search over the layered dependency
 // graph (the recursive search of Fig. 6.2, implemented as a longest-path
-// dynamic program over the stages).
+// dynamic program over the stages). All stage traversals run on the sparse
+// per-row adjacency, so the evaluation is O(signals) per stage.
 func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error) {
 	if err := pat.Validate(); err != nil {
 		return nil, err
@@ -93,12 +110,13 @@ func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error)
 	}
 	p := pat.Procs
 	nStages := pat.NumStages()
+	adj := pat.Adjacency()
 
 	stageCosts := make([][]float64, nStages)
 	for s := 0; s < nStages; s++ {
 		stageCosts[s] = make([]float64, p)
 		for i := 0; i < p; i++ {
-			stageCosts[s][i] = stageCost(pat, params, opts, s, i)
+			stageCosts[s][i] = stageCost(pat, adj, params, opts, s, i)
 		}
 	}
 
@@ -113,7 +131,7 @@ func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error)
 		for j := 0; j < p; j++ {
 			best := completion[j]
 			if s > 0 {
-				for _, i := range pat.Stages[s-1].ColTrue(j) {
+				for _, i := range adj[s-1].In[j] {
 					if completion[i] > best {
 						best = completion[i]
 					}
@@ -126,9 +144,8 @@ func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error)
 	// The receivers of the final stage inherit the longest path into them;
 	// this does not change the maximum but gives meaningful per-process
 	// values for hierarchical (tree-like) patterns.
-	last := pat.Stages[nStages-1]
 	for j := 0; j < p; j++ {
-		for _, i := range last.ColTrue(j) {
+		for _, i := range adj[nStages-1].In[j] {
 			if completion[i] > completion[j] {
 				completion[j] = completion[i]
 			}
@@ -151,16 +168,13 @@ func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error)
 // where O'_ij is O_jj instead of O_ij when j is known to have posted its
 // receive (it signalled i earlier and has been idle for at least one stage),
 // and the max term is initialised to the invocation overhead O_ii.
-func stageCost(pat *Pattern, params Params, opts CostOptions, s, i int) float64 {
-	st := pat.Stages[s]
-	dests := st.RowTrue(i)
-
+func stageCost(pat *Pattern, adj []StageAdj, params Params, opts CostOptions, s, i int) float64 {
 	sum := 0.0
 	maxOverhead := 0.0
 	if opts.MinInvocation {
 		maxOverhead = params.Overhead.At(i, i)
 	}
-	for _, j := range dests {
+	for _, j := range adj[s].Out[i] {
 		term := params.Latency.At(i, j)
 		if payload := pat.PayloadAt(s, i, j); payload > 0 && params.Beta != nil {
 			term += payload * params.Beta.At(i, j)
@@ -168,7 +182,7 @@ func stageCost(pat *Pattern, params Params, opts CostOptions, s, i int) float64 
 		sum += term
 
 		o := params.Overhead.At(i, j)
-		if opts.PostedReceive && receiverPosted(pat, s, i, j) {
+		if opts.PostedReceive && receiverPosted(adj, s, i, j) {
 			o = params.Overhead.At(j, j)
 		}
 		if o > maxOverhead {
@@ -181,9 +195,9 @@ func stageCost(pat *Pattern, params Params, opts CostOptions, s, i int) float64 
 // receiverPosted reports whether, for the signal i→j in stage s, process j is
 // known to already be waiting: j's most recent send activity was a signal to
 // i, and j has been idle for at least one full stage since (Section 5.6.5).
-func receiverPosted(pat *Pattern, s, i, j int) bool {
+func receiverPosted(adj []StageAdj, s, i, j int) bool {
 	for prev := s - 1; prev >= 0; prev-- {
-		dests := pat.Stages[prev].RowTrue(j)
+		dests := adj[prev].Out[j]
 		if len(dests) == 0 {
 			continue // idle stage
 		}

@@ -1,16 +1,20 @@
-// Package barrier implements the thesis' matrix representation of barrier
-// synchronization algorithms (Chapter 5) and everything built on it: pattern
-// generators for the linear, tree and dissemination barriers, the knowledge
-// recursion that checks a pattern's correctness (Eqs. 5.1/5.2), a general
-// pattern simulator with MPI_Startall/MPI_Waitall semantics (Fig. 5.5), and
-// the latency-driven cost model with its critical-path search and the
-// payload extension of Chapter 6.
+// Package barrier implements the thesis' matrix representation of
+// synchronization and collective algorithms (Chapter 5) and everything built
+// on it: schedule generators for the linear, tree and dissemination barriers
+// and for the payload-carrying broadcast, reduce, allreduce, allgather and
+// total-exchange collectives, the knowledge recursion that checks a
+// schedule's correctness per collective semantics (generalizing Eqs. 5.1/5.2),
+// a general pattern simulator with MPI_Startall/MPI_Waitall semantics
+// (Fig. 5.5), and the latency-driven cost model with its critical-path search
+// and the payload extension of Chapter 6. Verify and Predict evaluate the
+// sparse per-row adjacency of the stages (see StageAdj); the literal dense
+// formulation survives as VerifyDense for reference and benchmarking.
 package barrier
 
 import (
 	"errors"
 	"fmt"
-	"math"
+	"sync"
 
 	"hbsp/internal/matrix"
 )
@@ -25,12 +29,26 @@ type Pattern struct {
 	Name string
 	// Procs is the number of participating processes.
 	Procs int
-	// Stages holds one incidence matrix per stage.
+	// Stages holds one incidence matrix per stage. Stage edits must finish
+	// before the first Verify/Predict/Adjacency call: those cache the sparse
+	// adjacency permanently (see Adjacency).
 	Stages []*matrix.Bool
 	// Payload optionally holds per-stage, per-edge payload sizes in bytes.
 	// When nil, all signals carry no payload. When non-nil it must have the
 	// same length as Stages.
 	Payload []*matrix.Dense
+	// Semantics declares the collective postcondition Verify checks. The zero
+	// value is SemBarrier, so plain barrier patterns need not set it.
+	Semantics Semantics
+	// Root is the root process of rooted collectives (broadcast, reduce);
+	// barrier-like semantics ignore it.
+	Root int
+
+	// adj caches the sparse per-stage adjacency built by Adjacency, guarded
+	// by adjOnce so concurrent Verify/Predict calls on a shared pattern are
+	// race-free.
+	adjOnce sync.Once
+	adj     []StageAdj
 }
 
 // ErrInvalidPattern is returned for structurally broken patterns.
@@ -47,6 +65,9 @@ func (pat *Pattern) Validate() error {
 	}
 	if pat.Payload != nil && len(pat.Payload) != len(pat.Stages) {
 		return fmt.Errorf("%w: %d payload matrices for %d stages", ErrInvalidPattern, len(pat.Payload), len(pat.Stages))
+	}
+	if (pat.Semantics == SemBroadcast || pat.Semantics == SemReduce) && (pat.Root < 0 || pat.Root >= pat.Procs) {
+		return fmt.Errorf("%w: root %d out of range for %d processes", ErrInvalidPattern, pat.Root, pat.Procs)
 	}
 	for s, st := range pat.Stages {
 		if st == nil || st.Rows() != pat.Procs || st.Cols() != pat.Procs {
@@ -88,16 +109,30 @@ func (pat *Pattern) PayloadAt(s, i, j int) float64 {
 	return pat.Payload[s].At(i, j)
 }
 
-// Verify runs the knowledge recursion of Eqs. 5.1/5.2 and reports whether
-// every process can prove that every other process has arrived when the last
-// stage completes:
+// Verify runs the knowledge recursion of Eqs. 5.1/5.2, generalized to the
+// pattern's collective semantics, and reports whether the schedule provably
+// establishes its postcondition when the last stage completes:
 //
 //	K_0 = I + S_0
 //	K_i = K_{i−1} + K_{i−1}·S_i
 //
-// where the final K must contain no zero element. This is the thesis' debug
-// aid for automatically generated patterns.
+// For a barrier (and the barrier-like allreduce/allgather/total-exchange
+// flooding semantics) the final K must contain no zero element; a broadcast
+// only requires the root's row to be full, a reduction only the root's
+// column. This is the thesis' debug aid for automatically generated patterns,
+// evaluated on the sparse stage adjacency in O(signals·P/64) per stage.
 func (pat *Pattern) Verify() error {
+	if err := pat.Validate(); err != nil {
+		return err
+	}
+	r := pat.reach()
+	return pat.checkReach(r.has)
+}
+
+// VerifyDense is Verify evaluated with the literal dense matrix products of
+// Eqs. 5.1/5.2, O(P³) per stage. It exists as the reference implementation
+// the sparse path is tested and benchmarked against.
+func (pat *Pattern) VerifyDense() error {
 	if err := pat.Validate(); err != nil {
 		return err
 	}
@@ -105,7 +140,7 @@ func (pat *Pattern) Verify() error {
 	// K(i, j) counts the signals process j has received that prove process
 	// i's arrival. Knowledge starts as the identity.
 	k := matrix.Identity(p)
-	for s, st := range pat.Stages {
+	for _, st := range pat.Stages {
 		sd := st.ToDense()
 		spread, err := k.Mul(sd)
 		if err != nil {
@@ -115,16 +150,8 @@ func (pat *Pattern) Verify() error {
 		if err != nil {
 			return err
 		}
-		_ = s
 	}
-	for i := 0; i < p; i++ {
-		for j := 0; j < p; j++ {
-			if k.At(i, j) == 0 {
-				return fmt.Errorf("%w: process %d cannot prove the arrival of process %d", ErrInvalidPattern, j, i)
-			}
-		}
-	}
-	return nil
+	return pat.checkReach(func(j, i int) bool { return k.At(i, j) != 0 })
 }
 
 // Linear returns the 2-stage linear (central counter) barrier: every process
@@ -239,28 +266,17 @@ func Ring(p int) (*Pattern, error) {
 	return &Pattern{Name: "ring", Procs: p, Stages: stages}, nil
 }
 
-// WithSyncPayload returns a copy of a dissemination-style pattern carrying
-// the message-count payload of the thesis' BSP synchronization (Section 6.5):
-// the payload doubles each stage, starting from one P-entry row of 32-bit
-// counters, so that after ⌈log2 P⌉ stages every process holds the full P×P
-// message-count map.
+// WithSyncPayload returns a deep copy of a pattern carrying the message-count
+// payload of the thesis' BSP synchronization (Section 6.5): every signal
+// transports the P-entry count rows its sender has accumulated so far, so on
+// the dissemination pattern the payload doubles each stage until every
+// process holds the full P×P message-count map. The copy shares no stage or
+// payload storage with the input.
 func WithSyncPayload(pat *Pattern, bytesPerEntry int) *Pattern {
 	if bytesPerEntry <= 0 {
 		bytesPerEntry = 4
 	}
-	out := &Pattern{Name: pat.Name + "+payload", Procs: pat.Procs, Stages: pat.Stages}
-	out.Payload = make([]*matrix.Dense, len(pat.Stages))
-	rows := 1.0
-	for s, st := range pat.Stages {
-		pm := matrix.NewDense(pat.Procs, pat.Procs)
-		size := math.Min(rows, float64(pat.Procs)) * float64(pat.Procs) * float64(bytesPerEntry)
-		for i := 0; i < pat.Procs; i++ {
-			for _, j := range st.RowTrue(i) {
-				pm.Set(i, j, size)
-			}
-		}
-		out.Payload[s] = pm
-		rows *= 2
-	}
+	out := withAccumulatingPayload(pat, float64(pat.Procs*bytesPerEntry))
+	out.Name = pat.Name + "+payload"
 	return out
 }

@@ -1,0 +1,133 @@
+package barrier
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// StageAdj is the sparse per-row adjacency of one stage: Out[i] lists the
+// destinations process i signals, In[j] lists the sources signalling j. It is
+// the representation Verify and Predict evaluate, so both run in O(signals)
+// per stage instead of the O(P³) dense matrix products of the literal
+// Eq. 5.1/5.2 formulation (kept as VerifyDense for reference and ablation).
+type StageAdj struct {
+	Out [][]int
+	In  [][]int
+}
+
+// Adjacency returns the sparse adjacency of every stage, building and caching
+// it on first use. The build is guarded by a sync.Once, so concurrent callers
+// (e.g. simulated processes sharing one verified schedule) are race-free. The
+// cache assumes the Stages slice is not mutated after the first call; pattern
+// constructors in this package and in internal/adapt finish all stage edits
+// before the pattern escapes.
+func (pat *Pattern) Adjacency() []StageAdj {
+	pat.adjOnce.Do(func() {
+		p := pat.Procs
+		adj := make([]StageAdj, len(pat.Stages))
+		for s, st := range pat.Stages {
+			out := make([][]int, p)
+			in := make([][]int, p)
+			for i := 0; i < p; i++ {
+				for _, j := range st.RowTrue(i) {
+					out[i] = append(out[i], j)
+					in[j] = append(in[j], i)
+				}
+			}
+			adj[s] = StageAdj{Out: out, In: in}
+		}
+		pat.adj = adj
+	})
+	return pat.adj
+}
+
+// reachSets is a P×P bit matrix: row j holds the set of processes whose
+// contribution (arrival proof, broadcast message, reduction operand, ...)
+// process j can account for. It is the sparse equivalent of the knowledge
+// matrix K of Eqs. 5.1/5.2, tracking reachability instead of signal counts.
+type reachSets struct {
+	p, words int
+	bits     []uint64
+}
+
+func newReachSets(p int) *reachSets {
+	words := (p + 63) / 64
+	r := &reachSets{p: p, words: words, bits: make([]uint64, p*words)}
+	for j := 0; j < p; j++ {
+		r.bits[j*words+j/64] |= 1 << (uint(j) % 64)
+	}
+	return r
+}
+
+func (r *reachSets) row(j int) []uint64 { return r.bits[j*r.words : (j+1)*r.words] }
+
+func (r *reachSets) has(j, i int) bool {
+	return r.bits[j*r.words+i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (r *reachSets) count(j int) int {
+	n := 0
+	for _, w := range r.row(j) {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// step applies one stage: every receiver absorbs the pre-stage set of each of
+// its senders (the K_{i-1}·S_i term evaluated edge by edge). prev is scratch
+// storage of the same size that receives the pre-stage snapshot.
+func (r *reachSets) step(st StageAdj, prev []uint64) {
+	copy(prev, r.bits)
+	for i, dests := range st.Out {
+		if len(dests) == 0 {
+			continue
+		}
+		src := prev[i*r.words : (i+1)*r.words]
+		for _, j := range dests {
+			dst := r.row(j)
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+	}
+}
+
+// reach runs the knowledge recursion over all stages and returns the final
+// reachability sets.
+func (pat *Pattern) reach() *reachSets {
+	r := newReachSets(pat.Procs)
+	prev := make([]uint64, len(r.bits))
+	for _, st := range pat.Adjacency() {
+		r.step(st, prev)
+	}
+	return r
+}
+
+// checkReach verifies the semantics' postcondition against final reach sets:
+// every pair must be covered for the barrier-like collectives, only the
+// root's row for a broadcast, only the root's column for a reduction. Rooted
+// semantics restrict the scan accordingly, so the check never dominates the
+// O(signals) reach recursion at large P.
+func (pat *Pattern) checkReach(knows func(j, i int) bool) error {
+	p := pat.Procs
+	iLo, iHi, jLo, jHi := 0, p, 0, p
+	switch pat.Semantics {
+	case SemBroadcast:
+		iLo, iHi = pat.Root, pat.Root+1
+	case SemReduce:
+		jLo, jHi = pat.Root, pat.Root+1
+	}
+	for i := iLo; i < iHi; i++ {
+		for j := jLo; j < jHi; j++ {
+			if knows(j, i) {
+				continue
+			}
+			if pat.Semantics == SemBarrier {
+				return fmt.Errorf("%w: process %d cannot prove the arrival of process %d", ErrInvalidPattern, j, i)
+			}
+			return fmt.Errorf("%w: %s schedule never delivers the contribution of process %d to process %d",
+				ErrInvalidPattern, pat.Semantics, i, j)
+		}
+	}
+	return nil
+}

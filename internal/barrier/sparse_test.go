@@ -1,0 +1,149 @@
+package barrier
+
+import (
+	"testing"
+	"time"
+
+	"hbsp/internal/matrix"
+)
+
+func TestAdjacencyMatchesStageMatrices(t *testing.T) {
+	pat, err := Tree(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := pat.Adjacency()
+	if len(adj) != pat.NumStages() {
+		t.Fatalf("adjacency has %d stages, pattern %d", len(adj), pat.NumStages())
+	}
+	for s, st := range pat.Stages {
+		for i := 0; i < pat.Procs; i++ {
+			want := st.RowTrue(i)
+			got := adj[s].Out[i]
+			if len(want) != len(got) {
+				t.Fatalf("stage %d row %d: out %v, want %v", s, i, got, want)
+			}
+			for k := range want {
+				if want[k] != got[k] {
+					t.Fatalf("stage %d row %d: out %v, want %v", s, i, got, want)
+				}
+			}
+			wantIn := st.ColTrue(i)
+			gotIn := adj[s].In[i]
+			if len(wantIn) != len(gotIn) {
+				t.Fatalf("stage %d col %d: in %v, want %v", s, i, gotIn, wantIn)
+			}
+		}
+	}
+	// The cache is reused on the second call.
+	if &pat.Adjacency()[0] != &adj[0] {
+		t.Fatal("adjacency not cached")
+	}
+}
+
+func TestReachSetsBasics(t *testing.T) {
+	r := newReachSets(70) // spans two uint64 words
+	if !r.has(69, 69) || r.has(69, 0) {
+		t.Fatal("reach sets not initialized to the identity")
+	}
+	if r.count(69) != 1 {
+		t.Fatalf("count = %d", r.count(69))
+	}
+}
+
+func TestVerifyDenseMatchesVerifyOnGenerators(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 16, 33} {
+		for _, build := range []func(int) (*Pattern, error){
+			func(p int) (*Pattern, error) { return Linear(p, 0) },
+			Dissemination,
+			Tree,
+			Ring,
+			FullyConnected,
+		} {
+			pat, err := build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, d := pat.Verify(), pat.VerifyDense(); (s == nil) != (d == nil) {
+				t.Fatalf("%s(%d): sparse %v, dense %v", pat.Name, p, s, d)
+			}
+		}
+	}
+}
+
+// The acceptance check for the sparse representation: at P = 1024 the sparse
+// knowledge recursion must beat the dense O(P³) matrix products by a wide
+// margin. A single run of each suffices — the gap is three orders of
+// magnitude, so the comparison is robust against timer noise.
+func TestSparseVerifyFasterThanDenseAtP1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense verification at P=1024 takes seconds")
+	}
+	pat, err := Dissemination(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := pat.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	sparse := time.Since(start)
+
+	start = time.Now()
+	if err := pat.VerifyDense(); err != nil {
+		t.Fatal(err)
+	}
+	dense := time.Since(start)
+
+	t.Logf("P=1024 dissemination: sparse Verify %v, dense Verify %v", sparse, dense)
+	if sparse >= dense {
+		t.Fatalf("sparse Verify (%v) not faster than dense (%v) at P=1024", sparse, dense)
+	}
+}
+
+func benchPattern(b *testing.B, p int) *Pattern {
+	b.Helper()
+	pat, err := Dissemination(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pat
+}
+
+func BenchmarkVerifySparseP1024(b *testing.B) {
+	pat := benchPattern(b, 1024)
+	pat.Adjacency() // build the cache outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pat.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyDenseP1024(b *testing.B) {
+	pat := benchPattern(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pat.VerifyDense(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictSparseP1024(b *testing.B) {
+	pat := benchPattern(b, 1024)
+	p := pat.Procs
+	lat := matrix.NewDense(p, p)
+	ovh := matrix.NewDense(p, p)
+	lat.Fill(28e-6)
+	ovh.Fill(1.2e-6)
+	params := Params{Latency: lat, Overhead: ovh}
+	pat.Adjacency()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Predict(pat, params, DefaultCostOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -60,6 +60,26 @@ func (r *PairwiseResult) Params() barrier.Params {
 	return barrier.Params{Latency: r.Latency, Overhead: r.Overhead, Beta: r.Beta}
 }
 
+// ModelParams benchmarks the machine with the pairwise procedure and returns
+// the cost-model parameter matrices, capping the per-point sample count at
+// reps (with a floor of two) so reduced experiment sweeps stay fast. It is
+// the single entry point the experiment and adaptation layers use to obtain
+// barrier.Params for a machine.
+func ModelParams(m simnet.Machine, reps int) (barrier.Params, error) {
+	opts := DefaultPairwiseOptions()
+	if reps < opts.Samples {
+		if reps < 2 {
+			reps = 2
+		}
+		opts.Samples = reps
+	}
+	res, err := MeasurePairwise(m, opts)
+	if err != nil {
+		return barrier.Params{}, err
+	}
+	return res.Params(), nil
+}
+
 const (
 	tagPing = 1 << 16
 	tagPong = 1<<16 + 1

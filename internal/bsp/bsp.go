@@ -44,16 +44,16 @@ const (
 // operation (Section 6.2 lists its six integer fields).
 const headerBytes = 6 * 4
 
+// countEntryBytes is the wire width of one message counter in the count
+// total exchange. Both exchange implementations and the model-driven
+// schedule selection (NewAdaptedSynchronizer) must agree on it, or the cost
+// model prices payloads the runtime never sends.
+const countEntryBytes = 4
+
 // Run executes the SPMD program on every rank of the machine and returns the
 // simulation result (per-rank virtual completion times).
 func Run(m Machine, program Program, opts ...simnet.Options) (*simnet.Result, error) {
-	if m == nil {
-		return nil, errors.New("bsp: nil machine")
-	}
-	return simnet.Run(m, func(p *simnet.Proc) error {
-		ctx := newCtx(p, m)
-		return program(ctx)
-	}, opts...)
+	return RunWith(m, nil, program, opts...)
 }
 
 // putMsg is a buffered one-sided write in flight.
@@ -90,6 +90,8 @@ type oneSided struct {
 type Ctx struct {
 	proc    *simnet.Proc
 	machine Machine
+	// sync performs the count total exchange that ends every superstep.
+	sync Synchronizer
 
 	// Registered memory areas, keyed by registration name.
 	regs        map[string][]float64
@@ -124,6 +126,7 @@ func newCtx(p *simnet.Proc, m Machine) *Ctx {
 	return &Ctx{
 		proc:      p,
 		machine:   m,
+		sync:      DefaultSynchronizer(),
 		regs:      map[string][]float64{},
 		outCounts: make([]int, p.Size()),
 	}

@@ -5,14 +5,15 @@ import (
 )
 
 // Sync ends the current superstep (bsp_sync). It implements the thesis'
-// design: a dissemination-pattern total exchange of per-pair message counts
-// (Section 6.4) establishes how many eagerly injected one-sided messages each
-// process must drain; the messages are then drained (benefitting from any
-// overlap already achieved in the background), get requests are served
-// against the pre-put state of the registered areas, buffered puts are
-// applied, pending registrations take effect, and the BSMP queue is swapped.
+// design: a total exchange of per-pair message counts (Section 6.4) — run by
+// the configured Synchronizer, the dissemination pattern by default —
+// establishes how many eagerly injected one-sided messages each process must
+// drain; the messages are then drained (benefitting from any overlap already
+// achieved in the background), get requests are served against the pre-put
+// state of the registered areas, buffered puts are applied, pending
+// registrations take effect, and the BSMP queue is swapped.
 func (c *Ctx) Sync() error {
-	counts, err := c.exchangeCounts()
+	counts, err := c.sync.ExchangeCounts(c)
 	if err != nil {
 		return err
 	}
@@ -122,7 +123,10 @@ func (c *Ctx) applyPut(put *putMsg) error {
 // exchangeCounts performs the dissemination total exchange of the per-pair
 // one-sided message counts: after ⌈log2 P⌉ stages with doubling payloads,
 // every process holds the full P×P count map (Section 6.5). It returns the
-// map indexed [source][destination].
+// map indexed [source][destination]. The wire protocol (tagCountBase+stage
+// tags, map[int][]int payloads, headerBytes+rows*P*4 sizing) is shared with
+// scheduleSync.ExchangeCounts in synchronizer.go — change them together;
+// TestScheduleSynchronizerMatchesDefaultBitForBit guards the agreement.
 func (c *Ctx) exchangeCounts() ([][]int, error) {
 	p := c.NProcs()
 	rank := c.Pid()
@@ -138,7 +142,7 @@ func (c *Ctx) exchangeCounts() ([][]int, error) {
 		for r, row := range known {
 			payload[r] = row
 		}
-		size := headerBytes + len(payload)*p*4
+		size := headerBytes + len(payload)*p*countEntryBytes
 
 		rreq := c.proc.Irecv(src, tag)
 		sreq := c.proc.Isend(dst, tag, size, payload)

@@ -1,0 +1,161 @@
+package bsp
+
+import (
+	"errors"
+	"fmt"
+
+	"hbsp/internal/adapt"
+	"hbsp/internal/barrier"
+	"hbsp/internal/simnet"
+)
+
+// Synchronizer drives the total exchange of per-pair message counts that ends
+// a superstep (Section 6.4). The default is the hand-rolled dissemination
+// exchange; NewScheduleSynchronizer executes any verified collective schedule
+// instead, which is how model-selected hybrid patterns from internal/adapt
+// reach the runtime.
+type Synchronizer interface {
+	// Name identifies the synchronizer for reporting.
+	Name() string
+	// ExchangeCounts returns the full P×P one-sided message-count map,
+	// indexed [source][destination], as established on the calling process.
+	ExchangeCounts(c *Ctx) ([][]int, error)
+}
+
+// disseminationSync is the default synchronizer: the ⌈log2 P⌉-stage
+// dissemination exchange with doubling payloads of Section 6.5.
+type disseminationSync struct{}
+
+func (disseminationSync) Name() string                           { return "dissemination" }
+func (disseminationSync) ExchangeCounts(c *Ctx) ([][]int, error) { return c.exchangeCounts() }
+
+// DefaultSynchronizer returns the dissemination synchronizer the runtime uses
+// when none is configured.
+func DefaultSynchronizer() Synchronizer { return disseminationSync{} }
+
+// scheduleSync executes an arbitrary verified schedule: at every stage each
+// process receives from its in-edges and forwards everything it knows along
+// its out-edges, so after the last stage the count map is complete on every
+// process whenever the schedule passes the all-pairs knowledge recursion.
+// It speaks the same wire protocol as Ctx.exchangeCounts in sync.go
+// (tagCountBase+stage tags, map[int][]int payloads, headerBytes+rows*P*4
+// sizing) — change them together.
+type scheduleSync struct {
+	pat *barrier.Pattern
+}
+
+// NewScheduleSynchronizer wraps a collective schedule as a count-exchange
+// synchronizer. The pattern must pass the all-pairs knowledge recursion
+// (barrier/allgather-style semantics): rooted broadcast or reduce schedules
+// cannot deliver the full count map and are rejected.
+func NewScheduleSynchronizer(pat *barrier.Pattern) (Synchronizer, error) {
+	if pat == nil {
+		return nil, errors.New("bsp: nil schedule")
+	}
+	switch pat.Semantics {
+	case barrier.SemBroadcast, barrier.SemReduce:
+		return nil, fmt.Errorf("bsp: %s schedule cannot implement the count total exchange", pat.Semantics)
+	}
+	if err := pat.Verify(); err != nil {
+		return nil, fmt.Errorf("bsp: schedule rejected: %w", err)
+	}
+	// Warm the lazy adjacency cache now, while the pattern is still owned by
+	// a single goroutine: ExchangeCounts reads it concurrently from every
+	// simulated process.
+	pat.Adjacency()
+	return &scheduleSync{pat: pat}, nil
+}
+
+func (s *scheduleSync) Name() string { return s.pat.Name }
+
+func (s *scheduleSync) ExchangeCounts(c *Ctx) ([][]int, error) {
+	p := c.NProcs()
+	rank := c.Pid()
+	if s.pat.Procs != p {
+		return nil, fmt.Errorf("bsp: schedule for %d processes on a %d-process run", s.pat.Procs, p)
+	}
+	known := map[int][]int{rank: append([]int(nil), c.outCounts...)}
+	for stage, st := range s.pat.Adjacency() {
+		ins := st.In[rank]
+		outs := st.Out[rank]
+		if len(ins) == 0 && len(outs) == 0 {
+			continue
+		}
+		tag := tagCountBase + stage
+
+		recvs := make([]*simnet.Request, len(ins))
+		for k, src := range ins {
+			recvs[k] = c.proc.Irecv(src, tag)
+		}
+		// Snapshot of everything known so far travels along every out-edge.
+		var sends []*simnet.Request
+		if len(outs) > 0 {
+			payload := make(map[int][]int, len(known))
+			for r, row := range known {
+				payload[r] = row
+			}
+			size := headerBytes + len(payload)*p*countEntryBytes
+			for _, dst := range outs {
+				sends = append(sends, c.proc.Isend(dst, tag, size, payload))
+			}
+		}
+		for k, rreq := range recvs {
+			in := c.proc.Wait(rreq)
+			got, ok := in.(map[int][]int)
+			if !ok {
+				return nil, fmt.Errorf("bsp: process %d received a malformed count map from %d", rank, ins[k])
+			}
+			for r, row := range got {
+				if _, seen := known[r]; !seen {
+					known[r] = row
+				}
+			}
+		}
+		for _, sreq := range sends {
+			c.proc.Wait(sreq)
+		}
+	}
+
+	counts := make([][]int, p)
+	for r := 0; r < p; r++ {
+		row, ok := known[r]
+		if !ok || len(row) != p {
+			return nil, fmt.Errorf("bsp: process %d is missing the count row of process %d after synchronization", rank, r)
+		}
+		counts[r] = row
+	}
+	return counts, nil
+}
+
+// NewAdaptedSynchronizer runs the model-driven construction of Chapter 7 on
+// the supplied parameter matrices, costs every candidate with the count
+// payload it would carry (WithCountPayload), and wraps the winner as a
+// runtime synchronizer. It returns the adaptation result so callers can
+// report the ranking.
+func NewAdaptedSynchronizer(params barrier.Params, opts barrier.CostOptions) (Synchronizer, *adapt.Result, error) {
+	res, err := adapt.GreedySync(params, opts, countEntryBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	sync, err := NewScheduleSynchronizer(res.Best.Pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sync, res, nil
+}
+
+// RunWith executes the SPMD program with a specific synchronizer ending every
+// superstep; Run is RunWith with the default dissemination synchronizer.
+func RunWith(m Machine, sync Synchronizer, program Program, opts ...simnet.Options) (*simnet.Result, error) {
+	if m == nil {
+		return nil, errors.New("bsp: nil machine")
+	}
+	if sync == nil {
+		sync = DefaultSynchronizer()
+	}
+	return simnet.Run(m, func(p *simnet.Proc) error {
+		ctx := newCtx(p, m)
+		ctx.sync = sync
+		return program(ctx)
+	}, opts...)
+}

@@ -1,0 +1,249 @@
+package bsp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hbsp/internal/adapt"
+	"hbsp/internal/barrier"
+	"hbsp/internal/matrix"
+	"hbsp/internal/platform"
+)
+
+// groundTruthParams builds cost-model parameters directly from the profile's
+// pairwise matrices (internal/bench runs the benchmark variant; it cannot be
+// imported here because it builds on this package).
+func groundTruthParams(m *platform.Machine) barrier.Params {
+	p := m.Procs()
+	ovh := matrix.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				ovh.Set(i, i, m.SelfOverhead(i))
+			} else {
+				ovh.Set(i, j, m.Overhead(i, j))
+			}
+		}
+	}
+	return barrier.Params{
+		Latency:  m.Profile().LatencyMatrix(m.Placement()),
+		Overhead: ovh,
+		Beta:     m.Profile().BetaMatrix(m.Placement()),
+	}
+}
+
+// exchangeProgram is a three-superstep workload touching every Sync-delivered
+// mechanism: registration, puts, gets and BSMP messages.
+func exchangeProgram(t *testing.T) Program {
+	return func(ctx *Ctx) error {
+		p := ctx.NProcs()
+		area := make([]float64, p)
+		ctx.PushReg("a", area)
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		right := (ctx.Pid() + 1) % p
+		if err := ctx.Put(right, "a", ctx.Pid(), []float64{float64(ctx.Pid() + 1)}); err != nil {
+			return err
+		}
+		if err := ctx.Send(right, ctx.Pid(), []float64{7}); err != nil {
+			return err
+		}
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		left := (ctx.Pid() - 1 + p) % p
+		if area[left] != float64(left+1) {
+			t.Errorf("process %d: put value %v, want %d", ctx.Pid(), area[left], left+1)
+		}
+		if ctx.Qsize() != 1 {
+			t.Errorf("process %d: Qsize = %d, want 1", ctx.Pid(), ctx.Qsize())
+		}
+		// Process left's slot (left-1+p)%p was written by its own left
+		// neighbour in the previous superstep, with that neighbour's pid+1.
+		slot := (left - 1 + p) % p
+		got := make([]float64, 1)
+		if err := ctx.Get(left, "a", slot, 1, got); err != nil {
+			return err
+		}
+		if err := ctx.Sync(); err != nil {
+			return err
+		}
+		if p > 1 && got[0] != float64(slot+1) {
+			t.Errorf("process %d: get value %v, want %v", ctx.Pid(), got[0], float64(slot+1))
+		}
+		return nil
+	}
+}
+
+// The schedule executor running the dissemination pattern must reproduce the
+// hand-rolled default exchange bit for bit: same per-rank virtual times, same
+// message and byte counts, on a noisy machine.
+func TestScheduleSynchronizerMatchesDefaultBitForBit(t *testing.T) {
+	for _, ranks := range []int{2, 5, 8, 16} {
+		prof := platform.Xeon8x2x4() // default run-to-run noise kept on
+		m, err := prof.Machine(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diss, err := barrier.Dissemination(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sync, err := NewScheduleSynchronizer(diss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Run(m.WithRunSeed(11), exchangeProgram(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSchedule, err := RunWith(m.WithRunSeed(11), sync, exchangeProgram(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Messages != viaSchedule.Messages || base.Bytes != viaSchedule.Bytes {
+			t.Fatalf("ranks=%d: traffic differs: %d msgs/%d B vs %d msgs/%d B",
+				ranks, base.Messages, base.Bytes, viaSchedule.Messages, viaSchedule.Bytes)
+		}
+		for r := range base.Times {
+			if base.Times[r] != viaSchedule.Times[r] {
+				t.Fatalf("ranks=%d: rank %d finishes at %v via default, %v via schedule",
+					ranks, r, base.Times[r], viaSchedule.Times[r])
+			}
+		}
+	}
+}
+
+// An adapt-constructed hierarchical hybrid barrier must run the count
+// exchange end to end on a platform preset: 32 ranks round-robin across the
+// 8 Xeon nodes cluster into 8 subsets, and the hybrid gather/release schedule
+// delivers every count row.
+func TestHybridScheduleSynchronizerEndToEnd(t *testing.T) {
+	const ranks = 32
+	prof := platform.Xeon8x2x4()
+	prof.NoiseRel = 0
+	m, err := prof.Machine(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := adapt.ClusterAuto(prof.LatencyMatrix(m.Placement()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Groups) != 8 {
+		t.Fatalf("expected 8 clusters, got %d", len(cl.Groups))
+	}
+	hybrid, err := adapt.BuildHybrid(cl, adapt.SubTree, adapt.SubDissemination)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := NewScheduleSynchronizer(hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sync.Name(), "hybrid(") {
+		t.Fatalf("synchronizer name = %q", sync.Name())
+	}
+	if _, err := RunWith(m, sync, exchangeProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full model-driven path: parameter matrices → greedy payload-aware
+// selection → schedule synchronizer → simulated BSP program.
+func TestAdaptedSynchronizerEndToEnd(t *testing.T) {
+	const ranks = 24
+	prof := platform.Xeon8x2x4()
+	prof.NoiseRel = 0
+	m, err := prof.Machine(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, res, err := NewAdaptedSynchronizer(groundTruthParams(m), barrier.DefaultCostOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(res.Best.Name, "+counts") {
+		t.Fatalf("selected candidate %q was not costed with the count payload", res.Best.Name)
+	}
+	if res.Best.Predicted <= 0 || math.IsNaN(res.Best.Predicted) {
+		t.Fatalf("implausible predicted cost %v", res.Best.Predicted)
+	}
+	resRun, err := RunWith(m, sync, exchangeProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRun.MakeSpan <= 0 {
+		t.Fatalf("no simulated time elapsed")
+	}
+}
+
+func TestScheduleSynchronizerRejectsUnsuitableSchedules(t *testing.T) {
+	if _, err := NewScheduleSynchronizer(nil); err == nil {
+		t.Error("nil schedule should be rejected")
+	}
+	bc, err := barrier.Broadcast(8, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScheduleSynchronizer(bc); err == nil {
+		t.Error("broadcast schedule should be rejected: it cannot complete a total exchange")
+	}
+	rd, err := barrier.Reduce(8, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScheduleSynchronizer(rd); err == nil {
+		t.Error("reduce schedule should be rejected")
+	}
+	// An incomplete flooding schedule fails verification.
+	broken, err := barrier.Linear(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Stages = broken.Stages[:1]
+	if _, err := NewScheduleSynchronizer(&barrier.Pattern{Name: "half", Procs: 8, Stages: broken.Stages}); err == nil {
+		t.Error("truncated schedule should fail verification")
+	}
+}
+
+func TestScheduleSynchronizerProcsMismatch(t *testing.T) {
+	prof := platform.Xeon8x2x4()
+	prof.NoiseRel = 0
+	m, err := prof.Machine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diss, err := barrier.Dissemination(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := NewScheduleSynchronizer(diss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWith(m, sync, func(ctx *Ctx) error { return ctx.Sync() }); err == nil ||
+		!strings.Contains(err.Error(), "schedule for 8 processes") {
+		t.Fatalf("expected a process-count mismatch error, got %v", err)
+	}
+}
+
+func TestRunWithNilSynchronizerUsesDefault(t *testing.T) {
+	m := testMachine(t, 4)
+	base, err := Run(m.WithRunSeed(3), exchangeProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNil, err := RunWith(m.WithRunSeed(3), nil, exchangeProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MakeSpan != viaNil.MakeSpan {
+		t.Fatalf("nil synchronizer (%g) differs from default (%g)", viaNil.MakeSpan, base.MakeSpan)
+	}
+	if DefaultSynchronizer().Name() != "dissemination" {
+		t.Fatalf("default synchronizer name = %q", DefaultSynchronizer().Name())
+	}
+}

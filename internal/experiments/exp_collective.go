@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/bsp"
+	"hbsp/internal/platform"
+)
+
+// CollectiveBlockBytes is the per-process block size the collective
+// comparison transports (128 doubles per contributing process).
+const CollectiveBlockBytes = 1024
+
+// CollectivePoint is one point of the collective-schedule comparison: the
+// simulated and model-predicted makespan of one collective at one process
+// count on one platform preset.
+type CollectivePoint struct {
+	Platform   string
+	Collective string
+	Procs      int
+	Stages     int
+	Measured   float64
+	Predicted  float64
+	// RelError is (Predicted − Measured) / Measured.
+	RelError float64
+}
+
+// CollectiveSeries measures and predicts every collective schedule generator
+// (broadcast, reduce, allreduce, allgather, total exchange) over a sweep of
+// process counts on the given platform preset. It is the collective
+// generalization of the Chapter 5 barrier figures: the same cost model that
+// prices barrier stages prices the payload-carrying stages of the
+// collectives, and the same simulator provides the measurement.
+func CollectiveSeries(prof *platform.Profile, maxProcs int, opts Options) ([]CollectivePoint, error) {
+	opts = opts.normalize()
+	var out []CollectivePoint
+	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+		m, err := prof.Machine(p)
+		if err != nil {
+			return nil, err
+		}
+		params, err := barrierParams(m, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		pats, err := barrier.Collectives(p, CollectiveBlockBytes)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"broadcast", "reduce", "allreduce", "allgather", "total-exchange"} {
+			pat, ok := pats[name]
+			if !ok {
+				return nil, fmt.Errorf("experiments: missing collective %q", name)
+			}
+			meas, err := barrier.Measure(m.WithRunSeed(int64(400+p)), pat, opts.Reps)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := barrier.Predict(pat, params, barrier.CostOptionsFor(pat.Semantics))
+			if err != nil {
+				return nil, err
+			}
+			pt := CollectivePoint{
+				Platform:   prof.Name,
+				Collective: name,
+				Procs:      p,
+				Stages:     pat.NumStages(),
+				Measured:   meas.MeanWorst,
+				Predicted:  pred.Total,
+			}
+			if pt.Measured > 0 {
+				pt.RelError = (pt.Predicted - pt.Measured) / pt.Measured
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// CollectiveTable renders collective points in the measured/predicted layout
+// of the barrier chapters.
+func CollectiveTable(title string, points []CollectivePoint) *Table {
+	t := &Table{Title: title, Columns: []string{"P", "collective", "stages", "measured [s]", "predicted [s]", "rel err"}}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.Procs), p.Collective, fmt.Sprintf("%d", p.Stages),
+			fmtSeconds(p.Measured), fmtSeconds(p.Predicted), fmtPercent(p.RelError))
+	}
+	return t
+}
+
+// AdaptedSyncPoint is one row of the synchronizer comparison: the simulated
+// makespan of a fixed BSP exchange program under the default dissemination
+// count exchange and under the model-selected hybrid schedule, together with
+// the model's prediction for the selected schedule.
+type AdaptedSyncPoint struct {
+	Procs         int
+	Best          string
+	Predicted     float64
+	Dissemination float64
+	Adapted       float64
+}
+
+// syncExchangeProgram is the fixed workload of the synchronizer comparison:
+// one registration superstep followed by a superstep of ring puts, so the
+// count exchange must deliver non-trivial counts for the drain to be correct.
+func syncExchangeProgram(ctx *bsp.Ctx) error {
+	p := ctx.NProcs()
+	area := make([]float64, p)
+	ctx.PushReg("x", area)
+	if err := ctx.Sync(); err != nil {
+		return err
+	}
+	right := (ctx.Pid() + 1) % p
+	if err := ctx.Put(right, "x", ctx.Pid(), []float64{float64(ctx.Pid() + 1)}); err != nil {
+		return err
+	}
+	if err := ctx.Sync(); err != nil {
+		return err
+	}
+	left := (ctx.Pid() - 1 + p) % p
+	if p > 1 && area[left] != float64(left+1) {
+		return fmt.Errorf("experiments: process %d drained a wrong put value %v", ctx.Pid(), area[left])
+	}
+	return nil
+}
+
+// AdaptedSyncSeries runs the end-to-end connection of Case Study I to the
+// runtime: for every process count, the pairwise benchmark feeds the greedy
+// sync-schedule selection (adapt.GreedySync via bsp.NewAdaptedSynchronizer),
+// and the same BSP program is simulated with the default dissemination
+// synchronizer and with the selected schedule executing the count exchange.
+func AdaptedSyncSeries(prof *platform.Profile, maxProcs int, opts Options) ([]AdaptedSyncPoint, error) {
+	opts = opts.normalize()
+	var out []AdaptedSyncPoint
+	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+		if p < 4 {
+			continue
+		}
+		m, err := prof.Machine(p)
+		if err != nil {
+			return nil, err
+		}
+		params, err := barrierParams(m, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		sync, res, err := bsp.NewAdaptedSynchronizer(params, barrier.DefaultCostOptions())
+		if err != nil {
+			return nil, err
+		}
+		base, err := bsp.Run(m.WithRunSeed(int64(500+p)), syncExchangeProgram)
+		if err != nil {
+			return nil, err
+		}
+		adapted, err := bsp.RunWith(m.WithRunSeed(int64(500+p)), sync, syncExchangeProgram)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AdaptedSyncPoint{
+			Procs:         p,
+			Best:          res.Best.Name,
+			Predicted:     res.Best.Predicted,
+			Dissemination: base.MakeSpan,
+			Adapted:       adapted.MakeSpan,
+		})
+	}
+	return out, nil
+}
+
+// AdaptedSyncTable renders the synchronizer comparison.
+func AdaptedSyncTable(title string, points []AdaptedSyncPoint) *Table {
+	t := &Table{Title: title, Columns: []string{"P", "selected schedule", "predicted sync [s]", "dissemination run [s]", "adapted run [s]"}}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.Procs), p.Best, fmtSeconds(p.Predicted),
+			fmtSeconds(p.Dissemination), fmtSeconds(p.Adapted))
+	}
+	return t
+}

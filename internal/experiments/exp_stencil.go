@@ -170,10 +170,14 @@ type PredictionPoint struct {
 // synchronization term (B5/B6).
 func Fig8_10Series(prof *platform.Profile, opts Options) ([]PredictionPoint, error) {
 	opts = opts.normalize()
-	problems := map[string]int{"large": opts.StencilLargeN, "small": opts.StencilSmallN}
+	problems := []struct {
+		label string
+		n     int
+	}{{"large", opts.StencilLargeN}, {"small", opts.StencilSmallN}}
 	variants := []string{"overlap", "no-overlap", "no-sync"}
 	var out []PredictionPoint
-	for label, n := range problems {
+	for _, prob := range problems {
+		label, n := prob.label, prob.n
 		cfg := stencil.Config{N: n, Iterations: opts.StencilIterations, C: 0.2, Synthetic: opts.Synthetic}
 		for _, p := range []int{4, 16, opts.MaxProcsXeon} {
 			if p > prof.Topology.TotalCores() {

@@ -1,6 +1,6 @@
 // Package experiments regenerates every table and figure of the thesis'
 // evaluation chapters on the simulated platforms. Each exported function
-// corresponds to one experiment of the per-experiment index in DESIGN.md and
+// corresponds to one experiment of the thesis evaluation and
 // returns the rows/series the original figure or table reports; cmd/* and the
 // repository's benchmark harness are thin wrappers around these functions.
 package experiments

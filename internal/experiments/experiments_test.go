@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"hbsp/internal/barrier"
+	"hbsp/internal/bsp"
 	"hbsp/internal/platform"
 )
 
@@ -280,5 +282,99 @@ func TestTable8AndFig8Series(t *testing.T) {
 	// slower than with none.
 	if sweep[len(sweep)-1].Measured > sweep[0].Measured*1.1 {
 		t.Errorf("full overlap window (%g) slower than none (%g)", sweep[len(sweep)-1].Measured, sweep[0].Measured)
+	}
+}
+
+func TestCollectiveSeries(t *testing.T) {
+	prof := platform.Xeon8x2x4()
+	opts := tinyOptions()
+	points, err := CollectiveSeries(prof, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCollective := map[string]int{}
+	for _, p := range points {
+		perCollective[p.Collective]++
+		if p.Measured <= 0 || p.Predicted <= 0 {
+			t.Fatalf("bad collective point %+v", p)
+		}
+		if p.Stages < 1 {
+			t.Fatalf("collective %q reports %d stages", p.Collective, p.Stages)
+		}
+		// Same control band the sync-payload experiment tolerates.
+		if p.RelError > 3 || p.RelError < -0.95 {
+			t.Fatalf("collective prediction out of control: %+v", p)
+		}
+	}
+	for _, name := range []string{"broadcast", "reduce", "allreduce", "allgather", "total-exchange"} {
+		if perCollective[name] == 0 {
+			t.Errorf("no points for collective %q", name)
+		}
+	}
+	if s := CollectiveTable("Collectives", points).String(); !strings.Contains(s, "total-exchange") {
+		t.Fatal("collective table missing rows")
+	}
+}
+
+func TestAdaptedSyncSeries(t *testing.T) {
+	prof := platform.Xeon8x2x4()
+	opts := tinyOptions()
+	points, err := AdaptedSyncSeries(prof, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no adapted-sync points")
+	}
+	for _, p := range points {
+		if p.Best == "" || p.Predicted <= 0 || p.Dissemination <= 0 || p.Adapted <= 0 {
+			t.Fatalf("bad adapted-sync point %+v", p)
+		}
+		// The model-selected schedule must not make the runtime drastically
+		// slower than the dissemination default it was chosen to match/beat.
+		if p.Adapted > 2*p.Dissemination {
+			t.Errorf("adapted synchronizer (%g) much slower than default (%g) at P=%d",
+				p.Adapted, p.Dissemination, p.Procs)
+		}
+	}
+	if s := AdaptedSyncTable("Adapted", points).String(); !strings.Contains(s, "dissemination") {
+		t.Fatal("adapted-sync table missing rows")
+	}
+}
+
+// At 60 processes on the Xeon preset (the thesis' Table 7.1 configuration,
+// with uneven cluster sizes) the payload-aware greedy selection must pick a
+// hierarchical hybrid schedule, and executing it through the Synchronizer
+// must beat the dissemination default it replaces.
+func TestAdaptedSynchronizerHybridWinsAt60(t *testing.T) {
+	prof := platform.Xeon8x2x4()
+	prof.NoiseRel = 0
+	m, err := prof.Machine(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := barrierParams(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, res, err := bsp.NewAdaptedSynchronizer(params, barrier.DefaultCostOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Best.Name, "hybrid(") {
+		t.Fatalf("expected a hybrid schedule at P=60, selection picked %q", res.Best.Name)
+	}
+	program := func(ctx *bsp.Ctx) error { return ctx.Sync() }
+	adapted, err := bsp.RunWith(m, sync, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bsp.Run(m, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adapted.MakeSpan >= base.MakeSpan {
+		t.Fatalf("adapted hybrid sync (%g) not faster than the dissemination default (%g)",
+			adapted.MakeSpan, base.MakeSpan)
 	}
 }

@@ -119,6 +119,28 @@ func RunAll(w io.Writer, opts Options) error {
 	}
 	fmt.Fprint(w, tbl.String(), "\n")
 
+	// Collective schedules: the Chapter 5 matrix machinery generalized beyond
+	// barriers, and the model-selected schedule run by the BSP synchronizer.
+	for _, tc := range []struct {
+		prof  *platform.Profile
+		max   int
+		title string
+	}{
+		{xeon, opts.MaxProcsXeon, "Collectives on the 8x2x4 cluster: measured vs predicted"},
+		{opteron, opts.MaxProcsOpteron, "Collectives on the 12x2x6 cluster: measured vs predicted"},
+	} {
+		points, err := CollectiveSeries(tc.prof, tc.max, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.title, err)
+		}
+		fmt.Fprint(w, CollectiveTable(tc.title, points).String(), "\n")
+	}
+	adaptedSync, err := AdaptedSyncSeries(xeon, opts.MaxProcsXeon, opts)
+	if err != nil {
+		return fmt.Errorf("adapted synchronizer: %w", err)
+	}
+	fmt.Fprint(w, AdaptedSyncTable("Adapted count-exchange schedule vs dissemination default (8x2x4)", adaptedSync).String(), "\n")
+
 	// Chapter 8.
 	fmt.Fprint(w, Table8_1Table(Table8_1(opts)).String(), "\n")
 	wall, err := Table8_2(xeon, opts)

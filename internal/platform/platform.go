@@ -12,7 +12,7 @@
 // 12 nodes of dual hexa-core Opterons on gigabit Ethernet — which are not
 // available here; the presets in this package are synthetic equivalents with
 // the same hierarchy and realistic commodity-cluster orders of magnitude, as
-// recorded in DESIGN.md.
+// recorded in the preset definitions (presets.go).
 package platform
 
 import (

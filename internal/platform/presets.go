@@ -11,7 +11,7 @@ import (
 // thesis benchmarks. Values are commodity-hardware orders of magnitude
 // (gigabit Ethernet between nodes, shared-memory transfers inside a node);
 // they are not calibrated against the original machines, which are
-// unavailable — see the substitution table in DESIGN.md.
+// unavailable — synthetic substitutes are derived from the thesis figures.
 
 func gigabitLinks() map[topology.Distance]Link {
 	return map[topology.Distance]Link{
