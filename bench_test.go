@@ -12,13 +12,16 @@ package hbsp
 // -full for the complete sweeps.
 
 import (
+	"fmt"
 	"testing"
 
 	"hbsp/internal/adapt"
 	"hbsp/internal/barrier"
+	"hbsp/internal/bsp"
 	"hbsp/internal/experiments"
 	"hbsp/internal/kernels"
 	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
 	"hbsp/internal/stencil"
 	"hbsp/internal/topology"
 )
@@ -445,6 +448,89 @@ func BenchmarkAdaptGreedyConstruction(b *testing.B) {
 		if _, err := adapt.Greedy(params, barrier.DefaultCostOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Simulator hot path ------------------------------------------------------
+//
+// The three benchmarks below track the mailbox/pooling work of the simulator
+// itself (see README "Simulator performance" and BENCH_simnet.json): message
+// matching under many pending (src, tag) pairs, the dissemination count
+// exchange that ends every BSP superstep, and the heaviest collective the
+// schedule engine generates. All run with ReportAllocs so the allocation
+// behaviour of the hot path stays visible in `go test -bench`.
+
+// simBenchMachine returns the shared noise-free benchmark machine
+// (platform.XeonClusterMachine — the same platform cmd/simbench measures).
+func simBenchMachine(b *testing.B, procs int) *platform.Machine {
+	b.Helper()
+	m, err := platform.XeonClusterMachine(procs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkMailboxTake(b *testing.B) {
+	// Rank 0 injects many messages with distinct tags; rank 1 drains them in
+	// reverse tag order, so every receive has to match against a full pending
+	// set — the worst case for a linear-scan mailbox, O(1) for an indexed one.
+	const msgs = 512
+	m := simBenchMachine(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simnet.Run(m, func(p *simnet.Proc) error {
+			switch p.Rank() {
+			case 0:
+				for t := 0; t < msgs; t++ {
+					p.Post(1, t, 8, nil)
+				}
+			case 1:
+				for t := msgs - 1; t >= 0; t-- {
+					p.Recv(0, t)
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyncDissemination(b *testing.B) {
+	// The dissemination count exchange plus drain at P=64: the innermost loop
+	// of every BSP superstep, on the shared fixed workload
+	// (experiments.SyncExchangeProgram, also measured by cmd/simbench).
+	m := simBenchMachine(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bsp.Run(m, experiments.SyncExchangeProgram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTotalExchange(b *testing.B) {
+	// The heaviest collective the schedule engine produces: P² messages per
+	// execution. The P=256 point is the acceptance gauge of the mailbox
+	// refactor (see BENCH_simnet.json for the tracked baseline).
+	for _, procs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("P=%d", procs), func(b *testing.B) {
+			m := simBenchMachine(b, procs)
+			pat, err := barrier.TotalExchange(procs, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := barrier.Measure(m, pat, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

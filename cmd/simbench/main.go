@@ -1,0 +1,201 @@
+// Command simbench is the machine-readable benchmark harness of the
+// virtual-time simulator: it measures the point-to-point hot path (Send/Recv),
+// the dissemination BSP synchronization and the total-exchange collective at
+// P ∈ {16, 64, 256, 512} and writes ns/op, allocs/op and simulated messages/s
+// to a JSON file (BENCH_simnet.json at the repository root is the tracked
+// baseline — regenerate it with `go run ./cmd/simbench` after touching the
+// simulator hot path and commit the diff, so the perf trajectory is visible
+// across PRs).
+//
+// Usage:
+//
+//	go run ./cmd/simbench [-quick] [-out BENCH_simnet.json]
+//
+// -quick restricts the sweep to P ∈ {16, 64} with a single iteration per
+// benchmark; CI uses it as a smoke test and uploads the JSON as an artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/bsp"
+	"hbsp/internal/experiments"
+	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
+)
+
+// Entry is one benchmark point of the JSON baseline.
+type Entry struct {
+	Name           string  `json:"name"`
+	Procs          int     `json:"procs"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	MessagesPerSec float64 `json:"messages_per_sec"`
+	Iterations     int     `json:"iterations"`
+}
+
+// Baseline is the file format of BENCH_simnet.json.
+type Baseline struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	Quick     bool    `json:"quick"`
+	Entries   []Entry `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "P ∈ {16,64} and one iteration per benchmark (CI smoke mode)")
+	out := flag.String("out", "BENCH_simnet.json", "output JSON path")
+	testing.Init()
+	flag.Parse()
+	if *quick {
+		// One iteration per benchmark instead of the 1s default.
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			log.Fatalf("simbench: %v", err)
+		}
+	}
+
+	sweep := []int{16, 64, 256, 512}
+	if *quick {
+		sweep = []int{16, 64}
+	}
+
+	var entries []Entry
+	for _, p := range sweep {
+		m := benchMachine(p)
+		entries = append(entries,
+			benchSendRecv(m),
+			benchSync(m),
+			benchTotalExchange(m),
+		)
+		for _, e := range entries[len(entries)-3:] {
+			fmt.Printf("%-16s P=%-4d %14.0f ns/op %10d allocs/op %14.0f msgs/s\n",
+				e.Name, e.Procs, e.NsPerOp, e.AllocsPerOp, e.MessagesPerSec)
+		}
+	}
+
+	base := Baseline{
+		Schema:    "hbsp-simbench/v1",
+		GoVersion: runtime.Version(),
+		Quick:     *quick,
+		Entries:   entries,
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		log.Fatalf("simbench: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("simbench: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// benchMachine instantiates the shared benchmark machine (see
+// platform.XeonClusterMachine — bench_test.go measures the same platform).
+func benchMachine(procs int) *platform.Machine {
+	m, err := platform.XeonClusterMachine(procs)
+	if err != nil {
+		log.Fatalf("simbench: machine for %d ranks: %v", procs, err)
+	}
+	return m
+}
+
+// entry converts a benchmark result plus the accumulated simulated message
+// count into a baseline entry.
+func entry(name string, procs int, r testing.BenchmarkResult, messages int64) Entry {
+	e := Entry{
+		Name:        name,
+		Procs:       procs,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+	if secs := r.T.Seconds(); secs > 0 {
+		e.MessagesPerSec = float64(messages) / secs
+	}
+	return e
+}
+
+// benchSendRecv measures the raw point-to-point path: every rank runs a ring
+// of eager posts and blocking receives, the minimal program that exercises
+// injection ports, mailbox delivery and matching.
+func benchSendRecv(m *platform.Machine) Entry {
+	const rounds = 8
+	var messages atomic.Int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		// testing.Benchmark calls this closure several times while
+		// calibrating b.N, but only the final round's duration is reported:
+		// count only that round's messages.
+		messages.Store(0)
+		for i := 0; i < b.N; i++ {
+			res, err := simnet.Run(m, func(pr *simnet.Proc) error {
+				n := pr.Size()
+				next, prev := (pr.Rank()+1)%n, (pr.Rank()+n-1)%n
+				for k := 0; k < rounds; k++ {
+					rq := pr.Irecv(prev, k)
+					pr.Post(next, k, 8, nil)
+					pr.Wait(rq)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			messages.Add(res.Messages)
+		}
+	})
+	return entry("send_recv", m.Procs(), r, messages.Load())
+}
+
+// benchSync measures the dissemination count exchange plus drain that ends
+// every BSP superstep, on the same fixed workload every harness uses
+// (experiments.SyncExchangeProgram).
+func benchSync(m *platform.Machine) Entry {
+	var messages atomic.Int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		messages.Store(0)
+		for i := 0; i < b.N; i++ {
+			res, err := bsp.Run(m, experiments.SyncExchangeProgram)
+			if err != nil {
+				b.Fatal(err)
+			}
+			messages.Add(res.Messages)
+		}
+	})
+	return entry("sync_dissemination", m.Procs(), r, messages.Load())
+}
+
+// benchTotalExchange measures the heaviest collective the schedule engine
+// generates: P² payload-carrying messages per execution.
+func benchTotalExchange(m *platform.Machine) Entry {
+	pat, err := barrier.TotalExchange(m.Procs(), 64)
+	if err != nil {
+		log.Fatalf("simbench: total exchange for %d ranks: %v", m.Procs(), err)
+	}
+	var messages atomic.Int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		messages.Store(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := barrier.Measure(m, pat, 1); err != nil {
+				b.Fatal(err)
+			}
+			// Measure runs one warm-up execution plus one timed repetition.
+			messages.Add(2 * int64(pat.Signals()))
+		}
+	})
+	return entry("total_exchange", m.Procs(), r, messages.Load())
+}

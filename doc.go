@@ -8,8 +8,12 @@
 // stands in for the thesis' physical test systems.
 //
 // The implementation lives under internal/; see README.md for the package
-// map, including the collective-schedule engine (internal/barrier) and the
-// pluggable superstep synchronizer (internal/bsp). The root package only
-// hosts the repository-level benchmark harness (bench_test.go), which
-// regenerates every table and figure of the evaluation.
+// map, including the collective-schedule engine (internal/barrier), the
+// pluggable superstep synchronizer (internal/bsp) and the parallel sweep
+// engine (internal/experiments). cmd/simbench is the simulator's
+// machine-readable benchmark harness: it regenerates BENCH_simnet.json, the
+// tracked performance baseline of the simulator hot path (see the README's
+// "Simulator performance" section). The root package only hosts the
+// repository-level benchmark harness (bench_test.go), which regenerates every
+// table and figure of the evaluation and tracks the simulator micro-benchmarks.
 package hbsp

@@ -1,0 +1,71 @@
+package barrier
+
+import (
+	"fmt"
+	"testing"
+
+	"hbsp/internal/platform"
+)
+
+// TestMeasureGoldenTimes pins the exact virtual-time measurements of the
+// reference barriers and two payload-carrying collectives on the Xeon preset.
+// The values were captured on the pre-refactor simulator (linear-scan mailbox,
+// dense Execute) and must stay bit-identical: the indexed mailbox, the pooled
+// message/request objects and the sparse-adjacency Execute are pure
+// performance work, and any drift here means delivery semantics changed.
+func TestMeasureGoldenTimes(t *testing.T) {
+	golden := []struct {
+		name string
+		p    int
+		mean string
+	}{
+		{"dissemination", 16, "0.00018210245080698166"},
+		{"tree", 16, "0.000205261463712068"},
+		{"linear", 16, "0.00036608562826269988"},
+		{"total-exchange", 16, "0.00086213168198036696"},
+		{"allgather", 16, "0.00020004331506542862"},
+		{"dissemination", 33, "0.00035250989769062012"},
+		{"tree", 33, "0.00021172005907171189"},
+		{"total-exchange", 33, "0.0018167253481321394"},
+		{"allgather", 33, "0.0005059496452115797"},
+		{"broadcast", 33, "0.00018528543719851536"},
+	}
+	machines := map[int]*platform.Machine{}
+	for _, g := range golden {
+		m := machines[g.p]
+		if m == nil {
+			var err error
+			m, err = platform.Xeon8x2x4().Machine(g.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines[g.p] = m
+		}
+		var pat *Pattern
+		var err error
+		switch g.name {
+		case "dissemination":
+			pat, err = Dissemination(g.p)
+		case "tree":
+			pat, err = Tree(g.p)
+		case "linear":
+			pat, err = Linear(g.p, 0)
+		default:
+			var pats map[string]*Pattern
+			pats, err = Collectives(g.p, 256)
+			if err == nil {
+				pat = pats[g.name]
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := Measure(m.WithRunSeed(int64(7*g.p)), pat, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%.17g", meas.MeanWorst); got != g.mean {
+			t.Errorf("%s P=%d: MeanWorst %s, want %s", g.name, g.p, got, g.mean)
+		}
+	}
+}

@@ -9,35 +9,48 @@ import (
 	"hbsp/internal/stats"
 )
 
-// The tag space used by the pattern simulator. Each stage uses its own tag so
-// repeated executions of the same pattern cannot cross-match messages.
+// The tag space used by the pattern simulator. Stages are distinguished by
+// tag; repeated executions of the same pattern reuse the same tags, which is
+// safe because mailbox matching is FIFO per (source, tag): each rank both
+// sends and receives the stage-s messages of execution g before those of
+// execution g+1, so streams can never cross-match.
 const baseTag = 1 << 20
 
 // Execute runs one execution of the barrier pattern on the calling rank,
 // mirroring the general simulation function of Fig. 5.5: for every stage, the
 // receives and sends prescribed by the stage matrix are started together and
-// waited for together (MPI_Startall / MPI_Waitall).
+// waited for together (MPI_Startall / MPI_Waitall semantics). It walks the
+// sparse stage adjacency, so one execution costs O(signals) instead of the
+// O(P²) per rank of scanning dense stage matrices. The generation counter is
+// kept for callers that label repetitions; it no longer affects the tag space.
 func Execute(c *mpi.Comm, pat *Pattern, generation int) {
+	_ = generation
 	rank := c.Rank()
-	tagBase := baseTag + (generation%64)*1024
-	for s, st := range pat.Stages {
-		tag := tagBase + s
-		var reqs []*mpi.PersistentRequest
-		for _, src := range st.ColTrue(rank) {
-			reqs = append(reqs, c.RecvInit(src, tag))
-		}
-		for _, dst := range st.RowTrue(rank) {
-			size := int(pat.PayloadAt(s, rank, dst))
-			reqs = append(reqs, c.SendInit(dst, tag, size, nil))
-		}
-		if len(reqs) == 0 {
+	adj := pat.Adjacency()
+	var reqs []*simnet.Request // scratch, reused across stages
+	for s := range pat.Stages {
+		ins, outs := adj[s].In[rank], adj[s].Out[rank]
+		if len(ins) == 0 && len(outs) == 0 {
 			// A process with no signals in this stage still pays the
 			// invocation overhead of the empty Startall/Waitall pair.
 			c.Compute(0)
 			continue
 		}
-		c.Startall(reqs)
-		c.WaitallPersistent(reqs)
+		tag := baseTag + s
+		reqs = reqs[:0]
+		for _, src := range ins {
+			reqs = append(reqs, c.Irecv(src, tag))
+		}
+		for k, dst := range outs {
+			size := 0
+			if adj[s].OutBytes != nil {
+				size = adj[s].OutBytes[rank][k]
+			}
+			reqs = append(reqs, c.Isend(dst, tag, size, nil))
+		}
+		for _, r := range reqs {
+			c.Wait(r)
+		}
 	}
 }
 

@@ -248,9 +248,12 @@ func withAccumulatingPayload(pat *Pattern, perProcBytes float64) *Pattern {
 		Semantics: pat.Semantics,
 		Root:      pat.Root,
 	}
+	// Walk the SOURCE pattern's adjacency: the structure is identical (stages
+	// are clones), and out's own adjacency must not be built yet — it caches
+	// per-edge payload sizes, which are only being filled in below.
 	r := newReachSets(p)
 	prev := make([]uint64, len(r.bits))
-	for s, st := range out.Adjacency() {
+	for s, st := range pat.Adjacency() {
 		pm := matrix.NewDense(p, p)
 		for i, dests := range st.Out {
 			if len(dests) == 0 {

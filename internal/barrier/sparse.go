@@ -6,21 +6,24 @@ import (
 )
 
 // StageAdj is the sparse per-row adjacency of one stage: Out[i] lists the
-// destinations process i signals, In[j] lists the sources signalling j. It is
-// the representation Verify and Predict evaluate, so both run in O(signals)
-// per stage instead of the O(P³) dense matrix products of the literal
-// Eq. 5.1/5.2 formulation (kept as VerifyDense for reference and ablation).
+// destinations process i signals, In[j] lists the sources signalling j, and
+// OutBytes[i][k] is the payload size of the edge i→Out[i][k] (nil when the
+// pattern carries no payload). It is the representation Verify, Predict and
+// Execute evaluate, so all run in O(signals) per stage instead of the O(P³)
+// dense matrix products of the literal Eq. 5.1/5.2 formulation (kept as
+// VerifyDense for reference and ablation).
 type StageAdj struct {
-	Out [][]int
-	In  [][]int
+	Out      [][]int
+	In       [][]int
+	OutBytes [][]int
 }
 
 // Adjacency returns the sparse adjacency of every stage, building and caching
 // it on first use. The build is guarded by a sync.Once, so concurrent callers
 // (e.g. simulated processes sharing one verified schedule) are race-free. The
-// cache assumes the Stages slice is not mutated after the first call; pattern
-// constructors in this package and in internal/adapt finish all stage edits
-// before the pattern escapes.
+// cache assumes the Stages and Payload slices are not mutated after the first
+// call; pattern constructors in this package and in internal/adapt finish all
+// stage and payload edits before the pattern escapes.
 func (pat *Pattern) Adjacency() []StageAdj {
 	pat.adjOnce.Do(func() {
 		p := pat.Procs
@@ -28,13 +31,20 @@ func (pat *Pattern) Adjacency() []StageAdj {
 		for s, st := range pat.Stages {
 			out := make([][]int, p)
 			in := make([][]int, p)
+			var outBytes [][]int
+			if pat.Payload != nil && pat.Payload[s] != nil {
+				outBytes = make([][]int, p)
+			}
 			for i := 0; i < p; i++ {
 				for _, j := range st.RowTrue(i) {
 					out[i] = append(out[i], j)
 					in[j] = append(in[j], i)
+					if outBytes != nil {
+						outBytes[i] = append(outBytes[i], int(pat.Payload[s].At(i, j)))
+					}
 				}
 			}
-			adj[s] = StageAdj{Out: out, In: in}
+			adj[s] = StageAdj{Out: out, In: in, OutBytes: outBytes}
 		}
 		pat.adj = adj
 	})

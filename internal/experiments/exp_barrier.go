@@ -78,8 +78,7 @@ func barrierParams(m *platform.Machine, reps int) (barrier.Params, error) {
 // counts, with absolute and relative prediction errors.
 func Fig5_6Series(prof *platform.Profile, maxProcs int, opts Options) ([]BarrierPoint, error) {
 	opts = opts.normalize()
-	var out []BarrierPoint
-	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+	return ParallelSeries(procSweep(opts.ProcStep, maxProcs), func(p int) ([]BarrierPoint, error) {
 		m, err := prof.Machine(p)
 		if err != nil {
 			return nil, err
@@ -96,6 +95,7 @@ func Fig5_6Series(prof *platform.Profile, maxProcs int, opts Options) ([]Barrier
 		if err != nil {
 			return nil, err
 		}
+		var out []BarrierPoint
 		for _, name := range []string{"dissemination", "tree", "linear"} {
 			measured := meas[name].MeanWorst
 			predicted := preds[name].Total
@@ -106,8 +106,8 @@ func Fig5_6Series(prof *platform.Profile, maxProcs int, opts Options) ([]Barrier
 			}
 			out = append(out, pt)
 		}
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 // BarrierTable renders barrier points in the four-figure layout of the
@@ -134,8 +134,7 @@ type SyncPoint struct {
 // Fig6_3Series reproduces Figs. 6.3/6.4 for the given platform.
 func Fig6_3Series(prof *platform.Profile, maxProcs int, opts Options) ([]SyncPoint, error) {
 	opts = opts.normalize()
-	var out []SyncPoint
-	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+	return ParallelSeries(procSweep(opts.ProcStep, maxProcs), func(p int) ([]SyncPoint, error) {
 		m, err := prof.Machine(p)
 		if err != nil {
 			return nil, err
@@ -161,9 +160,8 @@ func Fig6_3Series(prof *platform.Profile, maxProcs int, opts Options) ([]SyncPoi
 		if pt.Measured > 0 {
 			pt.RelError = (pt.Predicted - pt.Measured) / pt.Measured
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return []SyncPoint{pt}, nil
+	})
 }
 
 // ClusteringResult captures the SSS clustering output of Tables 7.1/7.2.
@@ -213,10 +211,9 @@ type HybridPoint struct {
 // and measured against the flat reference algorithms.
 func Fig7_4Series(prof *platform.Profile, maxProcs int, opts Options) ([]HybridPoint, error) {
 	opts = opts.normalize()
-	var out []HybridPoint
-	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+	return ParallelSeries(procSweep(opts.ProcStep, maxProcs), func(p int) ([]HybridPoint, error) {
 		if p < 4 {
-			continue
+			return nil, nil
 		}
 		m, err := prof.Machine(p)
 		if err != nil {
@@ -238,7 +235,7 @@ func Fig7_4Series(prof *platform.Profile, maxProcs int, opts Options) ([]HybridP
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, HybridPoint{
+		return []HybridPoint{{
 			Procs:         p,
 			BestName:      res.Best.Name,
 			Adapted:       adaptedMeas.MeanWorst,
@@ -246,7 +243,6 @@ func Fig7_4Series(prof *platform.Profile, maxProcs int, opts Options) ([]HybridP
 			Tree:          flat["tree"].MeanWorst,
 			Linear:        flat["linear"].MeanWorst,
 			Predicted:     res.Best.Predicted,
-		})
-	}
-	return out, nil
+		}}, nil
+	})
 }

@@ -34,8 +34,7 @@ type CollectivePoint struct {
 // collectives, and the same simulator provides the measurement.
 func CollectiveSeries(prof *platform.Profile, maxProcs int, opts Options) ([]CollectivePoint, error) {
 	opts = opts.normalize()
-	var out []CollectivePoint
-	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+	return ParallelSeries(procSweep(opts.ProcStep, maxProcs), func(p int) ([]CollectivePoint, error) {
 		m, err := prof.Machine(p)
 		if err != nil {
 			return nil, err
@@ -48,6 +47,7 @@ func CollectiveSeries(prof *platform.Profile, maxProcs int, opts Options) ([]Col
 		if err != nil {
 			return nil, err
 		}
+		var out []CollectivePoint
 		for _, name := range []string{"broadcast", "reduce", "allreduce", "allgather", "total-exchange"} {
 			pat, ok := pats[name]
 			if !ok {
@@ -74,8 +74,8 @@ func CollectiveSeries(prof *platform.Profile, maxProcs int, opts Options) ([]Col
 			}
 			out = append(out, pt)
 		}
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 // CollectiveTable renders collective points in the measured/predicted layout
@@ -101,10 +101,13 @@ type AdaptedSyncPoint struct {
 	Adapted       float64
 }
 
-// syncExchangeProgram is the fixed workload of the synchronizer comparison:
-// one registration superstep followed by a superstep of ring puts, so the
-// count exchange must deliver non-trivial counts for the drain to be correct.
-func syncExchangeProgram(ctx *bsp.Ctx) error {
+// SyncExchangeProgram is the fixed workload of the synchronizer comparison
+// and of the repository's synchronization benchmarks (BenchmarkSyncDissemination,
+// cmd/simbench's sync_dissemination entry): one registration superstep
+// followed by a superstep of ring puts, so the count exchange must deliver
+// non-trivial counts for the drain to be correct. Keeping a single definition
+// guarantees every harness measures the same workload.
+func SyncExchangeProgram(ctx *bsp.Ctx) error {
 	p := ctx.NProcs()
 	area := make([]float64, p)
 	ctx.PushReg("x", area)
@@ -132,10 +135,9 @@ func syncExchangeProgram(ctx *bsp.Ctx) error {
 // synchronizer and with the selected schedule executing the count exchange.
 func AdaptedSyncSeries(prof *platform.Profile, maxProcs int, opts Options) ([]AdaptedSyncPoint, error) {
 	opts = opts.normalize()
-	var out []AdaptedSyncPoint
-	for _, p := range procSweep(opts.ProcStep, maxProcs) {
+	return ParallelSeries(procSweep(opts.ProcStep, maxProcs), func(p int) ([]AdaptedSyncPoint, error) {
 		if p < 4 {
-			continue
+			return nil, nil
 		}
 		m, err := prof.Machine(p)
 		if err != nil {
@@ -149,23 +151,22 @@ func AdaptedSyncSeries(prof *platform.Profile, maxProcs int, opts Options) ([]Ad
 		if err != nil {
 			return nil, err
 		}
-		base, err := bsp.Run(m.WithRunSeed(int64(500+p)), syncExchangeProgram)
+		base, err := bsp.Run(m.WithRunSeed(int64(500+p)), SyncExchangeProgram)
 		if err != nil {
 			return nil, err
 		}
-		adapted, err := bsp.RunWith(m.WithRunSeed(int64(500+p)), sync, syncExchangeProgram)
+		adapted, err := bsp.RunWith(m.WithRunSeed(int64(500+p)), sync, SyncExchangeProgram)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, AdaptedSyncPoint{
+		return []AdaptedSyncPoint{{
 			Procs:         p,
 			Best:          res.Best.Name,
 			Predicted:     res.Best.Predicted,
 			Dissemination: base.MakeSpan,
 			Adapted:       adapted.MakeSpan,
-		})
-	}
-	return out, nil
+		}}, nil
+	})
 }
 
 // AdaptedSyncTable renders the synchronizer comparison.

@@ -22,8 +22,11 @@ type BSPBenchRow struct {
 // platform for growing process counts.
 func Table3_1(prof *platform.Profile, opts Options) ([]BSPBenchRow, error) {
 	opts = opts.normalize()
-	var rows []BSPBenchRow
+	var sweep []int
 	for p := 8; p <= opts.MaxProcsXeon; p += 8 {
+		sweep = append(sweep, p)
+	}
+	return ParallelSeries(sweep, func(p int) ([]BSPBenchRow, error) {
 		m, err := prof.Machine(p)
 		if err != nil {
 			return nil, err
@@ -39,9 +42,8 @@ func Table3_1(prof *platform.Profile, opts Options) ([]BSPBenchRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, BSPBenchRow{P: p, R: res.R, G: res.G, L: res.L})
-	}
-	return rows, nil
+		return []BSPBenchRow{{P: p, R: res.R, G: res.G, L: res.L}}, nil
+	})
 }
 
 // Table3_1Table formats the rows like the thesis table (rate in Mflop/s).

@@ -53,11 +53,13 @@ type WallTimeRow struct {
 func Table8_2(prof *platform.Profile, opts Options) ([]WallTimeRow, error) {
 	opts = opts.normalize()
 	cfg := stencil.Config{N: opts.StencilLargeN, Iterations: opts.StencilIterations, C: 0.2, Synthetic: opts.Synthetic}
-	var rows []WallTimeRow
+	var sweep []int
 	for _, p := range []int{4, 16, opts.MaxProcsXeon} {
-		if p > prof.Topology.TotalCores() {
-			continue
+		if p <= prof.Topology.TotalCores() {
+			sweep = append(sweep, p)
 		}
+	}
+	return ParallelSeries(sweep, func(p int) ([]WallTimeRow, error) {
 		m, err := prof.Machine(p)
 		if err != nil {
 			return nil, err
@@ -74,9 +76,8 @@ func Table8_2(prof *platform.Profile, opts Options) ([]WallTimeRow, error) {
 		if row.MPIR > 0 {
 			row.Speedup = row.MPI / row.MPIR
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return []WallTimeRow{row}, nil
+	})
 }
 
 // ScalingPoint is one point of the A-series figures (Figs. 8.4–8.7): the
@@ -97,11 +98,15 @@ func Fig8_4Series(prof *platform.Profile, gridN int, implementations []string, o
 	if len(implementations) == 0 {
 		implementations = []string{"bsp", "bsp-serial", "mpi", "mpi+r", "hybrid"}
 	}
-	var out []ScalingPoint
+	var sweep []int
 	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
 		if p > opts.MaxProcsXeon || p > prof.Topology.TotalCores() {
 			break
 		}
+		sweep = append(sweep, p)
+	}
+	return ParallelSeries(sweep, func(p int) ([]ScalingPoint, error) {
+		var out []ScalingPoint
 		for _, impl := range implementations {
 			var (
 				res *stencil.RunResult
@@ -148,8 +153,8 @@ func Fig8_4Series(prof *platform.Profile, gridN int, implementations []string, o
 			}
 			out = append(out, ScalingPoint{Implementation: impl, Procs: p, PerIteration: res.PerIteration, Checksum: res.Checksum})
 		}
-	}
-	return out, nil
+		return out, nil
+	})
 }
 
 // PredictionPoint is one point of the B-series figures (Figs. 8.10–8.15):
@@ -170,56 +175,64 @@ type PredictionPoint struct {
 // synchronization term (B5/B6).
 func Fig8_10Series(prof *platform.Profile, opts Options) ([]PredictionPoint, error) {
 	opts = opts.normalize()
-	problems := []struct {
+	variants := []string{"overlap", "no-overlap", "no-sync"}
+	type bPoint struct {
 		label string
 		n     int
-	}{{"large", opts.StencilLargeN}, {"small", opts.StencilSmallN}}
-	variants := []string{"overlap", "no-overlap", "no-sync"}
-	var out []PredictionPoint
-	for _, prob := range problems {
-		label, n := prob.label, prob.n
-		cfg := stencil.Config{N: n, Iterations: opts.StencilIterations, C: 0.2, Synthetic: opts.Synthetic}
+		p     int
+	}
+	var sweep []bPoint
+	for _, prob := range []struct {
+		label string
+		n     int
+	}{{"large", opts.StencilLargeN}, {"small", opts.StencilSmallN}} {
 		for _, p := range []int{4, 16, opts.MaxProcsXeon} {
 			if p > prof.Topology.TotalCores() {
 				continue
 			}
-			m, err := prof.Machine(p)
-			if err != nil {
-				return nil, err
-			}
-			params, err := stencil.GroundTruthParams(prof, p)
-			if err != nil {
-				return nil, err
-			}
-			measured, err := stencil.MeasureBSP(m, cfg, 1, opts.Reps)
-			if err != nil {
-				return nil, err
-			}
-			for _, variant := range variants {
-				setup, err := stencil.BuildModel(prof, params, p, cfg, 1)
-				if err != nil {
-					return nil, err
-				}
-				switch variant {
-				case "no-overlap":
-					setup.Superstep.MaskableComm = 0
-					setup.Superstep.MaskableComp = 0
-				case "no-sync":
-					setup.Superstep.SyncCost = 0
-				}
-				pred, err := setup.Superstep.Predict()
-				if err != nil {
-					return nil, err
-				}
-				pt := PredictionPoint{Variant: variant, Problem: label, Procs: p, Predicted: pred.Total, Measured: measured.PerIteration}
-				if pt.Measured > 0 {
-					pt.RelError = (pt.Predicted - pt.Measured) / pt.Measured
-				}
-				out = append(out, pt)
-			}
+			sweep = append(sweep, bPoint{label: prob.label, n: prob.n, p: p})
 		}
 	}
-	return out, nil
+	return ParallelSeries(sweep, func(pt bPoint) ([]PredictionPoint, error) {
+		label, n, p := pt.label, pt.n, pt.p
+		cfg := stencil.Config{N: n, Iterations: opts.StencilIterations, C: 0.2, Synthetic: opts.Synthetic}
+		m, err := prof.Machine(p)
+		if err != nil {
+			return nil, err
+		}
+		params, err := stencil.GroundTruthParams(prof, p)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := stencil.MeasureBSP(m, cfg, 1, opts.Reps)
+		if err != nil {
+			return nil, err
+		}
+		var out []PredictionPoint
+		for _, variant := range variants {
+			setup, err := stencil.BuildModel(prof, params, p, cfg, 1)
+			if err != nil {
+				return nil, err
+			}
+			switch variant {
+			case "no-overlap":
+				setup.Superstep.MaskableComm = 0
+				setup.Superstep.MaskableComp = 0
+			case "no-sync":
+				setup.Superstep.SyncCost = 0
+			}
+			pred, err := setup.Superstep.Predict()
+			if err != nil {
+				return nil, err
+			}
+			row := PredictionPoint{Variant: variant, Problem: label, Procs: p, Predicted: pred.Total, Measured: measured.PerIteration}
+			if row.Measured > 0 {
+				row.RelError = (row.Predicted - row.Measured) / row.Measured
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	})
 }
 
 // OverlapSweepPoint is one point of Fig. 8.18 (C1): predicted and measured
@@ -248,13 +261,11 @@ func Fig8_18Series(prof *platform.Profile, procs int, opts Options) ([]OverlapSw
 	if err != nil {
 		return nil, err
 	}
-	var out []OverlapSweepPoint
-	for i, f := range fractions {
-		meas, err := stencil.MeasureBSP(m, cfg, f, opts.Reps)
+	return RunPoints(len(fractions), func(i int) (OverlapSweepPoint, error) {
+		meas, err := stencil.MeasureBSP(m, cfg, fractions[i], opts.Reps)
 		if err != nil {
-			return nil, err
+			return OverlapSweepPoint{}, err
 		}
-		out = append(out, OverlapSweepPoint{Fraction: f, Predicted: predicted[i].Predicted, Measured: meas.PerIteration})
-	}
-	return out, nil
+		return OverlapSweepPoint{Fraction: fractions[i], Predicted: predicted[i].Predicted, Measured: meas.PerIteration}, nil
+	})
 }

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"fmt"
 	"math"
 
 	"hbsp/internal/memmodel"
@@ -90,6 +91,33 @@ func Xeon8x2x4() *Profile {
 		NoiseRel:     0.04,
 		Seed:         1,
 	}
+}
+
+// XeonCluster scales the Xeon8x2x4 node design to an arbitrary node count, so
+// simulator benchmarks (cmd/simbench, BenchmarkTotalExchange) can instantiate
+// machines beyond the 64 cores of the thesis configuration — 64 nodes give the
+// P=512 point of the tracked benchmark baseline. Link and core parameters are
+// identical to Xeon8x2x4.
+func XeonCluster(nodes int) *Profile {
+	p := Xeon8x2x4()
+	p.Name = fmt.Sprintf("xeon-%dx2x4", nodes)
+	p.Topology.Nodes = nodes
+	return p
+}
+
+// XeonClusterMachine instantiates a noise-free machine with the requested
+// rank count on the scaled Xeon cluster. It is the shared platform of the
+// simulator benchmark harnesses (cmd/simbench and the repository-level
+// bench_test.go), which must measure identical machines for their numbers to
+// be comparable.
+func XeonClusterMachine(procs int) (*Machine, error) {
+	nodes := (procs + 7) / 8
+	if nodes < 1 {
+		nodes = 1
+	}
+	p := XeonCluster(nodes)
+	p.NoiseRel = 0
+	return p.Machine(procs)
 }
 
 // Opteron12x2x6 is the synthetic stand-in for the 12-node dual hexa-core

@@ -1,0 +1,94 @@
+package simnet_test
+
+// External test package: it pins the simulator's virtual-time output on a real
+// platform preset (import direction platform -> simnet does not exist, so this
+// creates no cycle), guarding the invariant that mailbox/pooling refactors
+// never change delivery semantics. The golden values were captured on the
+// pre-refactor linear-scan mailbox and must stay bit-identical.
+
+import (
+	"fmt"
+	"testing"
+
+	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
+)
+
+// goldenBody is a deterministic all-pairs exchange with staggered compute: it
+// exercises injection-port serialization, extraction-gap serialization, acked
+// sends, intra-NIC bypass and the noise stream all at once.
+func goldenBody(p *simnet.Proc) error {
+	n := p.Size()
+	rank := p.Rank()
+	var reqs []*simnet.Request
+	for d := 1; d < n; d++ {
+		src := (rank - d + n) % n
+		reqs = append(reqs, p.Irecv(src, d))
+	}
+	p.Compute(float64(rank) * 1e-7)
+	for d := 1; d < n; d++ {
+		dst := (rank + d) % n
+		p.Post(dst, d, 8*d, rank)
+	}
+	for i, r := range reqs {
+		got := p.Wait(r)
+		want := (rank - (i + 1) + n) % n
+		if got != want {
+			return fmt.Errorf("rank %d: wait %d returned payload %v, want %d", rank, i, got, want)
+		}
+	}
+	p.Send((rank+1)%n, 1<<20, 256, nil)
+	p.Recv((rank-1+n)%n, 1<<20)
+	return nil
+}
+
+// TestGoldenVirtualTimes pins the per-rank virtual times of goldenBody on the
+// Xeon preset (noise enabled, fixed run seed). Any divergence means the
+// simulator's delivery semantics changed — which is a bug, not a tolerance
+// issue, hence the exact comparison.
+func TestGoldenVirtualTimes(t *testing.T) {
+	prof := platform.Xeon8x2x4()
+	m, err := prof.Machine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simnet.Run(m.WithRunSeed(42), goldenBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenTimes
+	if len(res.Times) != len(want) {
+		t.Fatalf("got %d ranks, want %d", len(res.Times), len(want))
+	}
+	for i, got := range res.Times {
+		if fmt.Sprintf("%.17g", got) != want[i] {
+			t.Errorf("rank %2d: virtual time %.17g, want %s", i, got, want[i])
+		}
+	}
+	if res.Messages != int64(16*15+16) || res.Bytes == 0 {
+		t.Errorf("counters changed: %d msgs, %d bytes", res.Messages, res.Bytes)
+	}
+}
+
+// goldenTimes holds the exact (%.17g) per-rank virtual times of goldenBody,
+// captured before the indexed-mailbox refactor. Regenerate only if the timing
+// MODEL changes deliberately, by running the test with -run GoldenVirtualTimes
+// -v after temporarily printing res.Times.
+var goldenTimes = []string{
+	"0.00025148047651374881",
+	"0.00025343194241293716",
+	"0.000258078828840907",
+	"0.00025502661865292635",
+	"0.00025599223561372327",
+	"0.00025933262507637372",
+	"0.00025374673930861547",
+	"0.00025569247464176222",
+	"0.0002545990285765947",
+	"0.000259671163064057",
+	"0.0002584832019656199",
+	"0.0002602458405432783",
+	"0.00025837377967553171",
+	"0.00026251524169738601",
+	"0.00025034537687881658",
+	"0.00025416369377211968",
+}

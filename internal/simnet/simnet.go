@@ -94,45 +94,171 @@ type message struct {
 	arrival       float64
 }
 
+// msgPool recycles message envelopes across the whole process: a message is
+// allocated on the sending rank and released on the receiving rank once its
+// payload has been extracted, which is exactly the producer/consumer shape
+// sync.Pool is designed for.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+func releaseMessage(m *message) {
+	m.payload = nil
+	msgPool.Put(m)
+}
+
+// waiterPool recycles the one-shot wake-up channels of blocked receivers.
+var waiterPool = sync.Pool{New: func() any { return make(chan *message, 1) }}
+
+// msgQueue is the FIFO of one (src, tag) pair. msgs[head:] are the pending
+// messages; waiters are blocked receivers, each woken individually by exactly
+// one delivery (no thundering herd). A queue never holds both pending
+// messages and waiters.
+type msgQueue struct {
+	msgs    []*message
+	head    int
+	waiters []chan *message
+}
+
+func (q *msgQueue) push(m *message) {
+	q.msgs = append(q.msgs, m)
+}
+
+func (q *msgQueue) pop() *message {
+	m := q.msgs[q.head]
+	q.msgs[q.head] = nil
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head > len(q.msgs)/2 {
+		// Compact when the consumed prefix dominates, so a queue with a
+		// standing backlog (producer permanently ahead) stays O(backlog)
+		// instead of retaining one slot per message ever enqueued.
+		n := copy(q.msgs, q.msgs[q.head:])
+		clear(q.msgs[n:])
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+	return m
+}
+
+// mbKey indexes a mailbox queue: matching in the simulator is always on the
+// exact (source, tag) pair, so the mailbox keeps one FIFO per pair instead of
+// scanning a flat pending list.
+type mbKey struct{ src, tag int }
+
+// queueChunkSize is the arena block size for msgQueue allocation. Queues are
+// handed out as pointers into fixed-capacity chunks, so creating the P-1
+// queues of a large collective costs P/queueChunkSize allocations instead
+// of P.
+const queueChunkSize = 64
+
+// mailbox holds one rank's incoming traffic, indexed by (source, tag). The
+// one-entry (lastKey, lastQ) cache short-circuits the map for the dominant
+// access pattern — consecutive operations on the same pair (superstep drains,
+// stage-wise collectives) — so the hot path often skips hashing entirely.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []*message
+	mu        sync.Mutex
+	queues    map[mbKey]*msgQueue
+	lastKey   mbKey
+	lastQ     *msgQueue
+	chunk     []msgQueue
+	cancelled *atomic.Bool
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+func newMailbox(cancelled *atomic.Bool) *mailbox {
+	return &mailbox{queues: map[mbKey]*msgQueue{}, cancelled: cancelled}
 }
 
+// queue returns (creating if needed) the FIFO of the (src, tag) pair. The
+// caller must hold mb.mu.
+func (mb *mailbox) queue(src, tag int) *msgQueue {
+	key := mbKey{src: src, tag: tag}
+	if mb.lastQ != nil && mb.lastKey == key {
+		return mb.lastQ
+	}
+	q := mb.queues[key]
+	if q == nil {
+		if len(mb.chunk) == cap(mb.chunk) {
+			mb.chunk = make([]msgQueue, 0, queueChunkSize)
+		}
+		mb.chunk = append(mb.chunk, msgQueue{})
+		q = &mb.chunk[len(mb.chunk)-1]
+		mb.queues[key] = q
+	}
+	mb.lastKey, mb.lastQ = key, q
+	return q
+}
+
+// deliver enqueues the message, or hands it directly to the longest-waiting
+// receiver of its (source, tag) pair. Only that single waiter is woken.
 func (mb *mailbox) deliver(m *message) {
 	mb.mu.Lock()
-	mb.pending = append(mb.pending, m)
+	q := mb.queue(m.src, m.tag)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters[len(q.waiters)-1] = nil
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		mb.mu.Unlock()
+		w <- m // buffered, never blocks
+		return
+	}
+	q.push(m)
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
 }
 
+// cancelPanic aborts a rank goroutine blocked in (or entering) take after the
+// run's wall-clock deadline fired; the rank wrapper in Run recovers it.
+type cancelPanic struct{}
+
 // take blocks until a message from src with the given tag is available and
-// removes the first such message (FIFO per source/tag pair).
+// removes the first such message (FIFO per source/tag pair). If the run has
+// been cancelled by the deadline watchdog it panics with cancelPanic so the
+// rank goroutine unwinds instead of leaking.
 func (mb *mailbox) take(src, tag int) *message {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i, m := range mb.pending {
-			if m.src == src && m.tag == tag {
-				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
-				return m
-			}
-		}
-		mb.cond.Wait()
+	if mb.cancelled.Load() {
+		mb.mu.Unlock()
+		panic(cancelPanic{})
 	}
+	q := mb.queue(src, tag)
+	if q.head < len(q.msgs) {
+		m := q.pop()
+		mb.mu.Unlock()
+		return m
+	}
+	w := waiterPool.Get().(chan *message)
+	q.waiters = append(q.waiters, w)
+	mb.mu.Unlock()
+	m := <-w
+	if m == nil {
+		// Woken by cancelAll; the channel may be poisoned, do not pool it.
+		panic(cancelPanic{})
+	}
+	waiterPool.Put(w)
+	return m
+}
+
+// cancelAll wakes every blocked receiver with a nil message so its goroutine
+// can unwind. The world's cancel flag must already be set, so receivers that
+// have not blocked yet abort on entry to take instead.
+func (mb *mailbox) cancelAll() {
+	mb.mu.Lock()
+	for _, q := range mb.queues {
+		for i, w := range q.waiters {
+			w <- nil
+			q.waiters[i] = nil
+		}
+		q.waiters = q.waiters[:0]
+	}
+	mb.mu.Unlock()
 }
 
 type world struct {
 	machine   Machine
 	opts      Options
 	mailboxes []*mailbox
+	cancelled atomic.Bool
 	messages  atomic.Int64
 	bytes     atomic.Int64
 }
@@ -147,6 +273,28 @@ type Proc struct {
 	txFree   float64
 	rxFree   float64
 	noiseSeq uint64
+
+	// reqFree recycles Request objects. A Proc is driven by a single
+	// goroutine, so the freelist needs no locking; Wait returns completed
+	// requests to it (see the Request lifetime note on Isend/Irecv).
+	reqFree []*Request
+}
+
+// newRequest takes a zeroed Request from the rank-local freelist.
+func (p *Proc) newRequest() *Request {
+	if n := len(p.reqFree); n > 0 {
+		r := p.reqFree[n-1]
+		p.reqFree = p.reqFree[:n-1]
+		*r = Request{}
+		return r
+	}
+	return new(Request)
+}
+
+func (p *Proc) releaseRequest(r *Request) {
+	r.proc = nil
+	r.payload = nil
+	p.reqFree = append(p.reqFree, r)
 }
 
 // Rank returns the rank of the process.
@@ -190,7 +338,9 @@ func (p *Proc) AdvanceTo(t float64) {
 	}
 }
 
-// Request represents an outstanding non-blocking operation.
+// Request represents an outstanding non-blocking operation. Requests are
+// recycled: Wait returns the request to its rank's freelist, so a Request must
+// not be touched after Wait on it has returned.
 type Request struct {
 	proc    *Proc
 	isSend  bool
@@ -202,7 +352,6 @@ type Request struct {
 	postTime   float64
 	completeAt float64
 	resolved   bool
-	msg        *message
 }
 
 // IsSend reports whether the request is a send request.
@@ -211,11 +360,10 @@ func (r *Request) IsSend() bool { return r.isSend }
 // Peer returns the remote rank of the request.
 func (r *Request) Peer() int { return r.peer }
 
-// Isend posts a non-blocking send of size bytes carrying an arbitrary payload
-// to rank dst with the given tag. The message is delivered eagerly; the
-// returned request completes (for Wait purposes) when the transfer — and, in
-// ack mode, its acknowledgement — is done.
-func (p *Proc) Isend(dst, tag, size int, payload any) *Request {
+// sendCore pays the sender-side costs of one eager send, delivers the message
+// and returns the virtual time at which the send request completes. It is the
+// shared body of Isend and Post; Post skips the Request allocation entirely.
+func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 	if dst < 0 || dst >= p.Size() {
 		panic(fmt.Sprintf("simnet: send to invalid rank %d", dst))
 	}
@@ -238,22 +386,35 @@ func (p *Proc) Isend(dst, tag, size int, payload any) *Request {
 	}
 	arrival := txStart + (m.Latency(p.rank, dst)+transfer)*p.noise()
 
-	msg := &message{src: p.rank, dst: dst, tag: tag, size: size, payload: payload, arrival: arrival}
+	msg := msgPool.Get().(*message)
+	*msg = message{src: p.rank, dst: dst, tag: tag, size: size, payload: payload, arrival: arrival}
 	p.w.mailboxes[dst].deliver(msg)
 	p.w.messages.Add(1)
 	p.w.bytes.Add(int64(size))
 
-	completeAt := p.txFree
+	completeAt = p.txFree
 	if p.rank == dst || sameNIC {
 		completeAt = arrival
 	}
 	if p.w.opts.AckSends && p.rank != dst {
 		completeAt = arrival + m.Latency(dst, p.rank)
 	}
-	return &Request{
+	return completeAt
+}
+
+// Isend posts a non-blocking send of size bytes carrying an arbitrary payload
+// to rank dst with the given tag. The message is delivered eagerly; the
+// returned request completes (for Wait purposes) when the transfer — and, in
+// ack mode, its acknowledgement — is done. The request is recycled by Wait
+// and must not be used afterwards.
+func (p *Proc) Isend(dst, tag, size int, payload any) *Request {
+	completeAt := p.sendCore(dst, tag, size, payload)
+	r := p.newRequest()
+	*r = Request{
 		proc: p, isSend: true, peer: dst, tag: tag, size: size, payload: payload,
 		postTime: p.now, completeAt: completeAt, resolved: true,
 	}
+	return r
 }
 
 // Post is a fire-and-forget eager send: the sender pays its overhead and port
@@ -261,20 +422,24 @@ func (p *Proc) Isend(dst, tag, size int, payload any) *Request {
 // The BSP run-time uses it for one-sided communication committed during a
 // superstep.
 func (p *Proc) Post(dst, tag, size int, payload any) {
-	_ = p.Isend(dst, tag, size, payload)
+	p.sendCore(dst, tag, size, payload)
 }
 
 // Irecv posts a non-blocking receive for a message from rank src with the
-// given tag. Matching happens at Wait time.
+// given tag. Matching happens at Wait time; the request is recycled by Wait
+// and must not be used afterwards.
 func (p *Proc) Irecv(src, tag int) *Request {
 	if src < 0 || src >= p.Size() {
 		panic(fmt.Sprintf("simnet: receive from invalid rank %d", src))
 	}
-	return &Request{proc: p, isSend: false, peer: src, tag: tag, postTime: p.now}
+	r := p.newRequest()
+	*r = Request{proc: p, isSend: false, peer: src, tag: tag, postTime: p.now}
+	return r
 }
 
-// resolveRecv blocks until the matching message exists and computes the
-// completion time of the receive.
+// resolveRecv blocks until the matching message exists, computes the
+// completion time of the receive, extracts the payload into the request and
+// releases the message envelope back to the pool.
 func (r *Request) resolveRecv() {
 	if r.resolved {
 		return
@@ -282,7 +447,6 @@ func (r *Request) resolveRecv() {
 	p := r.proc
 	m := p.w.machine
 	msg := p.w.mailboxes[p.rank].take(r.peer, r.tag)
-	r.msg = msg
 	start := r.postTime
 	if msg.arrival > start {
 		start = msg.arrival
@@ -295,12 +459,19 @@ func (r *Request) resolveRecv() {
 		p.rxFree = start + m.Gap(r.peer, p.rank)
 	}
 	r.completeAt = start
+	r.payload = msg.payload
 	r.resolved = true
+	releaseMessage(msg)
 }
 
 // Wait blocks until the request completes and advances the caller's clock to
-// the completion time. For receives it returns the message payload.
+// the completion time. For receives it returns the message payload. Wait
+// recycles the request: using (or re-waiting) a Request after Wait has
+// returned is an error.
 func (p *Proc) Wait(r *Request) any {
+	if r.proc == nil {
+		panic("simnet: Wait on an already-completed request (requests are recycled by Wait)")
+	}
 	if r.proc != p {
 		panic("simnet: waiting on a request posted by a different rank")
 	}
@@ -310,10 +481,12 @@ func (p *Proc) Wait(r *Request) any {
 	if r.completeAt > p.now {
 		p.now = r.completeAt
 	}
-	if r.isSend {
-		return nil
+	var out any
+	if !r.isSend {
+		out = r.payload
 	}
-	return r.msg.payload
+	p.releaseRequest(r)
+	return out
 }
 
 // WaitAll waits for every request, in order, and returns the payloads of the
@@ -339,6 +512,14 @@ func (p *Proc) Recv(src, tag int) any {
 // Run executes body once per rank of the machine, each in its own goroutine,
 // and returns the per-rank finishing times. An error returned by any rank, a
 // panic in any rank, or exceeding the wall-clock deadline aborts the run.
+//
+// When the deadline fires, the run is cancelled: every rank blocked in (or
+// subsequently entering) a receive unwinds, the watchdog timer is stopped, and
+// Run waits for the rank goroutines to terminate before returning ErrDeadline
+// — nothing leaks. The one teardown gap is a rank spinning forever in pure
+// computation without ever communicating: such a body never yields to the
+// simulator and cannot be interrupted, so after a grace period Run returns
+// ErrDeadline anyway, leaking that goroutine rather than hanging.
 func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) {
 	if m == nil || m.Procs() < 1 {
 		return nil, errors.New("simnet: machine with at least one rank required")
@@ -352,7 +533,7 @@ func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) 
 	}
 	w := &world{machine: m, opts: o, mailboxes: make([]*mailbox, m.Procs())}
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox()
+		w.mailboxes[i] = newMailbox(&w.cancelled)
 	}
 
 	procs := make([]*Proc, m.Procs())
@@ -366,6 +547,10 @@ func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) 
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
+					if _, ok := rec.(cancelPanic); ok {
+						errs[rank] = ErrDeadline
+						return
+					}
 					errs[rank] = fmt.Errorf("simnet: rank %d panicked: %v", rank, rec)
 				}
 			}()
@@ -378,9 +563,27 @@ func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) 
 		wg.Wait()
 		close(done)
 	}()
+	timer := time.NewTimer(o.Deadline)
+	defer timer.Stop()
 	select {
 	case <-done:
-	case <-time.After(o.Deadline):
+	case <-timer.C:
+		// Cancel first (so receives not yet blocked abort on entry), then wake
+		// everything already blocked, then wait for the goroutines to unwind.
+		w.cancelled.Store(true)
+		for _, mb := range w.mailboxes {
+			mb.cancelAll()
+		}
+		// Ranks blocked in receives unwind promptly. A rank that never
+		// communicates again cannot be interrupted, so don't let it hang Run:
+		// after a grace period return anyway, leaking that one goroutine (as
+		// the pre-cancellation implementation always did for every rank).
+		grace := time.NewTimer(5 * time.Second)
+		defer grace.Stop()
+		select {
+		case <-done:
+		case <-grace.C:
+		}
 		return nil, ErrDeadline
 	}
 
