@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
+	"hbsp/cluster"
+	"hbsp/experiments"
 )
 
 func main() {
@@ -24,12 +24,12 @@ func main() {
 
 	// Tables 7.1 and 7.2.
 	for _, tc := range []struct {
-		prof  *platform.Profile
+		prof  *cluster.Profile
 		procs int
 		title string
 	}{
-		{platform.Xeon8x2x4(), 60, "Table 7.1: 60-process SSS clustering on the 8x2x4 configuration"},
-		{platform.Opteron10x2x6(), 115, "Table 7.2: 115-process SSS clustering on the 10x2x6 configuration"},
+		{cluster.Xeon8x2x4(), 60, "Table 7.1: 60-process SSS clustering on the 8x2x4 configuration"},
+		{cluster.Opteron10x2x6(), 115, "Table 7.2: 115-process SSS clustering on the 10x2x6 configuration"},
 	} {
 		res, err := experiments.Table7_1(tc.prof, tc.procs)
 		if err != nil {
@@ -44,12 +44,12 @@ func main() {
 
 	// Figs. 7.4–7.7.
 	for _, tc := range []struct {
-		prof  *platform.Profile
+		prof  *cluster.Profile
 		max   int
 		title string
 	}{
-		{platform.Xeon8x2x4(), opts.MaxProcsXeon, "Figs 7.4/7.6: adapted barrier vs defaults on the 8x2x4 cluster"},
-		{platform.Opteron12x2x6(), opts.MaxProcsOpteron, "Figs 7.5/7.7: adapted barrier vs defaults on the 12x2x6 cluster"},
+		{cluster.Xeon8x2x4(), opts.MaxProcsXeon, "Figs 7.4/7.6: adapted barrier vs defaults on the 8x2x4 cluster"},
+		{cluster.Opteron12x2x6(), opts.MaxProcsOpteron, "Figs 7.5/7.7: adapted barrier vs defaults on the 12x2x6 cluster"},
 	} {
 		points, err := experiments.Fig7_4Series(tc.prof, tc.max, opts)
 		if err != nil {

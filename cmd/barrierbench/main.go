@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
+	"hbsp/cluster"
+	"hbsp/experiments"
 )
 
 func main() {
@@ -27,18 +27,18 @@ func main() {
 	}
 
 	type target struct {
-		prof *platform.Profile
+		prof *cluster.Profile
 		max  int
 		figA string
 		figB string
 	}
 	var targets []target
 	if *platName == "xeon" || *platName == "both" {
-		targets = append(targets, target{platform.Xeon8x2x4(), opts.MaxProcsXeon,
+		targets = append(targets, target{cluster.Xeon8x2x4(), opts.MaxProcsXeon,
 			"Figs 5.6-5.9: barrier cost on the 8-way 2x4-core cluster", "Fig 6.3: BSP sync on the 8x2x4 cluster"})
 	}
 	if *platName == "opteron" || *platName == "both" {
-		targets = append(targets, target{platform.Opteron12x2x6(), opts.MaxProcsOpteron,
+		targets = append(targets, target{cluster.Opteron12x2x6(), opts.MaxProcsOpteron,
 			"Figs 5.10-5.13: barrier cost on the 12-way 2x6-core cluster", "Fig 6.4: BSP sync on the 12x2x6 cluster"})
 	}
 	if len(targets) == 0 {

@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
+	"hbsp/cluster"
+	"hbsp/experiments"
 )
 
 func main() {
@@ -24,7 +24,7 @@ func main() {
 	if *full {
 		opts = experiments.Full()
 	}
-	prof := platform.Xeon8x2x4()
+	prof := cluster.Xeon8x2x4()
 
 	rows, err := experiments.Table3_1(prof, opts)
 	if err != nil {

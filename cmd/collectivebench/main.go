@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
+	"hbsp/cluster"
+	"hbsp/experiments"
 )
 
 func main() {
@@ -25,11 +25,11 @@ func main() {
 	}
 
 	for _, tc := range []struct {
-		prof *platform.Profile
+		prof *cluster.Profile
 		max  int
 	}{
-		{platform.Xeon8x2x4(), opts.MaxProcsXeon},
-		{platform.Opteron12x2x6(), opts.MaxProcsOpteron},
+		{cluster.Xeon8x2x4(), opts.MaxProcsXeon},
+		{cluster.Opteron12x2x6(), opts.MaxProcsOpteron},
 	} {
 		points, err := experiments.CollectiveSeries(tc.prof, tc.max, opts)
 		if err != nil {
@@ -40,7 +40,7 @@ func main() {
 		fmt.Println()
 	}
 
-	sync, err := experiments.AdaptedSyncSeries(platform.Xeon8x2x4(), opts.MaxProcsXeon, opts)
+	sync, err := experiments.AdaptedSyncSeries(cluster.Xeon8x2x4(), opts.MaxProcsXeon, opts)
 	if err != nil {
 		log.Fatalf("collectivebench: %v", err)
 	}

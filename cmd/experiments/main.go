@@ -8,7 +8,7 @@ import (
 	"log"
 	"os"
 
-	"hbsp/internal/experiments"
+	"hbsp/experiments"
 )
 
 func main() {

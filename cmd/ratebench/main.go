@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
+	"hbsp/cluster"
+	"hbsp/experiments"
 )
 
 func main() {
@@ -22,7 +22,7 @@ func main() {
 	if *full {
 		opts = experiments.Full()
 	}
-	xeon := platform.Xeon8x2x4()
+	xeon := cluster.Xeon8x2x4()
 
 	rates, err := experiments.Fig4_2(xeon)
 	if err != nil {
@@ -50,7 +50,7 @@ func main() {
 	fmt.Print(tbl.String())
 	fmt.Println()
 
-	athlon := platform.AthlonX2()
+	athlon := cluster.AthlonX2()
 	for _, sweep := range []struct {
 		title    string
 		maxBytes float64

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,11 +26,11 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"hbsp/internal/barrier"
-	"hbsp/internal/bsp"
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
-	"hbsp/internal/simnet"
+	"hbsp/bsp"
+	"hbsp/cluster"
+	"hbsp/collective"
+	"hbsp/experiments"
+	"hbsp/sim"
 )
 
 // Entry is one benchmark point of the JSON baseline.
@@ -101,9 +102,9 @@ func main() {
 }
 
 // benchMachine instantiates the shared benchmark machine (see
-// platform.XeonClusterMachine — bench_test.go measures the same platform).
-func benchMachine(procs int) *platform.Machine {
-	m, err := platform.XeonClusterMachine(procs)
+// cluster.XeonClusterMachine — bench_test.go measures the same platform).
+func benchMachine(procs int) *cluster.Machine {
+	m, err := cluster.XeonClusterMachine(procs)
 	if err != nil {
 		log.Fatalf("simbench: machine for %d ranks: %v", procs, err)
 	}
@@ -130,7 +131,7 @@ func entry(name string, procs int, r testing.BenchmarkResult, messages int64) En
 // benchSendRecv measures the raw point-to-point path: every rank runs a ring
 // of eager posts and blocking receives, the minimal program that exercises
 // injection ports, mailbox delivery and matching.
-func benchSendRecv(m *platform.Machine) Entry {
+func benchSendRecv(m *cluster.Machine) Entry {
 	const rounds = 8
 	var messages atomic.Int64
 	r := testing.Benchmark(func(b *testing.B) {
@@ -140,7 +141,7 @@ func benchSendRecv(m *platform.Machine) Entry {
 		// count only that round's messages.
 		messages.Store(0)
 		for i := 0; i < b.N; i++ {
-			res, err := simnet.Run(m, func(pr *simnet.Proc) error {
+			res, err := sim.Run(context.Background(), m, func(pr *sim.Proc) error {
 				n := pr.Size()
 				next, prev := (pr.Rank()+1)%n, (pr.Rank()+n-1)%n
 				for k := 0; k < rounds; k++ {
@@ -149,7 +150,7 @@ func benchSendRecv(m *platform.Machine) Entry {
 					pr.Wait(rq)
 				}
 				return nil
-			})
+			}, sim.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -162,13 +163,13 @@ func benchSendRecv(m *platform.Machine) Entry {
 // benchSync measures the dissemination count exchange plus drain that ends
 // every BSP superstep, on the same fixed workload every harness uses
 // (experiments.SyncExchangeProgram).
-func benchSync(m *platform.Machine) Entry {
+func benchSync(m *cluster.Machine) Entry {
 	var messages atomic.Int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		messages.Store(0)
 		for i := 0; i < b.N; i++ {
-			res, err := bsp.Run(m, experiments.SyncExchangeProgram)
+			res, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{}, experiments.SyncExchangeProgram)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -180,8 +181,8 @@ func benchSync(m *platform.Machine) Entry {
 
 // benchTotalExchange measures the heaviest collective the schedule engine
 // generates: P² payload-carrying messages per execution.
-func benchTotalExchange(m *platform.Machine) Entry {
-	pat, err := barrier.TotalExchange(m.Procs(), 64)
+func benchTotalExchange(m *cluster.Machine) Entry {
+	pat, err := collective.TotalExchange(m.Procs(), 64)
 	if err != nil {
 		log.Fatalf("simbench: total exchange for %d ranks: %v", m.Procs(), err)
 	}
@@ -190,7 +191,7 @@ func benchTotalExchange(m *platform.Machine) Entry {
 		b.ReportAllocs()
 		messages.Store(0)
 		for i := 0; i < b.N; i++ {
-			if _, err := barrier.Measure(m, pat, 1); err != nil {
+			if _, err := collective.Measure(m, pat, 1); err != nil {
 				b.Fatal(err)
 			}
 			// Measure runs one warm-up execution plus one timed repetition.

@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/experiments"
-	"hbsp/internal/platform"
+	"hbsp/cluster"
+	"hbsp/experiments"
 )
 
 func main() {
@@ -22,7 +22,7 @@ func main() {
 	if *full {
 		opts = experiments.Full()
 	}
-	prof := platform.Xeon8x2x4()
+	prof := cluster.Xeon8x2x4()
 
 	fmt.Print(experiments.Table8_1Table(experiments.Table8_1(opts)).String())
 	fmt.Println()

@@ -1,0 +1,189 @@
+// Package collective is the public surface of the collective-schedule
+// engine: schedules represented as sequences of P×P boolean stage matrices
+// (Pattern), generators for barriers and payload-carrying collectives, the
+// knowledge-recursion verifier, the matrix cost model with its critical-path
+// search (Predict), the pattern simulator (Measure/Execute), and the
+// model-driven adaptation that selects hierarchical hybrid schedules from
+// benchmarked parameter matrices (Greedy/GreedySync).
+//
+// Verified patterns are directly executable with user data: they satisfy
+// mpi.Schedule, so mpi.Comm's schedule collectives (BcastSchedule,
+// AllreduceSchedule, ...) run them, and the bsp.Ctx collectives execute them
+// behind the scenes.
+package collective
+
+import (
+	"hbsp/internal/adapt"
+	"hbsp/internal/barrier"
+
+	"hbsp/matrix"
+	"hbsp/mpi"
+	"hbsp/sim"
+)
+
+// Pattern is a collective schedule: an ordered sequence of P×P boolean stage
+// matrices with optional per-edge payload sizes, a Semantics tag and, for
+// rooted collectives, a Root.
+type Pattern = barrier.Pattern
+
+// StageAdj is the sparse per-row adjacency of one stage.
+type StageAdj = barrier.StageAdj
+
+// Semantics names the collective postcondition a schedule must establish.
+type Semantics = barrier.Semantics
+
+// The collective semantics a schedule can be verified against.
+const (
+	SemBarrier       = barrier.SemBarrier
+	SemBroadcast     = barrier.SemBroadcast
+	SemReduce        = barrier.SemReduce
+	SemAllReduce     = barrier.SemAllReduce
+	SemAllGather     = barrier.SemAllGather
+	SemTotalExchange = barrier.SemTotalExchange
+)
+
+// Params are the architectural performance matrices the cost model consumes;
+// bench.ModelParams benchmarks them from a machine.
+type Params = barrier.Params
+
+// CostOptions tune the cost model.
+type CostOptions = barrier.CostOptions
+
+// Prediction is the result of evaluating the cost model on a pattern.
+type Prediction = barrier.Prediction
+
+// Measurement holds the result of measuring a pattern on a simulated
+// machine.
+type Measurement = barrier.Measurement
+
+// Errors of the schedule engine.
+var (
+	ErrInvalidPattern = barrier.ErrInvalidPattern
+	ErrNoReps         = barrier.ErrNoReps
+)
+
+// Barrier pattern generators.
+func Linear(p, root int) (*Pattern, error)  { return barrier.Linear(p, root) }
+func Dissemination(p int) (*Pattern, error) { return barrier.Dissemination(p) }
+func Tree(p int) (*Pattern, error)          { return barrier.Tree(p) }
+func FullyConnected(p int) (*Pattern, error) {
+	return barrier.FullyConnected(p)
+}
+func Ring(p int) (*Pattern, error)        { return barrier.Ring(p) }
+func KAryTree(p, k int) (*Pattern, error) { return barrier.KAryTree(p, k) }
+
+// Payload-carrying collective generators, each verified against its own
+// semantics by Collectives.
+func Broadcast(p, root, msgBytes int) (*Pattern, error) {
+	return barrier.Broadcast(p, root, msgBytes)
+}
+func Reduce(p, root, msgBytes int) (*Pattern, error) {
+	return barrier.Reduce(p, root, msgBytes)
+}
+func AllReduce(p, msgBytes int) (*Pattern, error) { return barrier.AllReduce(p, msgBytes) }
+func AllGather(p, blockBytes int) (*Pattern, error) {
+	return barrier.AllGather(p, blockBytes)
+}
+func TotalExchange(p, blockBytes int) (*Pattern, error) {
+	return barrier.TotalExchange(p, blockBytes)
+}
+
+// Collectives returns one verified schedule per collective at the given
+// process count and block size, keyed by name.
+func Collectives(p, blockBytes int) (map[string]*Pattern, error) {
+	return barrier.Collectives(p, blockBytes)
+}
+
+// WithSyncPayload attaches the BSP count-exchange payload to a pattern.
+func WithSyncPayload(pat *Pattern, bytesPerEntry int) *Pattern {
+	return barrier.WithSyncPayload(pat, bytesPerEntry)
+}
+
+// WithCountPayload attaches the BSP count-exchange payload to an arbitrary
+// schedule a synchronizer may execute.
+func WithCountPayload(pat *Pattern, bytesPerEntry int) *Pattern {
+	return barrier.WithCountPayload(pat, bytesPerEntry)
+}
+
+// DefaultCostOptions returns the thesis' cost model: acknowledgement factor
+// 2 with the posted-receive and minimum-invocation refinements enabled.
+func DefaultCostOptions() CostOptions { return barrier.DefaultCostOptions() }
+
+// CostOptionsFor returns the cost options matching a collective's data flow.
+func CostOptionsFor(sem Semantics) CostOptions { return barrier.CostOptionsFor(sem) }
+
+// Predict evaluates the cost model on a pattern: per-stage, per-process
+// costs combined by a critical-path search.
+func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error) {
+	return barrier.Predict(pat, params, opts)
+}
+
+// Measure executes the pattern reps times on the machine and reports the
+// worst-case duration statistics.
+func Measure(m sim.Machine, pat *Pattern, reps int) (*Measurement, error) {
+	return barrier.Measure(m, pat, reps)
+}
+
+// MeasureAlgorithms measures the three reference barriers on the machine.
+func MeasureAlgorithms(m sim.Machine, reps int) (map[string]*Measurement, error) {
+	return barrier.MeasureAlgorithms(m, reps)
+}
+
+// Execute runs one execution of the pattern on the calling rank (signals
+// only; use the Comm schedule collectives for data-carrying execution).
+func Execute(c *mpi.Comm, pat *Pattern, generation int) { barrier.Execute(c, pat, generation) }
+
+// Model-driven adaptation (Case Study I): latency clustering and the greedy
+// hybrid-schedule construction.
+
+// Clustering is a latency-homogeneous grouping of processes.
+type Clustering = adapt.Clustering
+
+// Candidate is one costed schedule candidate of a greedy construction.
+type Candidate = adapt.Candidate
+
+// AdaptResult ranks the candidate schedules of a greedy construction; Best
+// is the model-selected winner.
+type AdaptResult = adapt.Result
+
+// SubPattern selects the intra- or inter-cluster pattern family of a hybrid.
+type SubPattern = adapt.SubPattern
+
+// ErrBadInput is returned by the adaptation pipeline on invalid inputs.
+var ErrBadInput = adapt.ErrBadInput
+
+// AutoThreshold derives a latency threshold separating intra- from
+// inter-cluster pairs.
+func AutoThreshold(latency *matrix.Dense) (float64, error) { return adapt.AutoThreshold(latency) }
+
+// ClusterByLatency groups processes whose pairwise latency stays below the
+// threshold.
+func ClusterByLatency(latency *matrix.Dense, threshold float64) (*Clustering, error) {
+	return adapt.ClusterByLatency(latency, threshold)
+}
+
+// ClusterAuto clusters with an automatically derived threshold.
+func ClusterAuto(latency *matrix.Dense) (*Clustering, error) { return adapt.ClusterAuto(latency) }
+
+// BuildHybrid assembles a hierarchical hybrid barrier from a clustering.
+func BuildHybrid(cl *Clustering, intra, inter SubPattern) (*Pattern, error) {
+	return adapt.BuildHybrid(cl, intra, inter)
+}
+
+// Greedy runs the model-driven construction of Chapter 7: cluster, build the
+// candidate hybrids, cost every candidate, return the ranking.
+func Greedy(params Params, opts CostOptions) (*AdaptResult, error) {
+	return adapt.Greedy(params, opts)
+}
+
+// GreedyWithClustering is Greedy with an explicit clustering.
+func GreedyWithClustering(params Params, opts CostOptions, cl *Clustering) (*AdaptResult, error) {
+	return adapt.GreedyWithClustering(params, opts, cl)
+}
+
+// GreedySync is Greedy with every candidate costed carrying the BSP
+// count-exchange payload; its winner is what hbsp.WithAdaptedSynchronizer
+// executes at the end of every superstep.
+func GreedySync(params Params, opts CostOptions, bytesPerEntry int) (*AdaptResult, error) {
+	return adapt.GreedySync(params, opts, bytesPerEntry)
+}

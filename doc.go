@@ -2,18 +2,48 @@
 // Systems" (Jan Christian Meyer, NTNU): a framework that models heterogeneous
 // SMP clusters by replacing the scalar BSP parameters with matrices of
 // pairwise and per-kernel performance parameters, a matrix-based cost model
-// for barrier synchronization, an overlapping BSPlib run-time, and the two
-// case studies (model-driven barrier adaptation and a 5-point Laplacian
-// stencil) — all executed against a virtual-time cluster simulator that
-// stands in for the thesis' physical test systems.
+// for synchronization and collective schedules, an overlapping BSPlib
+// run-time, and the thesis' two case studies — all executed against a
+// deterministic virtual-time cluster simulator that stands in for the
+// thesis' physical test systems.
 //
-// The implementation lives under internal/; see README.md for the package
-// map, including the collective-schedule engine (internal/barrier), the
-// pluggable superstep synchronizer (internal/bsp) and the parallel sweep
-// engine (internal/experiments). cmd/simbench is the simulator's
-// machine-readable benchmark harness: it regenerates BENCH_simnet.json, the
-// tracked performance baseline of the simulator hot path (see the README's
-// "Simulator performance" section). The root package only hosts the
-// repository-level benchmark harness (bench_test.go), which regenerates every
-// table and figure of the evaluation and tracks the simulator micro-benchmarks.
+// The root package is the SDK facade: build a machine from a platform
+// profile (package cluster), wrap it in a Session with functional options,
+// and run raw simulator, BSP or MPI programs against it with a cancellable
+// context:
+//
+//	machine, err := cluster.Xeon8x2x4().Machine(16)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	sess, err := hbsp.New(machine,
+//		hbsp.WithSeed(42),
+//		hbsp.WithDeadline(30*time.Second),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	res, err := sess.RunBSP(ctx, func(c *bsp.Ctx) error {
+//		sum, err := c.AllReduce([]float64{float64(c.Pid())}, bsp.OpSum)
+//		if err != nil {
+//			return err
+//		}
+//		_ = sum // identical on every process
+//		return c.Sync()
+//	})
+//
+// Runs return typed errors (ErrDeadline, ErrAborted, ErrInvalidMachine) and
+// bit-identical virtual times to the internal engines, pinned by golden
+// tests.
+//
+// The public packages layer as follows: cluster (platform profiles,
+// topologies, machines) feeds sim (the virtual-time simulator), on which bsp
+// (the BSPlib run-time with user collectives and the pluggable superstep
+// synchronizer) and mpi (point-to-point, persistent requests,
+// schedule-driven collectives) are built; collective holds the
+// schedule engine (patterns, verification, cost model, model-driven
+// adaptation), bench the measurement procedures, kernels and matrix the
+// modeling vocabulary, stencil Case Study II, and experiments the evaluation
+// driver. See README.md for the package map and a migration table from the
+// pre-facade internal API.
 package hbsp

@@ -8,16 +8,15 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/adapt"
-	"hbsp/internal/barrier"
-	"hbsp/internal/bench"
-	"hbsp/internal/platform"
+	"hbsp/bench"
+	"hbsp/cluster"
+	"hbsp/collective"
 )
 
 func main() {
 	log.SetFlags(0)
 	const procs = 48
-	prof := platform.Xeon8x2x4()
+	prof := cluster.Xeon8x2x4()
 	machine, err := prof.Machine(procs)
 	if err != nil {
 		log.Fatal(err)
@@ -30,7 +29,7 @@ func main() {
 	}
 
 	// Subset-size selection and greedy construction.
-	result, err := adapt.Greedy(pair.Params(), barrier.DefaultCostOptions())
+	result, err := collective.Greedy(pair.Params(), collective.DefaultCostOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,12 +41,12 @@ func main() {
 
 	// Validate the winner against the flat defaults in simulation.
 	fmt.Println("\nmeasured (mean worst-case over 8 repetitions):")
-	adapted, err := barrier.Measure(machine, result.Best.Pattern, 8)
+	adapted, err := collective.Measure(machine, result.Best.Pattern, 8)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %-28s %.3e s\n", "adapted: "+result.Best.Name, adapted.MeanWorst)
-	flat, err := barrier.MeasureAlgorithms(machine, 8)
+	flat, err := collective.MeasureAlgorithms(machine, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

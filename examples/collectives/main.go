@@ -1,24 +1,27 @@
 // Example collectives builds one schedule per collective, verifies each
 // against its own semantics with the knowledge recursion, prices it with the
-// matrix cost model, and finally lets the model-selected hybrid schedule run
+// matrix cost model, exercises the user-facing BSP collectives that execute
+// such schedules, and finally lets the model-selected hybrid schedule run
 // the BSP count exchange in place of the dissemination default.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"hbsp/internal/barrier"
-	"hbsp/internal/bench"
-	"hbsp/internal/bsp"
-	"hbsp/internal/platform"
+	"hbsp"
+	"hbsp/bench"
+	"hbsp/bsp"
+	"hbsp/cluster"
+	"hbsp/collective"
 )
 
 func main() {
 	log.SetFlags(0)
 	const procs = 16
 
-	prof := platform.Xeon8x2x4()
+	prof := cluster.Xeon8x2x4()
 	m, err := prof.Machine(procs)
 	if err != nil {
 		log.Fatal(err)
@@ -30,27 +33,53 @@ func main() {
 
 	// Every collective, verified per its own semantics and priced by the
 	// same model that prices barrier stages.
-	pats, err := barrier.Collectives(procs, 1024)
+	pats, err := collective.Collectives(procs, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-16s %-14s %8s %12s\n", "collective", "semantics", "stages", "predicted")
 	for _, name := range []string{"broadcast", "reduce", "allreduce", "allgather", "total-exchange"} {
 		pat := pats[name]
-		pred, err := barrier.Predict(pat, params, barrier.CostOptionsFor(pat.Semantics))
+		pred, err := collective.Predict(pat, params, collective.CostOptionsFor(pat.Semantics))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-16s %-14s %8d %11.3es\n", pat.Name, pat.Semantics, pat.NumStages(), pred.Total)
 	}
 
-	// Model-driven synchronizer selection: the greedy construction of
-	// Chapter 7 costed with the count payload, executed by the runtime.
-	sync, res, err := bsp.NewAdaptedSynchronizer(params, barrier.DefaultCostOptions())
+	// The user-facing collectives execute exactly such verified schedules:
+	// a 128-element allreduce through the facade.
+	sess, err := hbsp.New(m, hbsp.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nselected count-exchange schedule: %s (predicted %.3es)\n", sync.Name(), res.Best.Predicted)
+	_, err = sess.RunBSP(context.Background(), func(ctx *bsp.Ctx) error {
+		vec := make([]float64, 128)
+		for i := range vec {
+			vec[i] = float64(ctx.Pid())
+		}
+		sum, err := ctx.AllReduce(vec, bsp.OpSum)
+		if err != nil {
+			return err
+		}
+		if ctx.Pid() == 0 {
+			fmt.Printf("\nuser AllReduce over %d procs: every element = %g\n", ctx.NProcs(), sum[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Model-driven synchronizer selection: the greedy construction of
+	// Chapter 7 costed with the count payload, executed by the runtime —
+	// installed with one functional option.
+	syncRes, err := collective.GreedySync(params, collective.DefaultCostOptions(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected count-exchange schedule: %s (predicted %.3es)\n",
+		syncRes.Best.Name, syncRes.Best.Predicted)
 
 	program := func(ctx *bsp.Ctx) error {
 		area := make([]float64, ctx.NProcs())
@@ -64,11 +93,16 @@ func main() {
 		}
 		return ctx.Sync()
 	}
-	base, err := bsp.Run(m.WithRunSeed(7), program)
+	base, err := sess.RunBSP(context.Background(), program)
 	if err != nil {
 		log.Fatal(err)
 	}
-	adapted, err := bsp.RunWith(m.WithRunSeed(7), sync, program)
+	adaptedSess, err := hbsp.New(m, hbsp.WithSeed(7),
+		hbsp.WithScheduleSynchronizer(syncRes.Best.Pattern))
+	if err != nil {
+		log.Fatal(err)
+	}
+	adapted, err := adaptedSess.RunBSP(context.Background(), program)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,28 +2,36 @@
 // distributed inner product is executed with the BSP run-time on the
 // simulated Xeon cluster for growing process counts and compared against the
 // classic scalar BSP estimate built from bspbench parameters — reproducing
-// the Fig. 3.2 observation that the scalar model misprices the program.
+// the Fig. 3.2 observation that the scalar model misprices the program. The
+// partial sums are combined with the schedule-driven AllReduce collective,
+// so the total is bit-identical on every process.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"hbsp/internal/bench"
-	"hbsp/internal/bsp"
-	"hbsp/internal/kernels"
-	"hbsp/internal/platform"
+	"hbsp"
+	"hbsp/bench"
+	"hbsp/bsp"
+	"hbsp/cluster"
+	"hbsp/kernels"
 )
 
 const n = 1 << 22 // problem size (elements)
 
 func main() {
 	log.SetFlags(0)
-	prof := platform.Xeon8x2x4()
+	prof := cluster.Xeon8x2x4()
 
 	fmt.Printf("%-6s %-14s %-14s %-14s %s\n", "P", "measured [s]", "estimate [s]", "serial dot", "check")
 	for _, procs := range []int{8, 16, 32, 64} {
 		machine, err := prof.Machine(procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := hbsp.New(machine)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +50,7 @@ func main() {
 
 		// The actual bspinprod program, computing real values.
 		totals := make([]float64, procs)
-		res, err := bsp.Run(machine, func(ctx *bsp.Ctx) error {
+		res, err := sess.RunBSP(context.Background(), func(ctx *bsp.Ctx) error {
 			p := ctx.NProcs()
 			local := n / p
 			x := make([]float64, local)
@@ -52,8 +60,6 @@ func main() {
 				x[i] = float64(gi%13) / 13
 				y[i] = float64(gi%7) / 7
 			}
-			partials := make([]float64, p)
-			ctx.PushReg("partials", partials)
 			if err := ctx.Sync(); err != nil {
 				return err
 			}
@@ -62,20 +68,12 @@ func main() {
 				return err
 			}
 			ctx.ComputeKernel(kernels.Dot, local, 1)
-			for d := 0; d < p; d++ {
-				if err := ctx.Put(d, "partials", ctx.Pid(), []float64{sum}); err != nil {
-					return err
-				}
-			}
-			if err := ctx.Sync(); err != nil {
+			total, err := ctx.AllReduce([]float64{sum}, bsp.OpSum)
+			if err != nil {
 				return err
 			}
-			total := 0.0
-			for _, v := range partials {
-				total += v
-			}
 			ctx.ComputeKernel(kernels.Asum, p, 1)
-			totals[ctx.Pid()] = total
+			totals[ctx.Pid()] = total[0]
 			return nil
 		})
 		if err != nil {

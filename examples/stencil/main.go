@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"hbsp/internal/platform"
-	"hbsp/internal/stencil"
+	"hbsp/cluster"
+	"hbsp/stencil"
 )
 
 func main() {
@@ -17,7 +17,7 @@ func main() {
 	const procs = 16
 	cfg := stencil.Config{N: 512, Iterations: 4, C: 0.2}
 
-	prof := platform.Xeon8x2x4()
+	prof := cluster.Xeon8x2x4()
 	machine, err := prof.Machine(procs)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,122 @@
+// Package experiments is the public surface of the evaluation driver: one
+// function per table and figure of the thesis' evaluation, each running its
+// simulation points on the parallel sweep engine, plus the RunAll report
+// that cmd/experiments prints. Sweep sizes are configured with Quick (CI,
+// seconds) or Full (complete sweeps, minutes).
+package experiments
+
+import (
+	"io"
+
+	iexp "hbsp/internal/experiments"
+
+	"hbsp/bsp"
+	"hbsp/cluster"
+)
+
+// Options select the sweep sizes of every experiment.
+type Options = iexp.Options
+
+// Table is a formatted result table.
+type Table = iexp.Table
+
+// Result row/point types of the individual experiments.
+type (
+	BSPBenchRow           = iexp.BSPBenchRow
+	InnerProductPoint     = iexp.InnerProductPoint
+	RatePoint             = iexp.RatePoint
+	KernelPredictionPoint = iexp.KernelPredictionPoint
+	BLASPoint             = iexp.BLASPoint
+	BarrierPoint          = iexp.BarrierPoint
+	SyncPoint             = iexp.SyncPoint
+	ClusteringResult      = iexp.ClusteringResult
+	HybridPoint           = iexp.HybridPoint
+	CollectivePoint       = iexp.CollectivePoint
+	AdaptedSyncPoint      = iexp.AdaptedSyncPoint
+	StencilConfigRow      = iexp.StencilConfigRow
+	WallTimeRow           = iexp.WallTimeRow
+	ScalingPoint          = iexp.ScalingPoint
+	PredictionPoint       = iexp.PredictionPoint
+	OverlapSweepPoint     = iexp.OverlapSweepPoint
+)
+
+// Quick returns the reduced sweep sizes of the fast sanity pass.
+func Quick() Options { return iexp.Quick() }
+
+// Full returns the complete sweep sizes of the evaluation.
+func Full() Options { return iexp.Full() }
+
+// RunAll regenerates every table and figure and writes the report to w.
+func RunAll(w io.Writer, opts Options) error { return iexp.RunAll(w, opts) }
+
+// Chapter 3: classic scalar BSP parameters and the inner-product comparison.
+func Table3_1(prof *cluster.Profile, opts Options) ([]BSPBenchRow, error) {
+	return iexp.Table3_1(prof, opts)
+}
+func Table3_1Table(rows []BSPBenchRow) *Table { return iexp.Table3_1Table(rows) }
+func Fig3_2(prof *cluster.Profile, paramRows []BSPBenchRow, n int, opts Options) ([]InnerProductPoint, error) {
+	return iexp.Fig3_2(prof, paramRows, n, opts)
+}
+
+// Chapter 4: computational rates.
+func Fig4_2(prof *cluster.Profile) ([]RatePoint, error) { return iexp.Fig4_2(prof) }
+func Fig4_3(prof *cluster.Profile, opts Options) ([]KernelPredictionPoint, error) {
+	return iexp.Fig4_3(prof, opts)
+}
+func Fig4_5(prof *cluster.Profile, maxBytes float64) ([]BLASPoint, error) {
+	return iexp.Fig4_5(prof, maxBytes)
+}
+
+// Chapter 5/6: barrier cost model and the payload-extended synchronization.
+func Fig5_6Series(prof *cluster.Profile, maxProcs int, opts Options) ([]BarrierPoint, error) {
+	return iexp.Fig5_6Series(prof, maxProcs, opts)
+}
+func BarrierTable(title string, points []BarrierPoint) *Table {
+	return iexp.BarrierTable(title, points)
+}
+func Fig6_3Series(prof *cluster.Profile, maxProcs int, opts Options) ([]SyncPoint, error) {
+	return iexp.Fig6_3Series(prof, maxProcs, opts)
+}
+
+// Chapter 7 (Case Study I): clustering and the adapted barrier.
+func Table7_1(prof *cluster.Profile, procs int) (*ClusteringResult, error) {
+	return iexp.Table7_1(prof, procs)
+}
+func Fig7_4Series(prof *cluster.Profile, maxProcs int, opts Options) ([]HybridPoint, error) {
+	return iexp.Fig7_4Series(prof, maxProcs, opts)
+}
+
+// Collectives: measured vs predicted, and the adapted synchronizer end to
+// end.
+func CollectiveSeries(prof *cluster.Profile, maxProcs int, opts Options) ([]CollectivePoint, error) {
+	return iexp.CollectiveSeries(prof, maxProcs, opts)
+}
+func CollectiveTable(title string, points []CollectivePoint) *Table {
+	return iexp.CollectiveTable(title, points)
+}
+func AdaptedSyncSeries(prof *cluster.Profile, maxProcs int, opts Options) ([]AdaptedSyncPoint, error) {
+	return iexp.AdaptedSyncSeries(prof, maxProcs, opts)
+}
+func AdaptedSyncTable(title string, points []AdaptedSyncPoint) *Table {
+	return iexp.AdaptedSyncTable(title, points)
+}
+
+// SyncExchangeProgram is the shared BSP workload of the synchronizer
+// benchmarks.
+func SyncExchangeProgram(ctx *bsp.Ctx) error { return iexp.SyncExchangeProgram(ctx) }
+
+// Chapter 8 (Case Study II): the stencil evaluation.
+func Table8_1(opts Options) []StencilConfigRow     { return iexp.Table8_1(opts) }
+func Table8_1Table(rows []StencilConfigRow) *Table { return iexp.Table8_1Table(rows) }
+func Table8_2(prof *cluster.Profile, opts Options) ([]WallTimeRow, error) {
+	return iexp.Table8_2(prof, opts)
+}
+func Fig8_4Series(prof *cluster.Profile, gridN int, implementations []string, opts Options) ([]ScalingPoint, error) {
+	return iexp.Fig8_4Series(prof, gridN, implementations, opts)
+}
+func Fig8_10Series(prof *cluster.Profile, opts Options) ([]PredictionPoint, error) {
+	return iexp.Fig8_10Series(prof, opts)
+}
+func Fig8_18Series(prof *cluster.Profile, procs int, opts Options) ([]OverlapSweepPoint, error) {
+	return iexp.Fig8_18Series(prof, procs, opts)
+}

@@ -1,0 +1,153 @@
+package hbsp
+
+// In-package test: it runs the same programs once through the internal
+// engines (hbsp/internal/...) and once through the public facade, and
+// requires the per-rank virtual times to be bit-identical — the guarantee
+// that the API redesign is a pure surface change with no timing drift.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	ibsp "hbsp/internal/bsp"
+	impi "hbsp/internal/mpi"
+	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
+
+	"hbsp/bsp"
+	"hbsp/mpi"
+	"hbsp/sim"
+)
+
+func goldenMachine(t *testing.T, procs int) *platform.Machine {
+	t.Helper()
+	m, err := platform.Xeon8x2x4().Machine(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func requireIdenticalTimes(t *testing.T, surface string, facade, internal *simnet.Result) {
+	t.Helper()
+	if len(facade.Times) != len(internal.Times) {
+		t.Fatalf("%s: %d ranks via facade, %d via internal engine", surface, len(facade.Times), len(internal.Times))
+	}
+	for i := range facade.Times {
+		if facade.Times[i] != internal.Times[i] {
+			t.Errorf("%s rank %d: facade time %.17g != internal time %.17g",
+				surface, i, facade.Times[i], internal.Times[i])
+		}
+	}
+	if facade.MakeSpan != internal.MakeSpan || facade.Messages != internal.Messages || facade.Bytes != internal.Bytes {
+		t.Errorf("%s: facade summary (%.17g, %d, %d) != internal (%.17g, %d, %d)",
+			surface, facade.MakeSpan, facade.Messages, facade.Bytes,
+			internal.MakeSpan, internal.Messages, internal.Bytes)
+	}
+}
+
+// TestGoldenFacadeBSP pins that a BSP program (supersteps, one-sided
+// communication, BSMP, a user collective) runs bit-identically through
+// Session.RunBSP and through the internal bsp engine, with noise enabled.
+func TestGoldenFacadeBSP(t *testing.T) {
+	const procs = 16
+	program := func(c *ibsp.Ctx) error {
+		area := make([]float64, c.NProcs())
+		c.PushReg("x", area)
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		right := (c.Pid() + 1) % c.NProcs()
+		if err := c.Put(right, "x", c.Pid(), []float64{1}); err != nil {
+			return err
+		}
+		if err := c.Send(right, 7, []float64{2, 3}); err != nil {
+			return err
+		}
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		if _, err := c.AllReduce([]float64{float64(c.Pid())}, ibsp.OpSum); err != nil {
+			return err
+		}
+		return c.Sync()
+	}
+
+	internal, err := ibsp.Run(goldenMachine(t, procs).WithRunSeed(11), program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(goldenMachine(t, procs), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facade, err := sess.RunBSP(context.Background(), bsp.Program(program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalTimes(t, "bsp", facade, internal)
+}
+
+// TestGoldenFacadeMPI pins the MPI surface the same way, including a
+// schedule-driven collective.
+func TestGoldenFacadeMPI(t *testing.T) {
+	const procs = 12
+	body := func(c *impi.Comm) error {
+		c.Barrier()
+		if c.Allreduce(1, impi.OpSum) != procs {
+			return fmt.Errorf("rank %d: bad allreduce", c.Rank())
+		}
+		c.Bcast(42, 0)
+		return nil
+	}
+
+	internal, err := impi.Run(goldenMachine(t, procs).WithRunSeed(5), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(goldenMachine(t, procs), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facade, err := sess.RunMPI(context.Background(), func(c *mpi.Comm) error { return body(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalTimes(t, "mpi", facade, internal)
+}
+
+// TestGoldenFacadeRaw pins the raw simulator surface (Session.Run vs
+// simnet.Run) on an all-pairs exchange.
+func TestGoldenFacadeRaw(t *testing.T) {
+	const procs = 16
+	body := func(p *simnet.Proc) error {
+		n := p.Size()
+		var reqs []*simnet.Request
+		for d := 1; d < n; d++ {
+			reqs = append(reqs, p.Irecv((p.Rank()-d+n)%n, d))
+		}
+		p.Compute(float64(p.Rank()) * 1e-7)
+		for d := 1; d < n; d++ {
+			p.Post((p.Rank()+d)%n, d, 8*d, nil)
+		}
+		for _, r := range reqs {
+			p.Wait(r)
+		}
+		return nil
+	}
+
+	internal, err := simnet.Run(goldenMachine(t, procs).WithRunSeed(42), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(goldenMachine(t, procs), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facade, err := sess.Run(context.Background(), func(p *sim.Proc) error { return body(p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalTimes(t, "sim", facade, internal)
+}

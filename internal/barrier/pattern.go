@@ -91,6 +91,26 @@ func (pat *Pattern) Validate() error {
 // NumStages returns the number of stages.
 func (pat *Pattern) NumStages() int { return len(pat.Stages) }
 
+// NumProcs returns the number of participating processes. Together with
+// NumStages and StageEdges it makes a Pattern satisfy the mpi.Schedule
+// interface, so verified schedules are directly executable by the
+// schedule-driven collectives of internal/mpi and internal/bsp.
+func (pat *Pattern) NumProcs() int { return pat.Procs }
+
+// StageEdges returns the sparse in/out adjacency of one rank in one stage:
+// the ranks signalling it, the ranks it signals, and the payload size in
+// bytes of each out-edge (nil when the pattern carries no payload). The
+// caller must not mutate the returned slices; they alias the cached
+// adjacency.
+func (pat *Pattern) StageEdges(stage, rank int) (ins, outs, outBytes []int) {
+	adj := pat.Adjacency()[stage]
+	ins, outs = adj.In[rank], adj.Out[rank]
+	if adj.OutBytes != nil {
+		outBytes = adj.OutBytes[rank]
+	}
+	return ins, outs, outBytes
+}
+
 // Signals returns the total number of signals across all stages.
 func (pat *Pattern) Signals() int {
 	n := 0

@@ -92,6 +92,12 @@ type Ctx struct {
 	machine Machine
 	// sync performs the count total exchange that ends every superstep.
 	sync Synchronizer
+	// schedules supplies the verified schedules the user-facing collectives
+	// (Broadcast, Reduce, AllReduce, AllGather, TotalExchange) execute.
+	schedules ScheduleSource
+	// observer, when non-nil, is called at the end of every Sync with the
+	// completed superstep index and the process' virtual time.
+	observer SyncObserver
 
 	// Registered memory areas, keyed by registration name.
 	regs        map[string][]float64
@@ -127,6 +133,7 @@ func newCtx(p *simnet.Proc, m Machine) *Ctx {
 		proc:      p,
 		machine:   m,
 		sync:      DefaultSynchronizer(),
+		schedules: defaultSchedules,
 		regs:      map[string][]float64{},
 		outCounts: make([]int, p.Size()),
 	}
@@ -244,18 +251,28 @@ func (c *Ctx) Send(dst int, tag int, payload []float64) error {
 	return nil
 }
 
-// Qsize returns the number of BSMP messages delivered by the previous Sync
-// (bsp_qsize).
-func (c *Ctx) Qsize() int { return len(c.queue) }
+// QueueLen returns the number of BSMP messages delivered by the previous
+// Sync (bsp_qsize).
+func (c *Ctx) QueueLen() int { return len(c.queue) }
 
-// GetTag returns the tag of the first queued message, or an error when the
+// Qsize returns the number of BSMP messages delivered by the previous Sync.
+//
+// Deprecated: Use QueueLen; Qsize is the BSPlib spelling, kept as an alias.
+func (c *Ctx) Qsize() int { return c.QueueLen() }
+
+// PeekTag returns the tag of the first queued message, or an error when the
 // queue is empty (bsp_get_tag).
-func (c *Ctx) GetTag() (int, error) {
+func (c *Ctx) PeekTag() (int, error) {
 	if len(c.queue) == 0 {
 		return 0, errors.New("bsp: message queue is empty")
 	}
 	return c.queue[0].Tag, nil
 }
+
+// GetTag returns the tag of the first queued message.
+//
+// Deprecated: Use PeekTag; GetTag is the BSPlib spelling, kept as an alias.
+func (c *Ctx) GetTag() (int, error) { return c.PeekTag() }
 
 // Move dequeues the first BSMP message and returns its payload (bsp_move).
 func (c *Ctx) Move() ([]float64, error) {

@@ -131,18 +131,18 @@ func TestBSMPSendQsizeMove(t *testing.T) {
 				return err
 			}
 		}
-		if ctx.Qsize() != 0 {
+		if ctx.QueueLen() != 0 {
 			t.Errorf("queue should be empty before sync")
 		}
 		if err := ctx.Sync(); err != nil {
 			return err
 		}
-		if ctx.Qsize() != p-1 {
-			t.Errorf("process %d: Qsize = %d, want %d", ctx.Pid(), ctx.Qsize(), p-1)
+		if ctx.QueueLen() != p-1 {
+			t.Errorf("process %d: QueueLen = %d, want %d", ctx.Pid(), ctx.QueueLen(), p-1)
 		}
 		seen := map[int]bool{}
-		for ctx.Qsize() > 0 {
-			tag, err := ctx.GetTag()
+		for ctx.QueueLen() > 0 {
+			tag, err := ctx.PeekTag()
 			if err != nil {
 				return err
 			}
@@ -161,8 +161,8 @@ func TestBSMPSendQsizeMove(t *testing.T) {
 		if _, err := ctx.Move(); err == nil {
 			t.Error("Move on empty queue should fail")
 		}
-		if _, err := ctx.GetTag(); err == nil {
-			t.Error("GetTag on empty queue should fail")
+		if _, err := ctx.PeekTag(); err == nil {
+			t.Error("PeekTag on empty queue should fail")
 		}
 		return nil
 	})

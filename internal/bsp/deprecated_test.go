@@ -1,0 +1,29 @@
+package bsp
+
+import "testing"
+
+// TestDeprecatedAliases keeps the BSPlib-spelled aliases compiling and
+// delegating to the idiomatic names.
+func TestDeprecatedAliases(t *testing.T) {
+	m := collectiveMachine(t, 2)
+	_, err := Run(m, func(c *Ctx) error {
+		if err := c.Send((c.Pid()+1)%2, 9, []float64{1}); err != nil {
+			return err
+		}
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		if c.Qsize() != c.QueueLen() || c.Qsize() != 1 {
+			t.Errorf("pid %d: Qsize = %d, QueueLen = %d, want 1", c.Pid(), c.Qsize(), c.QueueLen())
+		}
+		got, err1 := c.GetTag()
+		want, err2 := c.PeekTag()
+		if got != want || err1 != nil || err2 != nil || got != 9 {
+			t.Errorf("pid %d: GetTag = (%d, %v), PeekTag = (%d, %v), want 9", c.Pid(), got, err1, want, err2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,6 +87,9 @@ func (c *Ctx) Sync() error {
 	}
 	c.pendingGets = c.pendingGets[:0]
 	c.currentStep++
+	if c.observer != nil {
+		c.observer(c.Pid(), c.currentStep-1, c.proc.Now())
+	}
 	return nil
 }
 

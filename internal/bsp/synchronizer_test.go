@@ -57,8 +57,8 @@ func exchangeProgram(t *testing.T) Program {
 		if area[left] != float64(left+1) {
 			t.Errorf("process %d: put value %v, want %d", ctx.Pid(), area[left], left+1)
 		}
-		if ctx.Qsize() != 1 {
-			t.Errorf("process %d: Qsize = %d, want 1", ctx.Pid(), ctx.Qsize())
+		if ctx.QueueLen() != 1 {
+			t.Errorf("process %d: QueueLen = %d, want 1", ctx.Pid(), ctx.QueueLen())
 		}
 		// Process left's slot (left-1+p)%p was written by its own left
 		// neighbour in the previous superstep, with that neighbour's pid+1.

@@ -8,6 +8,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,9 +30,23 @@ func Run(m simnet.Machine, body func(c *Comm) error, opts ...simnet.Options) (*s
 	}, opts...)
 }
 
+// RunContext is Run with explicit simulator options and a cancellable
+// context: cancelling the context aborts the run through the simulator's
+// teardown path with an error wrapping simnet.ErrAborted.
+func RunContext(ctx context.Context, m simnet.Machine, body func(c *Comm) error, o simnet.Options) (*simnet.Result, error) {
+	return simnet.RunContext(ctx, m, func(p *simnet.Proc) error {
+		return body(&Comm{proc: p})
+	}, o)
+}
+
 // Proc exposes the underlying simulated process for layers (such as the BSP
 // run-time) that need fire-and-forget sends or exact clock control.
 func (c *Comm) Proc() *simnet.Proc { return c.proc }
+
+// CommOn wraps an existing simulated process in a communicator. Layered
+// run-times use it to reach the schedule-driven collectives from their own
+// process handles (the BSP collectives are built this way).
+func CommOn(p *simnet.Proc) *Comm { return &Comm{proc: p} }
 
 // Rank returns the calling process' rank.
 func (c *Comm) Rank() int { return c.proc.Rank() }
@@ -67,8 +82,14 @@ func (c *Comm) Irecv(src, tag int) *simnet.Request {
 // payload.
 func (c *Comm) Wait(r *simnet.Request) any { return c.proc.Wait(r) }
 
+// WaitAll waits for all requests in order.
+func (c *Comm) WaitAll(reqs []*simnet.Request) []any { return c.proc.WaitAll(reqs) }
+
 // Waitall waits for all requests in order.
-func (c *Comm) Waitall(reqs []*simnet.Request) []any { return c.proc.WaitAll(reqs) }
+//
+// Deprecated: Use WaitAll, the idiomatically capitalized name. Waitall is
+// kept as an alias for existing callers of the MPI-flavoured spelling.
+func (c *Comm) Waitall(reqs []*simnet.Request) []any { return c.WaitAll(reqs) }
 
 // reqKind discriminates persistent request types.
 type reqKind int
@@ -123,10 +144,10 @@ func (c *Comm) Startall(reqs []*PersistentRequest) {
 	}
 }
 
-// Waitall waits for every active persistent request and deactivates it,
-// mirroring MPI_Waitall. It returns the payloads received (nil entries for
+// WaitAllPersistent waits for every active persistent request and deactivates
+// it, mirroring MPI_Waitall. It returns the payloads received (nil entries for
 // sends).
-func (c *Comm) WaitallPersistent(reqs []*PersistentRequest) []any {
+func (c *Comm) WaitAllPersistent(reqs []*PersistentRequest) []any {
 	out := make([]any, len(reqs))
 	for i, r := range reqs {
 		if r.active == nil {
@@ -136,6 +157,13 @@ func (c *Comm) WaitallPersistent(reqs []*PersistentRequest) []any {
 		r.active = nil
 	}
 	return out
+}
+
+// WaitallPersistent waits for every active persistent request.
+//
+// Deprecated: Use WaitAllPersistent, the idiomatically capitalized name.
+func (c *Comm) WaitallPersistent(reqs []*PersistentRequest) []any {
+	return c.WaitAllPersistent(reqs)
 }
 
 // Tags used by the built-in collectives; user code should avoid the highest

@@ -1,0 +1,255 @@
+package mpi
+
+import (
+	"fmt"
+
+	"hbsp/internal/simnet"
+)
+
+// Schedule is the minimal stage-graph view of a verified collective schedule
+// that the Comm collectives execute. It is satisfied by barrier.Pattern (and
+// therefore by every generator and by the model-selected hybrid schedules of
+// internal/adapt), without this package importing the schedule engine — the
+// engine's pattern simulator imports this package, so the dependency must
+// point this way.
+type Schedule interface {
+	// NumProcs returns the number of participating processes.
+	NumProcs() int
+	// NumStages returns the number of stages.
+	NumStages() int
+	// StageEdges returns the ranks signalling rank in the stage (ins), the
+	// ranks it signals (outs), and the payload size in bytes of each out-edge
+	// (outBytes, nil when the schedule carries no payload information).
+	StageEdges(stage, rank int) (ins, outs, outBytes []int)
+}
+
+// tagSchedule is the base tag of the schedule-executing collectives. Stages
+// are distinguished by tag; repeated executions reuse the same tags, which is
+// safe because mailbox matching is FIFO per (source, tag): every rank
+// completes all stage-s receives of one collective call before posting those
+// of the next, and senders inject in program order, so streams cannot
+// cross-match (the same argument that lets barrier.Execute reuse tags).
+const tagSchedule = 1 << 29
+
+// flood executes the schedule with knowledge-flooding data semantics: every
+// rank starts out knowing only its own contribution, and along every
+// prescribed edge the sender forwards a snapshot of everything it knows,
+// keyed by originating rank. The billed message sizes are the schedule's
+// per-edge payload sizes, i.e. the exact bytes the cost model prices. It
+// returns the contributions known to the calling rank after the last stage;
+// which entries must be present depends on the collective's semantics and is
+// checked by the callers.
+//
+// The stage walk (Irecv the in-edges, snapshot everything known, Isend along
+// the out-edges, merge, then wait the sends) deliberately mirrors
+// scheduleSync.ExchangeCounts in internal/bsp/synchronizer.go and the
+// signal-only walk of barrier.Execute; they cannot share code because their
+// billed sizes differ (the count exchange prices the rows actually known,
+// this walk prices the schedule's per-edge payload model) and the count
+// exchange is pinned bit-for-bit by golden tests — change the walk protocol
+// in all three places together.
+//
+// Contributions travel by reference between the rank goroutines: a rank may
+// return from the collective while slower ranks are still reading its
+// contribution. Callers passing mutable values (slices, maps, pointers) must
+// either hand over private copies or treat them as immutable for the rest of
+// the run; the typed BSP collectives copy on both sides for exactly this
+// reason.
+func (c *Comm) flood(s Schedule, own any) (map[int]any, error) {
+	p := c.Size()
+	if s.NumProcs() != p {
+		return nil, fmt.Errorf("mpi: schedule for %d processes on a %d-process run", s.NumProcs(), p)
+	}
+	rank := c.Rank()
+	known := map[int]any{rank: own}
+	for stage := 0; stage < s.NumStages(); stage++ {
+		ins, outs, outBytes := s.StageEdges(stage, rank)
+		if len(ins) == 0 && len(outs) == 0 {
+			continue
+		}
+		tag := tagSchedule + stage
+		recvs := make([]*simnet.Request, 0, len(ins))
+		for _, src := range ins {
+			recvs = append(recvs, c.proc.Irecv(src, tag))
+		}
+		var sends []*simnet.Request
+		if len(outs) > 0 {
+			// Snapshot of everything known so far travels along every
+			// out-edge; the snapshot is shared (receivers only read it).
+			payload := make(map[int]any, len(known))
+			for r, v := range known {
+				payload[r] = v
+			}
+			for k, dst := range outs {
+				size := 0
+				if outBytes != nil {
+					size = outBytes[k]
+				}
+				sends = append(sends, c.proc.Isend(dst, tag, size, payload))
+			}
+		}
+		for k, req := range recvs {
+			in := c.proc.Wait(req)
+			got, ok := in.(map[int]any)
+			if !ok {
+				return nil, fmt.Errorf("mpi: process %d received a malformed flood payload from %d", rank, ins[k])
+			}
+			for r, v := range got {
+				if _, seen := known[r]; !seen {
+					known[r] = v
+				}
+			}
+		}
+		for _, req := range sends {
+			c.proc.Wait(req)
+		}
+	}
+	return known, nil
+}
+
+// FloodSchedule executes the schedule with the raw knowledge-flooding data
+// semantics of flood and returns the contributions (keyed by originating
+// rank) known to the calling rank after the last stage. It is the building
+// block the typed schedule collectives share; layered run-times use it to
+// implement their own payload types.
+//
+// Contributions are exchanged by reference, not copied: pass a private copy
+// of any mutable value, and do not mutate received values — other ranks may
+// still be reading them (and, in the collectives built on this, may share
+// the same underlying storage).
+func (c *Comm) FloodSchedule(s Schedule, own any) (map[int]any, error) {
+	return c.flood(s, own)
+}
+
+// BcastSchedule distributes the root's value to every rank by executing the
+// schedule (typically a verified broadcast pattern) and returns it on every
+// rank.
+func (c *Comm) BcastSchedule(s Schedule, root int, value any) (any, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("%w: %d", ErrInvalidRoot, root)
+	}
+	var own any
+	if c.Rank() == root {
+		own = value
+	}
+	known, err := c.flood(s, own)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := known[root]
+	if !ok {
+		return nil, fmt.Errorf("mpi: schedule never delivered the root's message to process %d", c.Rank())
+	}
+	return out, nil
+}
+
+// ReduceSchedule combines one float64 per rank with the given operator by
+// executing the schedule (typically a verified reduce pattern) and returns
+// the result on the root; other ranks receive zero. Contributions are
+// combined in rank order, so the result is deterministic for any operator.
+func (c *Comm) ReduceSchedule(s Schedule, root int, value float64, op Op) (float64, error) {
+	if root < 0 || root >= c.Size() {
+		return 0, fmt.Errorf("%w: %d", ErrInvalidRoot, root)
+	}
+	known, err := c.flood(s, value)
+	if err != nil {
+		return 0, err
+	}
+	if c.Rank() != root {
+		return 0, nil
+	}
+	return combineAll(known, c.Size(), op)
+}
+
+// AllreduceSchedule combines one float64 per rank with the given operator by
+// executing the schedule and returns the result on every rank. Contributions
+// are combined in rank order, so the result is deterministic and correct for
+// non-idempotent operators on any verified schedule (no double counting).
+func (c *Comm) AllreduceSchedule(s Schedule, value float64, op Op) (float64, error) {
+	known, err := c.flood(s, value)
+	if err != nil {
+		return 0, err
+	}
+	return combineAll(known, c.Size(), op)
+}
+
+// AllgatherSchedule collects one value per rank by executing the schedule and
+// returns the slice indexed by rank, identical on all ranks.
+func (c *Comm) AllgatherSchedule(s Schedule, value any) ([]any, error) {
+	known, err := c.flood(s, value)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, c.Size())
+	for r := range out {
+		v, ok := known[r]
+		if !ok {
+			return nil, fmt.Errorf("mpi: schedule never delivered the contribution of process %d to process %d", r, c.Rank())
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// TotalExchangeSchedule performs an all-to-all personalized exchange by
+// executing the schedule: blocks[j] is the value this rank sends to rank j,
+// and the returned slice holds, per source rank, the value addressed to this
+// rank.
+func (c *Comm) TotalExchangeSchedule(s Schedule, blocks []any) ([]any, error) {
+	p := c.Size()
+	if len(blocks) != p {
+		return nil, fmt.Errorf("mpi: total exchange needs %d blocks, got %d", p, len(blocks))
+	}
+	own := append([]any(nil), blocks...)
+	known, err := c.flood(s, own)
+	if err != nil {
+		return nil, err
+	}
+	rank := c.Rank()
+	out := make([]any, p)
+	for src := 0; src < p; src++ {
+		row, ok := known[src].([]any)
+		if !ok {
+			return nil, fmt.Errorf("mpi: schedule never delivered the blocks of process %d to process %d", src, rank)
+		}
+		out[src] = row[rank]
+	}
+	return out, nil
+}
+
+// BarrierSchedule synchronizes all ranks by executing the schedule (typically
+// a verified barrier pattern): it returns only once the calling rank can
+// account for the arrival of every rank.
+func (c *Comm) BarrierSchedule(s Schedule) error {
+	known, err := c.flood(s, struct{}{})
+	if err != nil {
+		return err
+	}
+	for r := 0; r < c.Size(); r++ {
+		if _, ok := known[r]; !ok {
+			return fmt.Errorf("mpi: schedule never proved the arrival of process %d to process %d", r, c.Rank())
+		}
+	}
+	return nil
+}
+
+// combineAll reduces the P contributions in rank order.
+func combineAll(known map[int]any, p int, op Op) (float64, error) {
+	var acc float64
+	for r := 0; r < p; r++ {
+		v, ok := known[r]
+		if !ok {
+			return 0, fmt.Errorf("mpi: schedule never delivered the operand of process %d", r)
+		}
+		fv, ok := v.(float64)
+		if !ok {
+			return 0, fmt.Errorf("mpi: operand of process %d is %T, want float64", r, v)
+		}
+		if r == 0 {
+			acc = fv
+			continue
+		}
+		acc = op(acc, fv)
+	}
+	return acc, nil
+}

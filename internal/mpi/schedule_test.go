@@ -1,0 +1,146 @@
+package mpi_test
+
+// External test package: the schedule-executing collectives are exercised
+// with real verified patterns from internal/barrier, which imports
+// internal/mpi — an in-package test would be an import cycle.
+
+import (
+	"testing"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/mpi"
+	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
+)
+
+func scheduleMachine(t *testing.T, procs int) simnet.Machine {
+	t.Helper()
+	m, err := platform.Xeon8x2x4().Machine(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestScheduleCollectivesComputeCorrectValues runs every schedule-driven
+// collective on verified generator patterns, for a power of two and a
+// non-power-of-two process count.
+func TestScheduleCollectivesComputeCorrectValues(t *testing.T) {
+	for _, procs := range []int{5, 8} {
+		bc, err := barrier.Broadcast(procs, 2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := barrier.Reduce(procs, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := barrier.AllReduce(procs, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := barrier.AllGather(procs, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := barrier.TotalExchange(procs, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := barrier.Dissemination(procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := scheduleMachine(t, procs)
+		_, err = mpi.Run(m, func(c *mpi.Comm) error {
+			p := c.Size()
+			me := float64(c.Rank())
+
+			got, err := c.BcastSchedule(bc, 2%p, "payload")
+			if err != nil {
+				return err
+			}
+			if got != "payload" {
+				t.Errorf("p=%d rank=%d: BcastSchedule = %v", p, c.Rank(), got)
+			}
+
+			sum, err := c.ReduceSchedule(rd, 0, me, mpi.OpSum)
+			if err != nil {
+				return err
+			}
+			wantSum := float64(p*(p-1)) / 2
+			if c.Rank() == 0 && sum != wantSum {
+				t.Errorf("p=%d: ReduceSchedule = %g, want %g", p, sum, wantSum)
+			}
+
+			all, err := c.AllreduceSchedule(ar, me, mpi.OpMax)
+			if err != nil {
+				return err
+			}
+			if all != float64(p-1) {
+				t.Errorf("p=%d rank=%d: AllreduceSchedule = %g, want %d", p, c.Rank(), all, p-1)
+			}
+
+			gathered, err := c.AllgatherSchedule(ag, c.Rank()*11)
+			if err != nil {
+				return err
+			}
+			for r, v := range gathered {
+				if v != r*11 {
+					t.Errorf("p=%d rank=%d: AllgatherSchedule[%d] = %v", p, c.Rank(), r, v)
+				}
+			}
+
+			blocks := make([]any, p)
+			for j := range blocks {
+				blocks[j] = 100*c.Rank() + j
+			}
+			exch, err := c.TotalExchangeSchedule(te, blocks)
+			if err != nil {
+				return err
+			}
+			for src, v := range exch {
+				if v != 100*src+c.Rank() {
+					t.Errorf("p=%d rank=%d: TotalExchangeSchedule[%d] = %v", p, c.Rank(), src, v)
+				}
+			}
+
+			return c.BarrierSchedule(ba)
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", procs, err)
+		}
+	}
+}
+
+// TestScheduleCollectiveValidation exercises the error paths that do not
+// require a mismatched collective call pattern.
+func TestScheduleCollectiveValidation(t *testing.T) {
+	pat, err := barrier.AllReduce(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := barrier.AllReduce(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := scheduleMachine(t, 4)
+	_, err = mpi.Run(m, func(c *mpi.Comm) error {
+		if _, err := c.BcastSchedule(pat, -1, 0); err == nil {
+			t.Error("BcastSchedule with invalid root should fail")
+		}
+		if _, err := c.ReduceSchedule(pat, 9, 0, mpi.OpSum); err == nil {
+			t.Error("ReduceSchedule with invalid root should fail")
+		}
+		if _, err := c.AllreduceSchedule(wrong, 0, mpi.OpSum); err == nil {
+			t.Error("AllreduceSchedule with mismatched process count should fail")
+		}
+		if _, err := c.TotalExchangeSchedule(pat, make([]any, 2)); err == nil {
+			t.Error("TotalExchangeSchedule with wrong block count should fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

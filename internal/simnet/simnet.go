@@ -24,6 +24,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -86,6 +87,11 @@ type Result struct {
 // ErrDeadline is returned when the simulated program does not finish within
 // the wall-clock deadline (usually a deadlocked communication pattern).
 var ErrDeadline = errors.New("simnet: simulation exceeded wall-clock deadline (deadlock?)")
+
+// ErrAborted is returned by RunContext when the supplied context is cancelled
+// before the simulated program finishes. The returned error wraps ErrAborted
+// and carries the context's cause.
+var ErrAborted = errors.New("simnet: run aborted by context cancellation")
 
 type message struct {
 	src, dst, tag int
@@ -521,15 +527,27 @@ func (p *Proc) Recv(src, tag int) any {
 // simulator and cannot be interrupted, so after a grace period Run returns
 // ErrDeadline anyway, leaking that goroutine rather than hanging.
 func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) {
-	if m == nil || m.Procs() < 1 {
-		return nil, errors.New("simnet: machine with at least one rank required")
-	}
 	o := DefaultOptions()
 	if len(opts) > 0 {
 		o = opts[0]
-		if o.Deadline <= 0 {
-			o.Deadline = DefaultOptions().Deadline
-		}
+	}
+	return RunContext(context.Background(), m, body, o)
+}
+
+// RunContext is Run with explicit options and a context: cancelling the
+// context aborts the simulation through the same teardown path as the
+// wall-clock deadline (ranks blocked in receives are woken and unwound before
+// RunContext returns) and yields an error wrapping ErrAborted. A
+// non-positive Deadline falls back to the default.
+func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Options) (*Result, error) {
+	if m == nil || m.Procs() < 1 {
+		return nil, errors.New("simnet: machine with at least one rank required")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = DefaultOptions().Deadline
 	}
 	w := &world{machine: m, opts: o, mailboxes: make([]*mailbox, m.Procs())}
 	for i := range w.mailboxes {
@@ -563,28 +581,51 @@ func Run(m Machine, body func(p *Proc) error, opts ...Options) (*Result, error) 
 		wg.Wait()
 		close(done)
 	}()
-	timer := time.NewTimer(o.Deadline)
-	defer timer.Stop()
-	select {
-	case <-done:
-	case <-timer.C:
-		// Cancel first (so receives not yet blocked abort on entry), then wake
-		// everything already blocked, then wait for the goroutines to unwind.
+	// teardown aborts the run: cancel first (so receives not yet blocked
+	// abort on entry), then wake everything already blocked, then wait for
+	// the goroutines to unwind. Ranks blocked in receives unwind promptly. A
+	// rank that never communicates again cannot be interrupted, so don't let
+	// it hang Run: after a grace period return anyway, leaking that one
+	// goroutine (as the pre-cancellation implementation always did for every
+	// rank).
+	teardown := func() {
 		w.cancelled.Store(true)
 		for _, mb := range w.mailboxes {
 			mb.cancelAll()
 		}
-		// Ranks blocked in receives unwind promptly. A rank that never
-		// communicates again cannot be interrupted, so don't let it hang Run:
-		// after a grace period return anyway, leaking that one goroutine (as
-		// the pre-cancellation implementation always did for every rank).
 		grace := time.NewTimer(5 * time.Second)
 		defer grace.Stop()
 		select {
 		case <-done:
 		case <-grace.C:
 		}
-		return nil, ErrDeadline
+	}
+	// completed reports whether every rank has already finished; the abort
+	// cases below consult it so that a run finishing at the same instant as
+	// the deadline or cancellation still returns its result (a ready done
+	// channel must win over a simultaneously ready abort signal).
+	completed := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	timer := time.NewTimer(o.Deadline)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		if !completed() {
+			teardown()
+			return nil, ErrDeadline
+		}
+	case <-ctx.Done():
+		if !completed() {
+			teardown()
+			return nil, fmt.Errorf("%w: %w", ErrAborted, context.Cause(ctx))
+		}
 	}
 
 	var errList []error

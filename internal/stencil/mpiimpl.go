@@ -79,7 +79,7 @@ func runMessagePassing(m *platform.Machine, cfg Config, restructured bool, compu
 				compute(kernels.Stencil5, deep)
 			}
 
-			payloads := c.Waitall(reqs)
+			payloads := c.WaitAll(reqs)
 			idx := 0
 			for dir := 0; dir < numDirs; dir++ {
 				if neigh[dir] < 0 {

@@ -1,0 +1,49 @@
+// Package kernels is the public surface of the L1 BLAS-style computational
+// kernels the framework models: each Kernel carries its arithmetic intensity
+// and memory footprint (which drive the platform's rate model) plus a
+// reference implementation for computing real values in simulated programs.
+package kernels
+
+import "hbsp/internal/kernels"
+
+// Kernel describes one computational kernel.
+type Kernel = kernels.Kernel
+
+// The built-in kernels.
+var (
+	DAXPY    = kernels.DAXPY
+	Stencil5 = kernels.Stencil5
+	Swap     = kernels.Swap
+	Scal     = kernels.Scal
+	Copy     = kernels.Copy
+	Axpy     = kernels.Axpy
+	Dot      = kernels.Dot
+	Nrm2     = kernels.Nrm2
+	Asum     = kernels.Asum
+	Iamax    = kernels.Iamax
+)
+
+// ErrLength is returned by reference implementations on operand length
+// mismatches.
+var ErrLength = kernels.ErrLength
+
+// BLAS1 returns the L1 BLAS kernel set of the rate experiments.
+func BLAS1() []Kernel { return kernels.BLAS1() }
+
+// All returns every built-in kernel.
+func All() []Kernel { return kernels.All() }
+
+// ByName looks a kernel up by name.
+func ByName(name string) (Kernel, error) { return kernels.ByName(name) }
+
+// Reference implementations, for simulated programs that compute real
+// values.
+func RunDAXPY(a float64, x, y []float64) error { return kernels.RunDAXPY(a, x, y) }
+
+// RunDot computes the inner product of x and y.
+func RunDot(x, y []float64) (float64, error) { return kernels.RunDot(x, y) }
+
+// RunStencil5 applies the 5-point stencil to a rows×cols grid.
+func RunStencil5(in, out []float64, rows, cols int, c float64) error {
+	return kernels.RunStencil5(in, out, rows, cols, c)
+}

@@ -1,0 +1,65 @@
+// Package model is the public surface of the heterogeneous superstep cost
+// model — the thesis' replacement of the scalar BSP cost function: per-rank
+// compute requirements priced by per-kernel cost matrices (ComputeModel),
+// pairwise message and data matrices priced by latency and inverse-bandwidth
+// matrices (CommModel), a synchronization term, and maskable overlap
+// factors. A Superstep combines the three and Predict returns per-process
+// and total time; Program chains supersteps. The classic scalar model
+// (ClassicParams) is kept for the Chapter 3 comparison.
+package model
+
+import (
+	"hbsp/internal/core"
+
+	"hbsp/matrix"
+)
+
+// ComputeModel prices per-rank computation from requirement and cost
+// matrices.
+type ComputeModel = core.ComputeModel
+
+// CommModel prices pairwise communication from message, data, latency and
+// inverse-bandwidth matrices.
+type CommModel = core.CommModel
+
+// Superstep is one heterogeneous BSP superstep: computation, communication,
+// synchronization and their overlap factors.
+type Superstep = core.Superstep
+
+// Prediction holds the predicted per-process and total superstep times.
+type Prediction = core.Prediction
+
+// Program is a sequence of supersteps; ProgramPrediction sums their
+// predictions.
+type (
+	Program           = core.Program
+	ProgramPrediction = core.ProgramPrediction
+)
+
+// ClassicParams are the scalar bspbench parameters of the classic BSP cost
+// model.
+type ClassicParams = core.ClassicParams
+
+// Imbalance returns the relative load imbalance of per-process times.
+func Imbalance(times []float64) float64 { return core.Imbalance(times) }
+
+// OverlapFromMeasurement infers the achieved overlap factor from measured
+// compute, communication and total times.
+func OverlapFromMeasurement(compTime, commTime, measuredTotal float64) float64 {
+	return core.OverlapFromMeasurement(compTime, commTime, measuredTotal)
+}
+
+// UniformRequirement builds the P×K requirement matrix assigning the same
+// per-kernel element counts to every process.
+func UniformRequirement(p int, perKernel []float64) *matrix.Dense {
+	return core.UniformRequirement(p, perKernel)
+}
+
+// HRelation returns the h-relation of a process sending and receiving the
+// given word counts.
+func HRelation(sent, received float64) float64 { return core.HRelation(sent, received) }
+
+// Iterative builds a program repeating one superstep.
+func Iterative(name string, step Superstep, iterations int) Program {
+	return core.Iterative(name, step, iterations)
+}

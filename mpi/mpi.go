@@ -1,0 +1,49 @@
+// Package mpi is the public surface of the MPI-flavoured message-passing
+// layer: blocking and non-blocking point-to-point communication, persistent
+// requests with Startall/WaitAll semantics, the built-in point-to-point
+// collectives (Barrier, Bcast, Allreduce, Allgather), and the
+// schedule-driven collectives (BcastSchedule, AllreduceSchedule, ...) that
+// execute verified collective.Pattern schedules with user data.
+//
+// Programs are normally started through an hbsp.Session (hbsp.New +
+// Session.RunMPI), which adds functional options, machine validation and
+// context cancellation; RunContext is the lower-level entry point it uses.
+package mpi
+
+import (
+	"context"
+
+	impi "hbsp/internal/mpi"
+
+	"hbsp/sim"
+)
+
+// Comm is the communicator handle each simulated rank receives.
+type Comm = impi.Comm
+
+// PersistentRequest is a reusable description of one transfer, activated by
+// Startall and completed by WaitAllPersistent.
+type PersistentRequest = impi.PersistentRequest
+
+// Op is a reduction operator for Allreduce.
+type Op = impi.Op
+
+// Schedule is the stage-graph view of a verified collective schedule the
+// Comm schedule collectives execute; collective.Pattern satisfies it.
+type Schedule = impi.Schedule
+
+// Standard reduction operators.
+var (
+	OpSum = impi.OpSum
+	OpMax = impi.OpMax
+	OpMin = impi.OpMin
+)
+
+// ErrInvalidRoot is returned by collectives validating a root rank.
+var ErrInvalidRoot = impi.ErrInvalidRoot
+
+// RunContext executes body once per rank of the machine with explicit
+// simulator options and a cancellable context.
+func RunContext(ctx context.Context, m sim.Machine, body func(c *Comm) error, o sim.Options) (*sim.Result, error) {
+	return impi.RunContext(ctx, m, body, o)
+}

@@ -1,0 +1,296 @@
+package hbsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbsp/bench"
+	"hbsp/bsp"
+	"hbsp/cluster"
+	"hbsp/collective"
+	"hbsp/mpi"
+	"hbsp/sim"
+)
+
+// Typed errors of the facade. Errors returned by a Session wrap these
+// sentinels, so callers dispatch with errors.Is.
+var (
+	// ErrInvalidMachine is wrapped by New when the machine (or the profile it
+	// was instantiated from) fails validation.
+	ErrInvalidMachine = errors.New("hbsp: invalid machine")
+	// ErrOption is wrapped by New when a functional option is misused (bad
+	// value, or an option the machine cannot support).
+	ErrOption = errors.New("hbsp: invalid option")
+	// ErrDeadline is returned when a run exceeds its wall-clock deadline
+	// (usually a deadlocked simulated program).
+	ErrDeadline = sim.ErrDeadline
+	// ErrAborted is wrapped by the error of a run cancelled through its
+	// context.
+	ErrAborted = sim.ErrAborted
+)
+
+// TraceEvent is one observation delivered to a WithTrace callback.
+type TraceEvent struct {
+	// Kind is "run.start", "superstep" or "run.end".
+	Kind string
+	// Rank is the reporting process, or -1 for run-level events.
+	Rank int
+	// Step is the completed superstep index ("superstep" events only).
+	Step int
+	// Time is the virtual time in seconds: the reporting process' clock for
+	// "superstep", the makespan for "run.end", zero for "run.start".
+	Time float64
+	// Err carries the run outcome on "run.end" events.
+	Err error
+}
+
+// TraceFunc receives trace events. The Session serializes invocations, so
+// implementations need no locking of their own.
+type TraceFunc func(TraceEvent)
+
+// Session is the facade's handle on one configured simulated machine: it
+// owns the validated machine, the simulator options, the superstep
+// synchronizer and the collective-schedule source, and runs raw simulator,
+// BSP and MPI programs against them. A Session is immutable after New and
+// safe for concurrent runs.
+type Session struct {
+	machine   sim.Machine
+	options   sim.Options
+	sync      bsp.Synchronizer
+	schedules bsp.ScheduleSource
+	trace     TraceFunc
+	traceMu   sync.Mutex
+}
+
+// Option configures a Session; the With... constructors in this package
+// build them. Options are applied in order at New time and may fail, which
+// surfaces as an error wrapping ErrOption.
+type Option func(*Session) error
+
+// New validates the machine and builds a Session with the supplied
+// functional options. Machines instantiated from a cluster.Profile are
+// validated against their profile (the check MachineFor lets callers bypass)
+// — a broken profile surfaces here as an error wrapping ErrInvalidMachine
+// instead of NaN-propagating through a run.
+func New(m sim.Machine, opts ...Option) (*Session, error) {
+	if m == nil || m.Procs() < 1 {
+		return nil, fmt.Errorf("%w: machine with at least one rank required", ErrInvalidMachine)
+	}
+	if pm, ok := m.(interface{ Profile() *cluster.Profile }); ok {
+		if err := pm.Profile().Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidMachine, err)
+		}
+	}
+	s := &Session{
+		machine:   m,
+		options:   sim.DefaultOptions(),
+		sync:      bsp.DefaultSynchronizer(),
+		schedules: bsp.NewScheduleCache(),
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// WithSeed derives the machine's deterministic noise stream from the given
+// seed. The stream is a pure function of (seed, rank, event sequence), so
+// every run on one Session observes the bit-identical jitter — which is what
+// makes golden tests possible. To sample run-to-run variance, construct
+// sessions with different seeds, one per repetition. The machine must
+// support reseeding (cluster machines do).
+func WithSeed(seed int64) Option {
+	return func(s *Session) error {
+		type reseeder interface {
+			WithRunSeed(int64) *cluster.Machine
+		}
+		rm, ok := s.machine.(reseeder)
+		if !ok {
+			return fmt.Errorf("%w: WithSeed needs a machine supporting WithRunSeed, got %T", ErrOption, s.machine)
+		}
+		s.machine = rm.WithRunSeed(seed)
+		return nil
+	}
+}
+
+// WithDeadline bounds the real (wall-clock) duration of every run as a guard
+// against deadlocked simulated programs; exceeding it returns ErrDeadline.
+func WithDeadline(d time.Duration) Option {
+	return func(s *Session) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: non-positive deadline %v", ErrOption, d)
+		}
+		s.options.Deadline = d
+		return nil
+	}
+}
+
+// WithAckSends controls whether send requests complete only once an
+// acknowledgement has returned from the destination (the default, matching
+// the thesis' factor-2 stage cost).
+func WithAckSends(ack bool) Option {
+	return func(s *Session) error {
+		s.options.AckSends = ack
+		return nil
+	}
+}
+
+// WithSynchronizer installs the synchronizer that performs the count total
+// exchange ending every BSP superstep (bsp.DefaultSynchronizer, a
+// bsp.NewScheduleSynchronizer schedule, or any custom implementation).
+func WithSynchronizer(sync bsp.Synchronizer) Option {
+	return func(s *Session) error {
+		if sync == nil {
+			return fmt.Errorf("%w: nil synchronizer", ErrOption)
+		}
+		s.sync = sync
+		return nil
+	}
+}
+
+// WithScheduleSynchronizer wraps a verified collective schedule as the
+// superstep synchronizer.
+func WithScheduleSynchronizer(pat *collective.Pattern) Option {
+	return func(s *Session) error {
+		sync, err := bsp.NewScheduleSynchronizer(pat)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrOption, err)
+		}
+		s.sync = sync
+		return nil
+	}
+}
+
+// WithAdaptedSynchronizer benchmarks the machine's pairwise parameter
+// matrices (reps repetitions per pair), runs the model-driven greedy
+// construction with the count payload each candidate would carry, and
+// installs the winning hybrid schedule as the superstep synchronizer — the
+// Chapter 7 adaptation as one option. The benchmark simulates the machine,
+// so this option does measurable work at New time.
+func WithAdaptedSynchronizer(reps int) Option {
+	return func(s *Session) error {
+		params, err := bench.ModelParams(s.machine, reps)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrOption, err)
+		}
+		sync, _, err := bsp.NewAdaptedSynchronizer(params, collective.DefaultCostOptions())
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrOption, err)
+		}
+		s.sync = sync
+		return nil
+	}
+}
+
+// WithCollectiveSchedules installs the source of the verified schedules the
+// BSP user collectives (Ctx.Broadcast, Ctx.AllReduce, ...) execute; the
+// default source builds the generator schedules of package collective.
+func WithCollectiveSchedules(src bsp.ScheduleSource) Option {
+	return func(s *Session) error {
+		if src == nil {
+			return fmt.Errorf("%w: nil schedule source", ErrOption)
+		}
+		s.schedules = src
+		return nil
+	}
+}
+
+// WithTrace installs a callback observing run starts and ends and, for BSP
+// runs, every completed superstep. Events from concurrent simulated
+// processes are serialized before delivery.
+func WithTrace(f TraceFunc) Option {
+	return func(s *Session) error {
+		if f == nil {
+			return fmt.Errorf("%w: nil trace func", ErrOption)
+		}
+		s.trace = f
+		return nil
+	}
+}
+
+// Machine returns the machine the session runs on (reseeded if WithSeed was
+// used).
+func (s *Session) Machine() sim.Machine { return s.machine }
+
+// Procs returns the machine's rank count.
+func (s *Session) Procs() int { return s.machine.Procs() }
+
+// Synchronizer returns the configured superstep synchronizer.
+func (s *Session) Synchronizer() bsp.Synchronizer { return s.sync }
+
+// emit delivers a trace event, serializing concurrent emitters.
+func (s *Session) emit(ev TraceEvent) {
+	if s.trace == nil {
+		return
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.trace(ev)
+}
+
+// finish emits the run.end event and passes the run result through.
+func (s *Session) finish(res *sim.Result, err error) (*sim.Result, error) {
+	ev := TraceEvent{Kind: "run.end", Rank: -1, Err: err}
+	if res != nil {
+		ev.Time = res.MakeSpan
+	}
+	s.emit(ev)
+	return res, err
+}
+
+// Run executes body once per rank of the machine as a raw simulator program
+// and returns the per-rank virtual finishing times. Cancelling the context
+// aborts the run (every rank blocked in a receive unwinds before Run
+// returns) with an error wrapping ErrAborted.
+func (s *Session) Run(ctx context.Context, body func(p *sim.Proc) error) (*sim.Result, error) {
+	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
+	return s.finish(sim.Run(ctx, s.machine, body, s.options))
+}
+
+// RunBSP executes the SPMD program under the BSP run-time with the session's
+// synchronizer ending every superstep and the session's schedule source
+// backing the user collectives.
+func (s *Session) RunBSP(ctx context.Context, program bsp.Program) (*sim.Result, error) {
+	m, ok := s.machine.(bsp.Machine)
+	if !ok {
+		return nil, fmt.Errorf("%w: BSP programs need per-rank kernel timing (bsp.Machine), got %T", ErrInvalidMachine, s.machine)
+	}
+	var observer bsp.SyncObserver
+	var runEnded atomic.Bool
+	if s.trace != nil {
+		observer = func(pid, step int, vtime float64) {
+			// An aborted run can leak a rank stuck in uninterruptible
+			// compute; if it later reaches a Sync, its event must not arrive
+			// after this run's run.end.
+			if runEnded.Load() {
+				return
+			}
+			s.emit(TraceEvent{Kind: "superstep", Rank: pid, Step: step, Time: vtime})
+		}
+	}
+	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
+	opts := s.options
+	res, err := bsp.RunContext(ctx, m, bsp.RunConfig{
+		Sync:      s.sync,
+		Schedules: s.schedules,
+		Observer:  observer,
+		Options:   &opts,
+	}, program)
+	runEnded.Store(true)
+	return s.finish(res, err)
+}
+
+// RunMPI executes body once per rank under the MPI-flavoured layer.
+func (s *Session) RunMPI(ctx context.Context, body func(c *mpi.Comm) error) (*sim.Result, error) {
+	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
+	return s.finish(mpi.RunContext(ctx, s.machine, body, s.options))
+}

@@ -1,0 +1,251 @@
+package hbsp_test
+
+// External test package: exercises the facade exactly the way a user program
+// outside internal/ would — only public packages are imported.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hbsp"
+	"hbsp/bsp"
+	"hbsp/cluster"
+	"hbsp/collective"
+	"hbsp/mpi"
+	"hbsp/sim"
+)
+
+func testMachine(t *testing.T, procs int) *cluster.Machine {
+	t.Helper()
+	m, err := cluster.Xeon8x2x4().Machine(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestNewOptionMatrix sweeps the functional options through valid and
+// invalid values and checks that New accepts or rejects each combination
+// with the right typed error.
+func TestNewOptionMatrix(t *testing.T) {
+	m := testMachine(t, 8)
+	diss, err := collective.Dissemination(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast, err := collective.Broadcast(8, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		opts    []hbsp.Option
+		wantErr error
+	}{
+		{"no options", nil, nil},
+		{"seed", []hbsp.Option{hbsp.WithSeed(7)}, nil},
+		{"deadline", []hbsp.Option{hbsp.WithDeadline(time.Minute)}, nil},
+		{"acks off", []hbsp.Option{hbsp.WithAckSends(false)}, nil},
+		{"trace", []hbsp.Option{hbsp.WithTrace(func(hbsp.TraceEvent) {})}, nil},
+		{"synchronizer", []hbsp.Option{hbsp.WithSynchronizer(bsp.DefaultSynchronizer())}, nil},
+		{"schedule synchronizer", []hbsp.Option{hbsp.WithScheduleSynchronizer(diss)}, nil},
+		{"collective schedules", []hbsp.Option{hbsp.WithCollectiveSchedules(bsp.NewScheduleCache())}, nil},
+		{"everything", []hbsp.Option{
+			hbsp.WithSeed(42), hbsp.WithDeadline(30 * time.Second), hbsp.WithAckSends(true),
+			hbsp.WithScheduleSynchronizer(diss), hbsp.WithTrace(func(hbsp.TraceEvent) {}),
+		}, nil},
+		{"zero deadline", []hbsp.Option{hbsp.WithDeadline(0)}, hbsp.ErrOption},
+		{"negative deadline", []hbsp.Option{hbsp.WithDeadline(-time.Second)}, hbsp.ErrOption},
+		{"nil synchronizer", []hbsp.Option{hbsp.WithSynchronizer(nil)}, hbsp.ErrOption},
+		{"nil trace", []hbsp.Option{hbsp.WithTrace(nil)}, hbsp.ErrOption},
+		{"nil schedule source", []hbsp.Option{hbsp.WithCollectiveSchedules(nil)}, hbsp.ErrOption},
+		{"rooted sync schedule", []hbsp.Option{hbsp.WithScheduleSynchronizer(bcast)}, hbsp.ErrOption},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := hbsp.New(m, tc.opts...)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if sess.Procs() != 8 {
+					t.Fatalf("Procs = %d, want 8", sess.Procs())
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("New err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// fakeMachine satisfies sim.Machine but has no profile and no reseeding.
+type fakeMachine struct{ procs int }
+
+func (f fakeMachine) Procs() int                      { return f.procs }
+func (f fakeMachine) Latency(i, j int) float64        { return 1e-6 }
+func (f fakeMachine) Gap(i, j int) float64            { return 1e-7 }
+func (f fakeMachine) Beta(i, j int) float64           { return 1e-9 }
+func (f fakeMachine) Overhead(i, j int) float64       { return 1e-7 }
+func (f fakeMachine) SelfOverhead(i int) float64      { return 1e-7 }
+func (f fakeMachine) NIC(i int) int                   { return i }
+func (f fakeMachine) Noise(r int, seq uint64) float64 { return 1 }
+
+// TestNewValidation covers machine validation: nil machines, profile-backed
+// machines with broken profiles (built through the MachineFor bypass), and
+// WithSeed on machines that cannot reseed.
+func TestNewValidation(t *testing.T) {
+	if _, err := hbsp.New(nil); !errors.Is(err, hbsp.ErrInvalidMachine) {
+		t.Errorf("New(nil) err = %v, want ErrInvalidMachine", err)
+	}
+
+	// A structurally broken profile: Machine() never validates, so without
+	// the facade check this NaN-propagates silently.
+	broken := cluster.Xeon8x2x4()
+	broken.SelfOverhead = 0
+	bm, err := broken.Machine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hbsp.New(bm); !errors.Is(err, hbsp.ErrInvalidMachine) {
+		t.Errorf("New(broken profile) err = %v, want ErrInvalidMachine", err)
+	}
+
+	// A custom machine without reseeding support: fine without WithSeed,
+	// rejected with it.
+	if _, err := hbsp.New(fakeMachine{procs: 4}); err != nil {
+		t.Errorf("New(custom machine) = %v, want nil", err)
+	}
+	if _, err := hbsp.New(fakeMachine{procs: 4}, hbsp.WithSeed(1)); !errors.Is(err, hbsp.ErrOption) {
+		t.Errorf("New(custom machine, WithSeed) err = %v, want ErrOption", err)
+	}
+}
+
+// TestRunBSPWithCollectives is the acceptance path: build a machine, run a
+// BSP program through the session with options, call AllReduce, and check
+// the deterministic result.
+func TestRunBSPWithCollectives(t *testing.T) {
+	sess, err := hbsp.New(testMachine(t, 8), hbsp.WithSeed(3), hbsp.WithDeadline(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunBSP(context.Background(), func(c *bsp.Ctx) error {
+		sum, err := c.AllReduce([]float64{float64(c.Pid() + 1)}, bsp.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum[0] != 36 {
+			t.Errorf("pid %d: AllReduce = %v, want 36", c.Pid(), sum)
+		}
+		return c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakeSpan <= 0 {
+		t.Fatalf("MakeSpan = %g, want > 0", res.MakeSpan)
+	}
+}
+
+// TestContextCancellationMidSuperstep cancels a BSP run whose processes are
+// blocked inside Sync (process 0 returned early, so the count exchange can
+// never complete) and checks the typed abort error.
+func TestContextCancellationMidSuperstep(t *testing.T) {
+	sess, err := hbsp.New(testMachine(t, 8), hbsp.WithDeadline(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	res, err := sess.RunBSP(ctx, func(c *bsp.Ctx) error {
+		if c.Pid() == 0 {
+			return nil // deserts the superstep: everyone else blocks in Sync
+		}
+		return c.Sync()
+	})
+	if res != nil || !errors.Is(err, hbsp.ErrAborted) {
+		t.Fatalf("RunBSP = (%v, %v), want ErrAborted", res, err)
+	}
+}
+
+// TestRunMPIAndRawRun covers the other two run surfaces through the facade.
+func TestRunMPIAndRawRun(t *testing.T) {
+	sess, err := hbsp.New(testMachine(t, 6), hbsp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.RunMPI(context.Background(), func(c *mpi.Comm) error {
+		got := c.Allreduce(float64(c.Rank()), mpi.OpSum)
+		if got != 15 {
+			t.Errorf("rank %d: Allreduce = %g, want 15", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Run(context.Background(), func(p *sim.Proc) error {
+		next := (p.Rank() + 1) % p.Size()
+		prev := (p.Rank() - 1 + p.Size()) % p.Size()
+		r := p.Irecv(prev, 1)
+		p.Send(next, 1, 8, nil)
+		p.Wait(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceObservesSupersteps checks the WithTrace event stream of a BSP
+// run: one run.start, one superstep event per process per Sync, one run.end
+// carrying the makespan.
+func TestTraceObservesSupersteps(t *testing.T) {
+	const procs, steps = 4, 3
+	var events []hbsp.TraceEvent
+	sess, err := hbsp.New(testMachine(t, procs), hbsp.WithTrace(func(ev hbsp.TraceEvent) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunBSP(context.Background(), func(c *bsp.Ctx) error {
+		for i := 0; i < steps; i++ {
+			if err := c.Sync(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2+procs*steps {
+		t.Fatalf("got %d events, want %d", len(events), 2+procs*steps)
+	}
+	if events[0].Kind != "run.start" {
+		t.Errorf("first event = %q, want run.start", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != "run.end" || last.Err != nil || last.Time != res.MakeSpan {
+		t.Errorf("last event = %+v, want run.end with makespan %g", last, res.MakeSpan)
+	}
+	perStep := map[int]int{}
+	for _, ev := range events[1 : len(events)-1] {
+		if ev.Kind != "superstep" {
+			t.Fatalf("middle event = %+v, want superstep", ev)
+		}
+		perStep[ev.Step]++
+	}
+	for s := 0; s < steps; s++ {
+		if perStep[s] != procs {
+			t.Errorf("superstep %d reported by %d processes, want %d", s, perStep[s], procs)
+		}
+	}
+}

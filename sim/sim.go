@@ -1,0 +1,62 @@
+// Package sim is the public surface of the deterministic virtual-time
+// message-passing simulator: the Machine parameter interface, the per-rank
+// process handle with its non-blocking point-to-point operations, and the
+// context-aware entry point. It re-exports the internal/simnet engine
+// unchanged — virtual times produced through this package are bit-identical
+// to the internal engine's.
+//
+// Most programs do not call Run here directly; they construct an
+// hbsp.Session (the root package), which layers functional options, machine
+// validation and typed errors on top.
+package sim
+
+import (
+	"context"
+
+	"hbsp/internal/simnet"
+)
+
+// Machine supplies the pairwise platform parameters the simulator needs; it
+// is implemented by cluster.Machine.
+type Machine = simnet.Machine
+
+// Options configure a simulation run.
+type Options = simnet.Options
+
+// Result summarizes a simulation run.
+type Result = simnet.Result
+
+// Proc is the handle a simulated rank uses to compute, communicate and read
+// its clock.
+type Proc = simnet.Proc
+
+// Request represents an outstanding non-blocking operation; it is recycled
+// by Wait and must not be used afterwards.
+type Request = simnet.Request
+
+// ErrDeadline is returned when the simulated program does not finish within
+// the wall-clock deadline (usually a deadlocked communication pattern).
+var ErrDeadline = simnet.ErrDeadline
+
+// ErrAborted is wrapped by the error Run returns when the context is
+// cancelled before the simulated program finishes.
+var ErrAborted = simnet.ErrAborted
+
+// DefaultOptions returns the options used when none are supplied: sends
+// acknowledged, two-minute wall-clock deadline.
+func DefaultOptions() Options { return simnet.DefaultOptions() }
+
+// Run executes body once per rank of the machine, each in its own goroutine,
+// and returns the per-rank virtual finishing times. Cancelling the context
+// aborts the run (every rank blocked in a receive unwinds) with an error
+// wrapping ErrAborted; exceeding the wall-clock deadline returns
+// ErrDeadline.
+func Run(ctx context.Context, m Machine, body func(p *Proc) error, o Options) (*Result, error) {
+	return simnet.RunContext(ctx, m, body, o)
+}
+
+// MaxTime returns the largest of the supplied times.
+func MaxTime(times []float64) float64 { return simnet.MaxTime(times) }
+
+// SortedCopy returns a sorted copy of times.
+func SortedCopy(times []float64) []float64 { return simnet.SortedCopy(times) }

@@ -1,0 +1,86 @@
+// Package stencil is the public surface of Case Study II: the 5-point
+// Laplacian stencil in its BSP (overlapping), MPI, restructured-MPI and
+// hybrid variants, executed on a simulated cluster, plus the model apparatus
+// that predicts iteration times and picks the computation/communication
+// overlap split.
+package stencil
+
+import (
+	istencil "hbsp/internal/stencil"
+
+	"hbsp/cluster"
+	"hbsp/collective"
+	"hbsp/model"
+)
+
+// Config describes one stencil problem (grid size, iterations, coefficient).
+type Config = istencil.Config
+
+// Decomposition is the 2-D processor-grid decomposition of the domain.
+type Decomposition = istencil.Decomposition
+
+// RunResult summarizes one simulated stencil run.
+type RunResult = istencil.RunResult
+
+// ModelSetup carries the superstep model built for a stencil configuration.
+type ModelSetup = istencil.ModelSetup
+
+// OverlapPoint is one (fraction, predicted time) sample of the overlap
+// sweep.
+type OverlapPoint = istencil.OverlapPoint
+
+// Prediction is a superstep-model prediction (per-process compute times,
+// communication and synchronization terms, total).
+type Prediction = model.Prediction
+
+// Decompose splits an n×n domain over p processes.
+func Decompose(n, p int) (Decomposition, error) { return istencil.Decompose(n, p) }
+
+// RunBSP executes the overlapping BSP variant.
+func RunBSP(m *cluster.Machine, cfg Config, overlapFraction float64) (*RunResult, error) {
+	return istencil.RunBSP(m, cfg, overlapFraction)
+}
+
+// MeasureBSP executes the BSP variant reps times and reports the median.
+func MeasureBSP(m *cluster.Machine, cfg Config, overlapFraction float64, reps int) (*RunResult, error) {
+	return istencil.MeasureBSP(m, cfg, overlapFraction, reps)
+}
+
+// RunMPI executes the straightforward MPI variant.
+func RunMPI(m *cluster.Machine, cfg Config) (*RunResult, error) { return istencil.RunMPI(m, cfg) }
+
+// RunMPIRestructured executes the communication-restructured MPI variant.
+func RunMPIRestructured(m *cluster.Machine, cfg Config) (*RunResult, error) {
+	return istencil.RunMPIRestructured(m, cfg)
+}
+
+// RunHybrid executes the hybrid (threads within a node) variant.
+func RunHybrid(prof *cluster.Profile, nodes int, cfg Config, threadEfficiency float64) (*RunResult, error) {
+	return istencil.RunHybrid(prof, nodes, cfg, threadEfficiency)
+}
+
+// BuildModel assembles the superstep model of one stencil iteration.
+func BuildModel(prof *cluster.Profile, params collective.Params, procs int, cfg Config, overlapFraction float64) (*ModelSetup, error) {
+	return istencil.BuildModel(prof, params, procs, cfg, overlapFraction)
+}
+
+// PredictIteration predicts the time of one stencil iteration.
+func PredictIteration(prof *cluster.Profile, params collective.Params, procs int, cfg Config, overlapFraction float64) (*Prediction, error) {
+	return istencil.PredictIteration(prof, params, procs, cfg, overlapFraction)
+}
+
+// PredictOverlapSweep predicts iteration times across overlap fractions.
+func PredictOverlapSweep(prof *cluster.Profile, params collective.Params, procs int, cfg Config, fractions []float64) ([]OverlapPoint, error) {
+	return istencil.PredictOverlapSweep(prof, params, procs, cfg, fractions)
+}
+
+// OptimalOverlap picks the best overlap fraction from a sweep.
+func OptimalOverlap(points []OverlapPoint, tolerance float64) (OverlapPoint, error) {
+	return istencil.OptimalOverlap(points, tolerance)
+}
+
+// GroundTruthParams returns the profile's exact parameter matrices for a
+// process count (no benchmarking noise).
+func GroundTruthParams(prof *cluster.Profile, procs int) (collective.Params, error) {
+	return istencil.GroundTruthParams(prof, procs)
+}
