@@ -24,6 +24,7 @@ import (
 	"hbsp/internal/simnet"
 	"hbsp/internal/stencil"
 	"hbsp/internal/topology"
+	"hbsp/internal/trace"
 )
 
 func benchOptions() experiments.Options {
@@ -552,6 +553,35 @@ func BenchmarkSimulatorBarrierThroughput(b *testing.B) {
 		if _, err := barrier.Measure(m, pat, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTraceOverhead measures the cost of the trace subsystem on the
+// send_recv ring workload (the identical shared program cmd/simbench's
+// send_recv entry measures — experiments.SendRecvRingProgram): "off" runs
+// with trace.Disabled — the nil-recorder fast path, whose per-event cost
+// must stay a single pointer test so the untraced hot path is unchanged
+// from the tracked baseline — and "on" runs with a recorder attached,
+// paying one event append per send, receive-wait and compute.
+func BenchmarkTraceOverhead(b *testing.B) {
+	m := simBenchMachine(b, 16)
+	ring := experiments.SendRecvRingProgram
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			o := simnet.DefaultOptions()
+			if mode == "on" {
+				o.Recorder = trace.NewRecorder()
+			} else {
+				o.Recorder = trace.Disabled
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := simnet.Run(m, ring, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

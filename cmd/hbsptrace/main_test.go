@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbsp/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden diffs got against testdata/name, rewriting under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/hbsptrace -run %s -update`): %v", t.Name(), err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("output diverged from %s — inspect the diff and, if the change is intended, regenerate with -update", path)
+	}
+}
+
+// TestReportGolden pins the acceptance workload: the P=64 dissemination-sync
+// report for a fixed seed, including the "(== makespan)" critical-path
+// confirmation (writeReport additionally asserts the equality bit-for-bit).
+func TestReportGolden(t *testing.T) {
+	tr, err := record(config{workload: "dissemination-sync", procs: 64, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeReport(&buf, tr, 24, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(== makespan)")) {
+		t.Fatalf("report does not confirm the critical path reaches the makespan:\n%s", buf.String())
+	}
+	golden(t, "report_dissemination-sync_p64_seed7.golden", buf.Bytes())
+}
+
+// TestEventStreamGolden pins the merged event stream of a smaller instance
+// of the same workload, the byte-exact determinism contract of the recorder.
+func TestEventStreamGolden(t *testing.T) {
+	tr, err := record(config{workload: "dissemination-sync", procs: 16, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteEvents(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "events_dissemination-sync_p16_seed7.golden", buf.Bytes())
+}
+
+// TestChromeGolden pins the Chrome export of the small instance and checks
+// it parses as JSON (the loadability smoke for chrome://tracing/Perfetto).
+func TestChromeGolden(t *testing.T) {
+	tr, err := record(config{workload: "dissemination-sync", procs: 16, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	golden(t, "chrome_dissemination-sync_p16_seed7.golden", buf.Bytes())
+}
+
+// TestEveryWorkloadCriticalPath runs each named workload at a modest size
+// and checks the subsystem invariant on all of them: the extracted critical
+// path ends exactly at the virtual makespan.
+func TestEveryWorkloadCriticalPath(t *testing.T) {
+	for name := range workloads {
+		t.Run(name, func(t *testing.T) {
+			tr, err := record(config{workload: name, procs: 16, seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := tr.CriticalPath()
+			if cp.End != tr.MakeSpan {
+				t.Fatalf("critical path end %v != makespan %v", cp.End, tr.MakeSpan)
+			}
+			if tr.Meta.Seed != 3 || !tr.Meta.SeedKnown {
+				t.Fatalf("trace not labeled with the run seed: %+v", tr.Meta)
+			}
+		})
+	}
+}
+
+// TestRecordRejectsUnknownWorkload covers the CLI error path.
+func TestRecordRejectsUnknownWorkload(t *testing.T) {
+	if _, err := record(config{workload: "no-such", procs: 4, seed: 1}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := record(config{workload: "dissemination-sync", procs: 1, seed: 1}); err == nil {
+		t.Fatal("single-rank workload accepted")
+	}
+}

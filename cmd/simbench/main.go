@@ -1,6 +1,7 @@
 // Command simbench is the machine-readable benchmark harness of the
-// virtual-time simulator: it measures the point-to-point hot path (Send/Recv),
-// the dissemination BSP synchronization and the total-exchange collective at
+// virtual-time simulator: it measures the point-to-point hot path (Send/Recv,
+// untraced and with a trace recorder attached), the dissemination BSP
+// synchronization and the total-exchange collective at
 // P ∈ {16, 64, 256, 512} and writes ns/op, allocs/op and simulated messages/s
 // to a JSON file (BENCH_simnet.json at the repository root is the tracked
 // baseline — regenerate it with `go run ./cmd/simbench` after touching the
@@ -31,6 +32,7 @@ import (
 	"hbsp/collective"
 	"hbsp/experiments"
 	"hbsp/sim"
+	"hbsp/trace"
 )
 
 // Entry is one benchmark point of the JSON baseline.
@@ -75,10 +77,11 @@ func main() {
 		m := benchMachine(p)
 		entries = append(entries,
 			benchSendRecv(m),
+			benchSendRecvTraced(m),
 			benchSync(m),
 			benchTotalExchange(m),
 		)
-		for _, e := range entries[len(entries)-3:] {
+		for _, e := range entries[len(entries)-4:] {
 			fmt.Printf("%-16s P=%-4d %14.0f ns/op %10d allocs/op %14.0f msgs/s\n",
 				e.Name, e.Procs, e.NsPerOp, e.AllocsPerOp, e.MessagesPerSec)
 		}
@@ -128,11 +131,11 @@ func entry(name string, procs int, r testing.BenchmarkResult, messages int64) En
 	return e
 }
 
-// benchSendRecv measures the raw point-to-point path: every rank runs a ring
-// of eager posts and blocking receives, the minimal program that exercises
+// benchSendRecv measures the raw point-to-point path on the shared fixed
+// workload (experiments.SendRecvRingProgram): every rank runs a ring of
+// eager posts and blocking receives, the minimal program that exercises
 // injection ports, mailbox delivery and matching.
 func benchSendRecv(m *cluster.Machine) Entry {
-	const rounds = 8
 	var messages atomic.Int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -141,16 +144,7 @@ func benchSendRecv(m *cluster.Machine) Entry {
 		// count only that round's messages.
 		messages.Store(0)
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(context.Background(), m, func(pr *sim.Proc) error {
-				n := pr.Size()
-				next, prev := (pr.Rank()+1)%n, (pr.Rank()+n-1)%n
-				for k := 0; k < rounds; k++ {
-					rq := pr.Irecv(prev, k)
-					pr.Post(next, k, 8, nil)
-					pr.Wait(rq)
-				}
-				return nil
-			}, sim.DefaultOptions())
+			res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, sim.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -158,6 +152,31 @@ func benchSendRecv(m *cluster.Machine) Entry {
 		}
 	})
 	return entry("send_recv", m.Procs(), r, messages.Load())
+}
+
+// benchSendRecvTraced is benchSendRecv with a trace recorder attached: the
+// identical ring workload (the shared experiments.SendRecvRingProgram, so
+// the traced/untraced comparison can never drift apart) paying one event
+// append per send and wait. The recorder-off overhead is zero by
+// construction (a nil test), which keeping send_recv itself in the baseline
+// pins across PRs.
+func benchSendRecvTraced(m *cluster.Machine) Entry {
+	rec := trace.NewRecorder()
+	o := sim.DefaultOptions()
+	o.Recorder = rec
+	var messages atomic.Int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		messages.Store(0)
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			messages.Add(res.Messages)
+		}
+	})
+	return entry("send_recv_traced", m.Procs(), r, messages.Load())
 }
 
 // benchSync measures the dissemination count exchange plus drain that ends

@@ -36,6 +36,35 @@
 // bit-identical virtual times to the internal engines, pinned by golden
 // tests.
 //
+// # Observability
+//
+// Attach a trace.Recorder with WithRecorder to record every event of a run
+// (sends, receive waits, compute intervals, superstep and collective-stage
+// boundaries) into per-rank lock-free lanes, merged deterministically after
+// the run — two runs with the same WithSeed produce byte-identical traces:
+//
+//	rec := trace.NewRecorder()
+//	sess, err := hbsp.New(machine, hbsp.WithSeed(42), hbsp.WithRecorder(rec))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	if _, err := sess.RunBSP(ctx, program); err != nil {
+//		log.Fatal(err)
+//	}
+//	tr, err := rec.Trace()
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	cp := tr.CriticalPath()            // gating chain; cp.End == makespan
+//	bd := tr.Breakdown()               // compute / send / straggler / latency
+//	trace.WriteReport(os.Stdout, tr, trace.ReportOptions{})
+//	trace.WriteChrome(f, tr)           // load f in chrome://tracing or Perfetto
+//
+// The lighter-weight WithTrace option delivers run.start/superstep/run.end
+// callbacks instead (for both BSP Syncs and MPI Barriers); the two compose.
+// See cmd/hbsptrace for a ready-made front-end and examples/tracing for a
+// runnable walkthrough.
+//
 // The public packages layer as follows: cluster (platform profiles,
 // topologies, machines) feeds sim (the virtual-time simulator), on which bsp
 // (the BSPlib run-time with user collectives and the pluggable superstep
@@ -43,7 +72,8 @@
 // schedule-driven collectives) are built; collective holds the
 // schedule engine (patterns, verification, cost model, model-driven
 // adaptation), bench the measurement procedures, kernels and matrix the
-// modeling vocabulary, stencil Case Study II, and experiments the evaluation
-// driver. See README.md for the package map and a migration table from the
-// pre-facade internal API.
+// modeling vocabulary, stencil Case Study II, trace the recording and
+// analysis subsystem, and experiments the evaluation driver. See README.md
+// for the package map and a migration table from the pre-facade internal
+// API.
 package hbsp

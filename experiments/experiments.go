@@ -12,6 +12,7 @@ import (
 
 	"hbsp/bsp"
 	"hbsp/cluster"
+	"hbsp/sim"
 )
 
 // Options select the sweep sizes of every experiment.
@@ -105,6 +106,10 @@ func AdaptedSyncTable(title string, points []AdaptedSyncPoint) *Table {
 // benchmarks.
 func SyncExchangeProgram(ctx *bsp.Ctx) error { return iexp.SyncExchangeProgram(ctx) }
 
+// SendRecvRingProgram is the shared point-to-point workload of the
+// send_recv benchmarks (untraced and recorder-attached).
+func SendRecvRingProgram(p *sim.Proc) error { return iexp.SendRecvRingProgram(p) }
+
 // Chapter 8 (Case Study II): the stencil evaluation.
 func Table8_1(opts Options) []StencilConfigRow     { return iexp.Table8_1(opts) }
 func Table8_1Table(rows []StencilConfigRow) *Table { return iexp.Table8_1Table(rows) }
@@ -119,4 +124,23 @@ func Fig8_10Series(prof *cluster.Profile, opts Options) ([]PredictionPoint, erro
 }
 func Fig8_18Series(prof *cluster.Profile, procs int, opts Options) ([]OverlapSweepPoint, error) {
 	return iexp.Fig8_18Series(prof, procs, opts)
+}
+
+// Trace analysis: critical-path and wait-time explanations of the barrier
+// sweeps (see the trace package for the underlying analysis passes).
+type TraceBreakdownPoint = iexp.TraceBreakdownPoint
+
+// TraceBreakdownSeries traces one dissemination barrier execution per
+// process count and extracts the critical-path explanation of each point.
+func TraceBreakdownSeries(prof *cluster.Profile, procsList []int, opts Options) ([]TraceBreakdownPoint, error) {
+	return iexp.TraceBreakdownSeries(prof, procsList, opts)
+}
+
+// ConsecutiveProcs returns the inclusive range lo..hi, the sweep that makes
+// odd/even placement effects visible.
+func ConsecutiveProcs(lo, hi int) []int { return iexp.ConsecutiveProcs(lo, hi) }
+
+// TraceBreakdownTable renders trace breakdown points.
+func TraceBreakdownTable(title string, points []TraceBreakdownPoint) *Table {
+	return iexp.TraceBreakdownTable(title, points)
 }

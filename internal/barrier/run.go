@@ -27,8 +27,18 @@ func Execute(c *mpi.Comm, pat *Pattern, generation int) {
 	_ = generation
 	rank := c.Rank()
 	adj := pat.Adjacency()
+	// On traced runs, bracket every stage so analysis can attribute time
+	// per stage and per edge; proc.TraceStage is checked once here so
+	// untraced executions pay nothing per stage.
+	traced := c.Proc().Tracing()
+	if traced {
+		defer c.Proc().TraceStage(-1)
+	}
 	var reqs []*simnet.Request // scratch, reused across stages
 	for s := range pat.Stages {
+		if traced {
+			c.Proc().TraceStage(s)
+		}
 		ins, outs := adj[s].In[rank], adj[s].Out[rank]
 		if len(ins) == 0 && len(outs) == 0 {
 			// A process with no signals in this stage still pays the

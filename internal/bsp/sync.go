@@ -87,6 +87,7 @@ func (c *Ctx) Sync() error {
 	}
 	c.pendingGets = c.pendingGets[:0]
 	c.currentStep++
+	c.proc.TraceSuperstep(c.currentStep - 1)
 	if c.observer != nil {
 		c.observer(c.Pid(), c.currentStep-1, c.proc.Now())
 	}
@@ -134,8 +135,15 @@ func (c *Ctx) exchangeCounts() ([][]int, error) {
 	p := c.NProcs()
 	rank := c.Pid()
 	known := map[int][]int{rank: append([]int(nil), c.outCounts...)}
+	traced := c.proc.Tracing()
+	if traced {
+		defer c.proc.TraceStage(-1)
+	}
 	stage := 0
 	for dist := 1; dist < p; dist *= 2 {
+		if traced {
+			c.proc.TraceStage(stage)
+		}
 		dst := (rank + dist) % p
 		src := (rank - dist + p) % p
 		tag := tagCountBase + stage

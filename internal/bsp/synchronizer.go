@@ -75,7 +75,14 @@ func (s *scheduleSync) ExchangeCounts(c *Ctx) ([][]int, error) {
 		return nil, fmt.Errorf("bsp: schedule for %d processes on a %d-process run", s.pat.Procs, p)
 	}
 	known := map[int][]int{rank: append([]int(nil), c.outCounts...)}
+	traced := c.proc.Tracing()
+	if traced {
+		defer c.proc.TraceStage(-1)
+	}
 	for stage, st := range s.pat.Adjacency() {
+		if traced {
+			c.proc.TraceStage(stage)
+		}
 		ins := st.In[rank]
 		outs := st.Out[rank]
 		if len(ins) == 0 && len(outs) == 0 {

@@ -6,6 +6,7 @@ import (
 	"hbsp/internal/barrier"
 	"hbsp/internal/bsp"
 	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
 )
 
 // CollectiveBlockBytes is the per-process block size the collective
@@ -124,6 +125,25 @@ func SyncExchangeProgram(ctx *bsp.Ctx) error {
 	left := (ctx.Pid() - 1 + p) % p
 	if p > 1 && area[left] != float64(left+1) {
 		return fmt.Errorf("experiments: process %d drained a wrong put value %v", ctx.Pid(), area[left])
+	}
+	return nil
+}
+
+// SendRecvRingProgram is the fixed point-to-point workload of the send_recv
+// benchmarks (cmd/simbench's send_recv and send_recv_traced entries,
+// BenchmarkTraceOverhead): eight rounds of an eager-post/blocking-receive
+// ring, the minimal program exercising injection ports, mailbox delivery and
+// matching. Keeping a single definition guarantees the traced and untraced
+// entries measure the same workload — the overhead comparison is only valid
+// while they do.
+func SendRecvRingProgram(p *simnet.Proc) error {
+	const rounds = 8
+	n := p.Size()
+	next, prev := (p.Rank()+1)%n, (p.Rank()+n-1)%n
+	for k := 0; k < rounds; k++ {
+		rq := p.Irecv(prev, k)
+		p.Post(next, k, 8, nil)
+		p.Wait(rq)
 	}
 	return nil
 }

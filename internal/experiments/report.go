@@ -91,6 +91,16 @@ func RunAll(w io.Writer, opts Options) error {
 		fmt.Fprint(w, tbl.String(), "\n")
 	}
 
+	// Trace analysis: explain the Fig 5.6 odd/even oscillation with a
+	// consecutive-P sweep — the cross-node gating-hop count tracks the
+	// placement, not the algorithm.
+	lo := opts.MaxProcsXeon - 7
+	breakdown, err := TraceBreakdownSeries(xeon, ConsecutiveProcs(lo, opts.MaxProcsXeon), opts)
+	if err != nil {
+		return fmt.Errorf("trace breakdown: %w", err)
+	}
+	fmt.Fprint(w, TraceBreakdownTable("Trace: dissemination barrier explained (8x2x4, consecutive P)", breakdown).String(), "\n")
+
 	// Chapter 7.
 	for _, tc := range []struct {
 		prof  *platform.Profile

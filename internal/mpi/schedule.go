@@ -62,7 +62,16 @@ func (c *Comm) flood(s Schedule, own any) (map[int]any, error) {
 	}
 	rank := c.Rank()
 	known := map[int]any{rank: own}
+	// On traced runs, bracket every stage for per-stage attribution (checked
+	// once so untraced executions pay nothing per stage).
+	traced := c.proc.Tracing()
+	if traced {
+		defer c.proc.TraceStage(-1)
+	}
 	for stage := 0; stage < s.NumStages(); stage++ {
+		if traced {
+			c.proc.TraceStage(stage)
+		}
 		ins, outs, outBytes := s.StageEdges(stage, rank)
 		if len(ins) == 0 && len(outs) == 0 {
 			continue

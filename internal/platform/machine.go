@@ -66,6 +66,12 @@ func (m *Machine) WithRunSeed(seed int64) *Machine {
 	return &c
 }
 
+// RunSeed returns the seed the machine's noise stream is derived from: the
+// profile's seed, or the override a WithRunSeed copy carries. The trace
+// subsystem reads it so exported traces are labeled with the exact seed that
+// produced them.
+func (m *Machine) RunSeed() int64 { return m.runSeed }
+
 // Profile returns the profile the machine was instantiated from.
 func (m *Machine) Profile() *Profile { return m.profile }
 

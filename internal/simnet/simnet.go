@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hbsp/internal/trace"
 )
 
 // Machine supplies the platform parameters the simulator needs. It is
@@ -65,6 +67,11 @@ type Options struct {
 	// Deadline bounds the real (wall-clock) duration of the simulated run as
 	// a guard against deadlocked simulated programs.
 	Deadline time.Duration
+	// Recorder, when non-nil, records every event of the run (sends, receive
+	// completions, compute intervals, superstep and stage boundaries) into
+	// per-rank lock-free lanes for post-run analysis and export. nil — the
+	// trace.Disabled fast path — costs one pointer test per event.
+	Recorder *trace.Recorder
 }
 
 // DefaultOptions returns the options used when none are supplied.
@@ -98,6 +105,9 @@ type message struct {
 	size          int
 	payload       any
 	arrival       float64
+	// sendEv is, under tracing, the index of the sender's KindSend event in
+	// its lane, so the receiver can link its wait to the gating send.
+	sendEv int32
 }
 
 // msgPool recycles message envelopes across the whole process: a message is
@@ -280,6 +290,13 @@ type Proc struct {
 	rxFree   float64
 	noiseSeq uint64
 
+	// tr is the rank's trace lane, nil unless a recorder is attached; the
+	// hot paths test it once per event. curStep and curStage label recorded
+	// events with the run-time position (superstep, collective stage).
+	tr       *trace.Lane
+	curStep  int32
+	curStage int32
+
 	// reqFree recycles Request objects. A Proc is driven by a single
 	// goroutine, so the freelist needs no locking; Wait returns completed
 	// requests to it (see the Request lifetime note on Isend/Irecv).
@@ -325,7 +342,12 @@ func (p *Proc) Compute(seconds float64) {
 	if seconds < 0 {
 		seconds = 0
 	}
-	p.now += seconds * p.noise()
+	d := seconds * p.noise()
+	if p.tr != nil && d > 0 {
+		p.tr.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
+			Step: p.curStep, Stage: p.curStage, T0: p.now, T1: p.now + d})
+	}
+	p.now += d
 }
 
 // ComputeExact advances the clock without noise; benchmark inner loops use it
@@ -334,14 +356,54 @@ func (p *Proc) ComputeExact(seconds float64) {
 	if seconds < 0 {
 		seconds = 0
 	}
+	if p.tr != nil && seconds > 0 {
+		p.tr.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
+			Step: p.curStep, Stage: p.curStage, T0: p.now, T1: p.now + seconds})
+	}
 	p.now += seconds
 }
 
 // AdvanceTo moves the clock forward to at least t (no-op if already past).
 func (p *Proc) AdvanceTo(t float64) {
 	if t > p.now {
+		if p.tr != nil {
+			p.tr.Append(trace.Event{Kind: trace.KindAdvance, Peer: -1, SendSeq: -1,
+				Step: p.curStep, Stage: p.curStage, T0: p.now, T1: t})
+		}
 		p.now = t
 	}
+}
+
+// Tracing reports whether a recorder is attached to this run; layered
+// run-times use it to skip per-stage instrumentation calls entirely on
+// untraced runs.
+func (p *Proc) Tracing() bool { return p.tr != nil }
+
+// TraceSuperstep records a superstep-boundary mark (the index of the
+// superstep just completed) and labels subsequent events with the next
+// superstep. The BSP run-time calls it from Sync, the MPI layer from
+// Barrier; it is a no-op on untraced runs.
+func (p *Proc) TraceSuperstep(step int) {
+	if p.tr == nil {
+		return
+	}
+	p.tr.Append(trace.Event{Kind: trace.KindSuperstep, Peer: -1, SendSeq: -1,
+		Step: int32(step), Stage: p.curStage, T0: p.now, T1: p.now})
+	p.curStep = int32(step) + 1
+}
+
+// TraceStage records a collective-schedule stage mark and labels subsequent
+// events with the stage; a negative stage ends stage attribution. The
+// pattern executor brackets every stage with it on traced runs.
+func (p *Proc) TraceStage(stage int) {
+	if p.tr == nil {
+		return
+	}
+	if stage >= 0 {
+		p.tr.Append(trace.Event{Kind: trace.KindStage, Peer: -1, SendSeq: -1,
+			Step: p.curStep, Stage: int32(stage), T0: p.now, T1: p.now})
+	}
+	p.curStage = int32(stage)
 }
 
 // Request represents an outstanding non-blocking operation. Requests are
@@ -358,6 +420,12 @@ type Request struct {
 	postTime   float64
 	completeAt float64
 	resolved   bool
+
+	// Tracing state of a resolved receive: whether the message's arrival
+	// gated completion, the arrival itself, and the sender's event index.
+	gated   bool
+	arrival float64
+	sendEv  int32
 }
 
 // IsSend reports whether the request is a send request.
@@ -375,6 +443,7 @@ func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 	}
 	m := p.w.machine
 	// Per-request software overhead on the sender's CPU.
+	t0 := p.now
 	p.now += m.Overhead(p.rank, dst) * p.noise()
 
 	var txStart, transfer float64
@@ -394,6 +463,12 @@ func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 
 	msg := msgPool.Get().(*message)
 	*msg = message{src: p.rank, dst: dst, tag: tag, size: size, payload: payload, arrival: arrival}
+	if p.tr != nil {
+		msg.sendEv = int32(p.tr.Len())
+		p.tr.Append(trace.Event{Kind: trace.KindSend, Peer: int32(dst), Tag: int32(tag),
+			Size: int32(size), SendSeq: -1, Step: p.curStep, Stage: p.curStage,
+			T0: t0, T1: p.now, Arrival: arrival})
+	}
 	p.w.mailboxes[dst].deliver(msg)
 	p.w.messages.Add(1)
 	p.w.bytes.Add(int64(size))
@@ -454,19 +529,28 @@ func (r *Request) resolveRecv() {
 	m := p.w.machine
 	msg := p.w.mailboxes[p.rank].take(r.peer, r.tag)
 	start := r.postTime
+	gated := false
 	if msg.arrival > start {
 		start = msg.arrival
+		gated = true
 	}
 	sameNIC := m.NIC(p.rank) == m.NIC(r.peer)
 	if !sameNIC {
 		if p.rxFree > start {
 			start = p.rxFree
+			gated = false
 		}
 		p.rxFree = start + m.Gap(r.peer, p.rank)
 	}
 	r.completeAt = start
 	r.payload = msg.payload
 	r.resolved = true
+	if p.tr != nil {
+		r.size = msg.size
+		r.gated = gated
+		r.arrival = msg.arrival
+		r.sendEv = msg.sendEv
+	}
 	releaseMessage(msg)
 }
 
@@ -485,6 +569,19 @@ func (p *Proc) Wait(r *Request) any {
 		r.resolveRecv()
 	}
 	if r.completeAt > p.now {
+		if p.tr != nil {
+			ev := trace.Event{Peer: int32(r.peer), Tag: int32(r.tag), Size: int32(r.size),
+				SendSeq: -1, Step: p.curStep, Stage: p.curStage, T0: p.now, T1: r.completeAt}
+			if r.isSend {
+				ev.Kind = trace.KindSendWait
+			} else {
+				ev.Kind = trace.KindRecvWait
+				ev.Gated = r.gated
+				ev.SendSeq = r.sendEv
+				ev.Arrival = r.arrival
+			}
+			p.tr.Append(ev)
+		}
 		p.now = r.completeAt
 	}
 	var out any
@@ -554,11 +651,42 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 		w.mailboxes[i] = newMailbox(&w.cancelled)
 	}
 
+	// Attach the recorder, labeling the run with the machine's identity and
+	// — crucially for reproducing a trace — the exact run seed the machine
+	// carries (WithRunSeed copies expose theirs through RunSeed).
+	rec := o.Recorder
+	if rec.Enabled() {
+		meta := trace.Meta{Procs: m.Procs(), AckSends: o.AckSends}
+		if rs, ok := m.(interface{ RunSeed() int64 }); ok {
+			meta.Seed, meta.SeedKnown = rs.RunSeed(), true
+		}
+		if st, ok := m.(fmt.Stringer); ok {
+			meta.Machine = st.String()
+		}
+		rec.BeginRun(meta)
+	}
+	// finish seals the recording with the outcome; clean=false means rank
+	// goroutines may still be running (their lanes are unreadable).
+	finish := func(res *Result, err error, clean bool) (*Result, error) {
+		if rec.Enabled() {
+			var times []float64
+			var makespan float64
+			if res != nil {
+				times, makespan = res.Times, res.MakeSpan
+			}
+			rec.EndRun(times, makespan, w.messages.Load(), w.bytes.Load(), err, clean)
+		}
+		return res, err
+	}
+
 	procs := make([]*Proc, m.Procs())
 	errs := make([]error, m.Procs())
 	var wg sync.WaitGroup
 	for rank := 0; rank < m.Procs(); rank++ {
-		p := &Proc{w: w, rank: rank}
+		p := &Proc{w: w, rank: rank, curStage: -1}
+		if rec.Enabled() {
+			p.tr = rec.LaneOf(rank)
+		}
 		procs[rank] = p
 		wg.Add(1)
 		go func(rank int, p *Proc) {
@@ -588,7 +716,9 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	// it hang Run: after a grace period return anyway, leaking that one
 	// goroutine (as the pre-cancellation implementation always did for every
 	// rank).
-	teardown := func() {
+	// teardown reports whether every rank goroutine actually unwound (false
+	// after the grace period: a leaked rank may still be running).
+	teardown := func() bool {
 		w.cancelled.Store(true)
 		for _, mb := range w.mailboxes {
 			mb.cancelAll()
@@ -597,7 +727,9 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 		defer grace.Stop()
 		select {
 		case <-done:
+			return true
 		case <-grace.C:
+			return false
 		}
 	}
 	// completed reports whether every rank has already finished; the abort
@@ -618,13 +750,11 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	case <-done:
 	case <-timer.C:
 		if !completed() {
-			teardown()
-			return nil, ErrDeadline
+			return finish(nil, ErrDeadline, teardown())
 		}
 	case <-ctx.Done():
 		if !completed() {
-			teardown()
-			return nil, fmt.Errorf("%w: %w", ErrAborted, context.Cause(ctx))
+			return finish(nil, fmt.Errorf("%w: %w", ErrAborted, context.Cause(ctx)), teardown())
 		}
 	}
 
@@ -635,7 +765,7 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 		}
 	}
 	if len(errList) > 0 {
-		return nil, errors.Join(errList...)
+		return finish(nil, errors.Join(errList...), true)
 	}
 
 	res := &Result{Times: make([]float64, m.Procs()), Messages: w.messages.Load(), Bytes: w.bytes.Load()}
@@ -645,7 +775,7 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 			res.MakeSpan = p.now
 		}
 	}
-	return res, nil
+	return finish(res, nil, true)
 }
 
 // MaxTime returns the largest of the supplied times; it is a small helper for

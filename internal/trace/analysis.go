@@ -1,0 +1,413 @@
+package trace
+
+import (
+	"sort"
+
+	"hbsp/internal/stats"
+)
+
+// This file holds the analysis passes on a merged trace: critical-path
+// extraction (the chain of compute intervals and gating messages that
+// determines the makespan), per-rank and per-superstep time breakdowns, and
+// h-relation statistics. All passes are pure functions of the trace, so on a
+// deterministic trace they are deterministic themselves.
+
+// Category buckets blocked and busy time for the breakdowns.
+type Category uint8
+
+const (
+	// CatCompute is local computation.
+	CatCompute Category = iota
+	// CatSend is sender-side injection overhead.
+	CatSend
+	// CatStraggler is receive-wait time spent before the gating message had
+	// even left its sender: waiting for a peer that was running late.
+	CatStraggler
+	// CatLatency is receive-wait time after the gating message left its
+	// sender: network latency, serialization and extraction-port time.
+	CatLatency
+	// CatPort is receive-wait time gated by the local extraction port (the
+	// message had long arrived; back-to-back matches serialized it).
+	CatPort
+	// CatAck is send-wait time (injection-port drain and, in ack mode, the
+	// returning acknowledgement).
+	CatAck
+	// CatAdvance is explicit clock alignment (AdvanceTo).
+	CatAdvance
+	// CatSkew is end-of-run idle: the gap between a rank's finish time and
+	// the makespan.
+	CatSkew
+	numCategories
+)
+
+// Categories lists all categories in report order.
+var Categories = []Category{CatCompute, CatSend, CatStraggler, CatLatency, CatPort, CatAck, CatAdvance, CatSkew}
+
+// String names the category as the reports print it.
+func (c Category) String() string {
+	switch c {
+	case CatCompute:
+		return "compute"
+	case CatSend:
+		return "send-overhead"
+	case CatStraggler:
+		return "straggler-wait"
+	case CatLatency:
+		return "latency-wait"
+	case CatPort:
+		return "port-wait"
+	case CatAck:
+		return "ack-wait"
+	case CatAdvance:
+		return "advance"
+	case CatSkew:
+		return "finish-skew"
+	}
+	return "unknown"
+}
+
+// classify splits one event's duration over the breakdown categories.
+// Receive waits are split at the moment the gating message left its sender:
+// before it the receiver was waiting on a straggling peer, after it on the
+// network. The sender's injection end is looked up through the SendSeq link.
+func (t *Trace) classify(ev *Event, add func(Category, float64)) {
+	d := ev.Duration()
+	if d <= 0 {
+		return
+	}
+	switch ev.Kind {
+	case KindCompute:
+		add(CatCompute, d)
+	case KindSend:
+		add(CatSend, d)
+	case KindSendWait:
+		add(CatAck, d)
+	case KindAdvance:
+		add(CatAdvance, d)
+	case KindRecvWait:
+		if !ev.Gated {
+			add(CatPort, d)
+			return
+		}
+		sendEnd := ev.T0
+		if ev.Peer >= 0 && int(ev.Peer) < len(t.Lanes) && ev.SendSeq >= 0 && int(ev.SendSeq) < len(t.Lanes[ev.Peer]) {
+			sendEnd = t.Lanes[ev.Peer][ev.SendSeq].T1
+		}
+		straggle := sendEnd - ev.T0
+		if straggle < 0 {
+			straggle = 0
+		}
+		if straggle > d {
+			straggle = d
+		}
+		add(CatStraggler, straggle)
+		add(CatLatency, d-straggle)
+	}
+}
+
+// RankBreakdown is one rank's wall-time attribution over the whole run.
+type RankBreakdown struct {
+	Rank   int
+	Finish float64
+	// ByCategory sums event durations per category; CatSkew is the gap to
+	// the makespan, so the categories of a fully traced rank sum to the
+	// makespan up to untracked zero-cost operations.
+	ByCategory [numCategories]float64
+}
+
+// Total returns the sum over all categories except finish-skew.
+func (b *RankBreakdown) Total() float64 {
+	total := 0.0
+	for c, v := range b.ByCategory {
+		if Category(c) != CatSkew {
+			total += v
+		}
+	}
+	return total
+}
+
+// StepBreakdown aggregates one superstep bucket across all ranks.
+type StepBreakdown struct {
+	Step int
+	// ByCategory sums the categories across every rank's events of the step.
+	ByCategory [numCategories]float64
+	// Boundary is the latest superstep-boundary mark of the step (zero when
+	// the bucket has no marks, e.g. the trailing partial step).
+	Boundary float64
+	// Straggler is the rank with the latest boundary mark, -1 without marks.
+	Straggler int
+}
+
+// Breakdown is the full time-attribution view of a trace.
+type Breakdown struct {
+	// PerRank holds one entry per rank, indexed by rank.
+	PerRank []RankBreakdown
+	// PerStep holds one entry per superstep bucket, indexed by step.
+	PerStep []StepBreakdown
+	// MakeSpan mirrors the trace's makespan.
+	MakeSpan float64
+}
+
+// TotalByCategory sums a category across all ranks.
+func (b *Breakdown) TotalByCategory(c Category) float64 {
+	total := 0.0
+	for i := range b.PerRank {
+		total += b.PerRank[i].ByCategory[c]
+	}
+	return total
+}
+
+// Breakdown attributes every rank's wall time to the breakdown categories,
+// overall and per superstep.
+func (t *Trace) Breakdown() *Breakdown {
+	b := &Breakdown{
+		PerRank:  make([]RankBreakdown, len(t.Lanes)),
+		PerStep:  make([]StepBreakdown, t.Steps()),
+		MakeSpan: t.MakeSpan,
+	}
+	for s := range b.PerStep {
+		b.PerStep[s].Step = s
+		b.PerStep[s].Straggler = -1
+	}
+	for rank, lane := range t.Lanes {
+		rb := &b.PerRank[rank]
+		rb.Rank = rank
+		if rank < len(t.Times) {
+			rb.Finish = t.Times[rank]
+		}
+		rb.ByCategory[CatSkew] = t.MakeSpan - rb.Finish
+		for i := range lane {
+			ev := &lane[i]
+			if ev.Kind == KindSuperstep {
+				sb := &b.PerStep[ev.Step]
+				if ev.T1 > sb.Boundary || sb.Straggler < 0 {
+					sb.Boundary = ev.T1
+					sb.Straggler = rank
+				}
+				continue
+			}
+			step := ev.Step
+			t.classify(ev, func(c Category, d float64) {
+				rb.ByCategory[c] += d
+				b.PerStep[step].ByCategory[c] += d
+			})
+		}
+	}
+	return b
+}
+
+// PathHop is one rank residency on the critical path: criticality arrived on
+// this rank (via the message described by ViaPeer/ViaTag for every hop after
+// the first), stayed for [From, To], and left through the next hop's message.
+type PathHop struct {
+	Rank     int
+	From, To float64
+	// ViaPeer/ViaTag/ViaSize describe the gating message that moved
+	// criticality onto this rank's successor... — for hop i > 0, the message
+	// that carried criticality from Hops[i-1].Rank to this hop's Rank.
+	ViaPeer int
+	ViaTag  int
+	ViaSize int
+	// InFlight is the time the gating message spent between leaving ViaPeer
+	// and completing this rank's receive (latency, serialization, ports).
+	InFlight float64
+	// Compute, Send and Wait attribute the residency's event time.
+	Compute, Send, Wait float64
+}
+
+// CriticalPath is the gating chain of a trace.
+type CriticalPath struct {
+	// Hops lists the rank residencies in time order; the last hop ends at
+	// End on the rank that set the makespan.
+	Hops []PathHop
+	// End is the virtual end time of the chain. For a fully traced run it
+	// equals the makespan bit-for-bit (the final clock advance of the
+	// slowest rank is itself a recorded event).
+	End float64
+	// Rank is the makespan-setting rank the walk started from.
+	Rank int
+	// Compute, Send, Wait and InFlight total the chain's time by origin.
+	Compute, Send, Wait, InFlight float64
+	// Slack is, per rank, the distance of the rank's finish time from the
+	// makespan (zero for the critical rank).
+	Slack []float64
+}
+
+// CriticalPath extracts the chain of compute intervals and gating messages
+// that determines the makespan: starting from the last event of the slowest
+// rank it walks backwards; a receive wait that was gated by its message's
+// arrival hops to the matching send event on the sender's lane, every other
+// event chains to its on-rank predecessor (per-rank events are contiguous in
+// time, since every clock advance is recorded). The walk runs once per
+// Trace; repeated calls return the same memoized chain.
+func (t *Trace) CriticalPath() *CriticalPath {
+	t.cpOnce.Do(func() { t.cp = t.criticalPath() })
+	return t.cp
+}
+
+func (t *Trace) criticalPath() *CriticalPath {
+	cp := &CriticalPath{Rank: -1, Slack: make([]float64, len(t.Lanes))}
+	for rank, ft := range t.Times {
+		cp.Slack[rank] = t.MakeSpan - ft
+		if cp.Rank < 0 || ft > t.Times[cp.Rank] {
+			cp.Rank = rank
+		}
+	}
+	if cp.Rank < 0 || len(t.Lanes[cp.Rank]) == 0 {
+		return cp
+	}
+
+	cur := cp.Rank
+	i := len(t.Lanes[cur]) - 1
+	cp.End = t.Lanes[cur][i].T1
+	hop := PathHop{Rank: cur, To: cp.End, ViaPeer: -1, ViaTag: -1}
+	var rev []PathHop
+	for i >= 0 {
+		ev := &t.Lanes[cur][i]
+		if ev.T0 == ev.T1 { // boundary marks carry no time
+			i--
+			continue
+		}
+		if ev.Kind == KindRecvWait && ev.Gated && ev.Peer >= 0 && ev.SendSeq >= 0 &&
+			int(ev.Peer) < len(t.Lanes) && int(ev.SendSeq) < len(t.Lanes[ev.Peer]) {
+			send := &t.Lanes[ev.Peer][ev.SendSeq]
+			// The residency on cur starts where the gating wait ends its
+			// in-flight portion; the chain segment [send.T1, ev.T1] is the
+			// message in flight (latency, transfer, ports).
+			hop.From = ev.T1
+			hop.ViaPeer = int(ev.Peer)
+			hop.ViaTag = int(ev.Tag)
+			hop.ViaSize = int(ev.Size)
+			hop.InFlight = ev.T1 - send.T1
+			cp.InFlight += hop.InFlight
+			rev = append(rev, hop)
+			cur = int(ev.Peer)
+			i = int(ev.SendSeq)
+			hop = PathHop{Rank: cur, To: send.T1, ViaPeer: -1, ViaTag: -1}
+			continue
+		}
+		switch ev.Kind {
+		case KindCompute:
+			hop.Compute += ev.Duration()
+			cp.Compute += ev.Duration()
+		case KindSend:
+			hop.Send += ev.Duration()
+			cp.Send += ev.Duration()
+		default:
+			hop.Wait += ev.Duration()
+			cp.Wait += ev.Duration()
+		}
+		hop.From = ev.T0
+		i--
+	}
+	rev = append(rev, hop)
+	cp.Hops = make([]PathHop, 0, len(rev))
+	for k := len(rev) - 1; k >= 0; k-- {
+		cp.Hops = append(cp.Hops, rev[k])
+	}
+	return cp
+}
+
+// HRelation summarizes the communication relation of one superstep bucket:
+// the classic h (the maximum, over ranks, of the larger of in- and out-bytes)
+// plus sample statistics of the per-rank volumes, computed with
+// internal/stats.
+type HRelation struct {
+	Step int
+	// HBytes and HMessages are max over ranks of max(in, out).
+	HBytes    int64
+	HMessages int
+	// Messages and Bytes total the step's traffic.
+	Messages int
+	Bytes    int64
+	// MeanOutBytes / MedianOutBytes / MaxOutBytes summarize per-rank sent
+	// volume; MaxOutRank is the argmax.
+	MeanOutBytes   float64
+	MedianOutBytes float64
+	MaxOutBytes    int64
+	MaxOutRank     int
+}
+
+// HRelations computes per-superstep h-relation statistics from the send
+// events (attributed to the sender's superstep).
+func (t *Trace) HRelations() []HRelation {
+	steps := t.Steps()
+	outB := make([][]int64, steps)
+	inB := make([][]int64, steps)
+	outM := make([][]int, steps)
+	inM := make([][]int, steps)
+	for s := range outB {
+		outB[s] = make([]int64, len(t.Lanes))
+		inB[s] = make([]int64, len(t.Lanes))
+		outM[s] = make([]int, len(t.Lanes))
+		inM[s] = make([]int, len(t.Lanes))
+	}
+	for rank, lane := range t.Lanes {
+		for i := range lane {
+			ev := &lane[i]
+			if ev.Kind != KindSend {
+				continue
+			}
+			s := int(ev.Step)
+			outB[s][rank] += int64(ev.Size)
+			outM[s][rank]++
+			if ev.Peer >= 0 && int(ev.Peer) < len(t.Lanes) {
+				inB[s][ev.Peer] += int64(ev.Size)
+				inM[s][ev.Peer]++
+			}
+		}
+	}
+	out := make([]HRelation, steps)
+	sample := make([]float64, len(t.Lanes))
+	for s := range out {
+		h := &out[s]
+		h.Step = s
+		h.MaxOutRank = -1
+		for r := range t.Lanes {
+			ob, ib := outB[s][r], inB[s][r]
+			om, im := outM[s][r], inM[s][r]
+			h.Bytes += ob
+			h.Messages += om
+			if m := max(ob, ib); m > h.HBytes {
+				h.HBytes = m
+			}
+			if m := max(om, im); m > h.HMessages {
+				h.HMessages = m
+			}
+			if ob > h.MaxOutBytes || h.MaxOutRank < 0 {
+				h.MaxOutBytes = ob
+				h.MaxOutRank = r
+			}
+			sample[r] = float64(ob)
+		}
+		h.MeanOutBytes, _ = stats.Mean(sample)
+		h.MedianOutBytes, _ = stats.Median(sample)
+	}
+	return out
+}
+
+// Straggler pairs a rank with its end-of-run slack, for ranking.
+type Straggler struct {
+	Rank  int
+	Slack float64
+}
+
+// Stragglers returns the ranks ordered by increasing slack (the critical
+// rank first), ties broken by rank.
+func (t *Trace) Stragglers() []Straggler {
+	out := make([]Straggler, len(t.Lanes))
+	for rank := range t.Lanes {
+		s := Straggler{Rank: rank, Slack: t.MakeSpan}
+		if rank < len(t.Times) {
+			s.Slack = t.MakeSpan - t.Times[rank]
+		}
+		out[rank] = s
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Slack != out[j].Slack {
+			return out[i].Slack < out[j].Slack
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReportOptions tune the text report.
+type ReportOptions struct {
+	// MaxHops caps the printed critical-path hops (the chain can be long on
+	// large machines); 0 means the default of 24. The summary line always
+	// covers the full chain.
+	MaxHops int
+	// MaxSteps caps the printed per-superstep rows; 0 means all.
+	MaxSteps int
+}
+
+// WriteReport renders the compact text report of a trace: run metadata, the
+// per-rank time breakdown, per-superstep breakdowns with straggler
+// attribution, h-relation statistics and the critical path. The output is a
+// pure function of the trace, so golden tests diff it directly.
+func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
+	if opts.MaxHops == 0 {
+		opts.MaxHops = 24
+	}
+	bw := bufio.NewWriter(w)
+
+	label := t.Meta.Label
+	if label == "" {
+		label = "(unlabeled run)"
+	}
+	fmt.Fprintf(bw, "trace report: %s\n", label)
+	if t.Meta.Machine != "" {
+		fmt.Fprintf(bw, "machine:      %s\n", t.Meta.Machine)
+	}
+	seed := "unknown"
+	if t.Meta.SeedKnown {
+		seed = fmt.Sprintf("%d", t.Meta.Seed)
+	}
+	fmt.Fprintf(bw, "procs: %d  seed: %s  ack-sends: %v\n", t.Meta.Procs, seed, t.Meta.AckSends)
+	fmt.Fprintf(bw, "makespan: %s s   events: %d   messages: %d   bytes: %d\n",
+		formatSeconds(t.MakeSpan), t.NumEvents(), t.Messages, t.Bytes)
+	if t.Err != nil {
+		fmt.Fprintf(bw, "run error: %v\n", t.Err)
+	}
+
+	bd := t.Breakdown()
+	fmt.Fprintf(bw, "\ntime breakdown (sum over %d ranks; %% of rank-seconds):\n", len(bd.PerRank))
+	totalAll := 0.0
+	for _, c := range Categories {
+		totalAll += bd.TotalByCategory(c)
+	}
+	for _, c := range Categories {
+		v := bd.TotalByCategory(c)
+		pct := 0.0
+		if totalAll > 0 {
+			pct = 100 * v / totalAll
+		}
+		fmt.Fprintf(bw, "  %-15s %12.6e s  %5.1f%%\n", c, v, pct)
+	}
+
+	if len(bd.PerStep) > 1 {
+		fmt.Fprintf(bw, "\nper-superstep breakdown:\n")
+		fmt.Fprintf(bw, "  %-5s %-13s %-13s %-13s %-13s %-13s %-9s\n",
+			"step", "compute", "send", "straggler", "latency", "boundary", "straggler@")
+		steps := bd.PerStep
+		if opts.MaxSteps > 0 && len(steps) > opts.MaxSteps {
+			steps = steps[:opts.MaxSteps]
+		}
+		for _, s := range steps {
+			who := "-"
+			if s.Straggler >= 0 {
+				who = fmt.Sprintf("rank %d", s.Straggler)
+			}
+			fmt.Fprintf(bw, "  %-5d %13.6e %13.6e %13.6e %13.6e %13.6e %-9s\n",
+				s.Step, s.ByCategory[CatCompute], s.ByCategory[CatSend],
+				s.ByCategory[CatStraggler], s.ByCategory[CatLatency], s.Boundary, who)
+		}
+		if opts.MaxSteps > 0 && len(bd.PerStep) > opts.MaxSteps {
+			fmt.Fprintf(bw, "  ... %d more steps\n", len(bd.PerStep)-opts.MaxSteps)
+		}
+	}
+
+	hrs := t.HRelations()
+	if len(hrs) > 0 {
+		fmt.Fprintf(bw, "\nh-relations (per superstep):\n")
+		fmt.Fprintf(bw, "  %-5s %-10s %-7s %-8s %-12s %-12s %-12s\n",
+			"step", "h(bytes)", "h(msgs)", "msgs", "mean-out", "median-out", "max-out@rank")
+		rows := hrs
+		if opts.MaxSteps > 0 && len(rows) > opts.MaxSteps {
+			rows = rows[:opts.MaxSteps]
+		}
+		for _, h := range rows {
+			fmt.Fprintf(bw, "  %-5d %-10d %-7d %-8d %-12.1f %-12.1f %d@%d\n",
+				h.Step, h.HBytes, h.HMessages, h.Messages, h.MeanOutBytes, h.MedianOutBytes, h.MaxOutBytes, h.MaxOutRank)
+		}
+		if opts.MaxSteps > 0 && len(hrs) > opts.MaxSteps {
+			fmt.Fprintf(bw, "  ... %d more steps\n", len(hrs)-opts.MaxSteps)
+		}
+	}
+
+	cp := t.CriticalPath()
+	fmt.Fprintf(bw, "\ncritical path: end %s s", formatSeconds(cp.End))
+	if cp.End == t.MakeSpan {
+		fmt.Fprintf(bw, " (== makespan)\n")
+	} else {
+		fmt.Fprintf(bw, " (!= makespan %s s — rank leaked untraced time)\n", formatSeconds(t.MakeSpan))
+	}
+	fmt.Fprintf(bw, "  %d hops ending on rank %d: compute %.6e s, send %.6e s, wait %.6e s, in-flight %.6e s\n",
+		len(cp.Hops), cp.Rank, cp.Compute, cp.Send, cp.Wait, cp.InFlight)
+	hops := cp.Hops
+	skipped := 0
+	if len(hops) > opts.MaxHops {
+		skipped = len(hops) - opts.MaxHops
+		hops = hops[len(hops)-opts.MaxHops:]
+	}
+	if skipped > 0 {
+		fmt.Fprintf(bw, "  ... %d earlier hops elided ...\n", skipped)
+	}
+	for _, h := range hops {
+		if h.ViaPeer >= 0 {
+			fmt.Fprintf(bw, "  <- msg from rank %d (tag %d, %d B, in-flight %.3e s)\n",
+				h.ViaPeer, h.ViaTag, h.ViaSize, h.InFlight)
+		}
+		fmt.Fprintf(bw, "  rank %-4d [%.6e, %.6e]  compute %.3e  send %.3e  wait %.3e\n",
+			h.Rank, h.From, h.To, h.Compute, h.Send, h.Wait)
+	}
+
+	st := t.Stragglers()
+	fmt.Fprintf(bw, "\nslack (distance to makespan): critical rank %d", cp.Rank)
+	n := len(st)
+	if n > 0 {
+		fmt.Fprintf(bw, "; max slack %.6e s on rank %d\n", st[n-1].Slack, st[n-1].Rank)
+	} else {
+		fmt.Fprintf(bw, "\n")
+	}
+	return bw.Flush()
+}
+
+// WriteEvents dumps the merged event stream, one line per event, in the
+// deterministic merge order. Golden tests pin this rendering.
+func WriteEvents(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		fmt.Fprintf(bw, "%-9s rank=%-3d step=%-2d", ev.Kind, ev.Rank, ev.Step)
+		if ev.Stage >= 0 {
+			fmt.Fprintf(bw, " stage=%d", ev.Stage)
+		}
+		if ev.Peer >= 0 {
+			fmt.Fprintf(bw, " peer=%d tag=%d size=%d", ev.Peer, ev.Tag, ev.Size)
+		}
+		fmt.Fprintf(bw, " t=[%s, %s]", formatSeconds(ev.T0), formatSeconds(ev.T1))
+		if ev.Kind == KindRecvWait {
+			fmt.Fprintf(bw, " gated=%v", ev.Gated)
+		}
+		fmt.Fprintf(bw, "\n")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,356 @@
+// Package trace is the event-recording core of the observability subsystem:
+// a low-overhead recorder the virtual-time simulator writes into from its hot
+// paths (message injection, receive completion, compute intervals, superstep
+// and collective-stage boundaries), and the merged, analyzable Trace it
+// produces after a run.
+//
+// The recorder is built for the simulator's concurrency model: every rank is
+// driven by exactly one goroutine, so events are appended to per-rank
+// append-only lanes without any locking or atomics on the hot path. Lanes are
+// padded to a cache line so neighbouring ranks do not false-share. After the
+// run the lanes are merged deterministically — per-lane order is the rank's
+// own deterministic clock order, and the merge is a pure function of the
+// event times — so two runs with the same machine seed produce byte-identical
+// traces regardless of goroutine scheduling.
+//
+// A nil *Recorder (the exported Disabled) is valid and records nothing; the
+// simulator's per-event cost in that mode is a single pointer test against a
+// field it already holds in cache (benchmarked by BenchmarkTraceOverhead).
+package trace
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a recorded event.
+type Kind uint8
+
+const (
+	// KindCompute is a local computation interval on the rank's clock.
+	KindCompute Kind = iota
+	// KindSend is the sender-side injection of one message: the interval is
+	// the per-request software overhead on the sender's clock, Arrival is the
+	// virtual time the message becomes available at Peer.
+	KindSend
+	// KindRecvWait is an interval the rank spent blocked completing a
+	// receive. Gated tells whether the message's arrival ended the wait (the
+	// sender gated this rank) or a local port did; SendSeq links to the
+	// matching KindSend event in Peer's lane.
+	KindRecvWait
+	// KindSendWait is an interval the rank spent blocked completing a send
+	// (port occupancy and, in ack mode, the returning acknowledgement).
+	KindSendWait
+	// KindAdvance is an explicit clock alignment (Proc.AdvanceTo).
+	KindAdvance
+	// KindSuperstep is a zero-length superstep-boundary mark: Step is the
+	// index of the superstep just completed. BSP ranks emit one per Sync, MPI
+	// ranks one per Barrier.
+	KindSuperstep
+	// KindStage is a zero-length collective-schedule stage mark emitted by
+	// the pattern executor; Stage is the stage about to run.
+	KindStage
+)
+
+// String returns the compact name used by the exporters.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	case KindRecvWait:
+		return "recv.wait"
+	case KindSendWait:
+		return "send.wait"
+	case KindAdvance:
+		return "advance"
+	case KindSuperstep:
+		return "superstep"
+	case KindStage:
+		return "stage"
+	}
+	return "unknown"
+}
+
+// Event is one recorded observation. All times are virtual seconds. The zero
+// Step is superstep 0; Stage is -1 outside collective-schedule execution;
+// SendSeq is -1 when the event is not a linked receive.
+type Event struct {
+	Kind Kind
+	// Gated reports, for KindRecvWait, that the wait ended with the message's
+	// arrival (the sender was the gating dependency) rather than with a local
+	// extraction-port slot.
+	Gated bool
+	// Rank is the recording rank.
+	Rank int32
+	// Peer is the remote rank of a communication event, -1 otherwise.
+	Peer int32
+	// Tag is the message tag of a communication event.
+	Tag int32
+	// Size is the payload size in bytes of a communication event.
+	Size int32
+	// Step is the superstep the event belongs to (0 before the first
+	// boundary; KindSuperstep marks carry the completed step).
+	Step int32
+	// Stage is the collective-schedule stage the event belongs to, -1 outside
+	// schedule execution.
+	Stage int32
+	// SendSeq is, for KindRecvWait, the index in Peer's lane of the KindSend
+	// event that produced the received message; -1 otherwise.
+	SendSeq int32
+	// T0 and T1 bound the event on the recording rank's clock (T0 == T1 for
+	// boundary marks).
+	T0, T1 float64
+	// Arrival is the matched message's arrival time at the receiver
+	// (KindSend and KindRecvWait events).
+	Arrival float64
+}
+
+// Duration returns T1 - T0.
+func (e *Event) Duration() float64 { return e.T1 - e.T0 }
+
+// Meta labels a recorded run with everything needed to reproduce it.
+type Meta struct {
+	// Procs is the rank count of the run.
+	Procs int
+	// Seed is the machine's run seed when the machine exposes one
+	// (cluster.Machine does, including through WithRunSeed copies);
+	// SeedKnown tells whether it did.
+	Seed      int64
+	SeedKnown bool
+	// Machine is the machine's self-description (fmt.Stringer), if any.
+	Machine string
+	// Label is a free-form workload name supplied by the harness.
+	Label string
+	// AckSends records the simulator option the run used.
+	AckSends bool
+}
+
+// Lane is one rank's append-only event stream. A lane is written by exactly
+// one goroutine (the rank's) and must not be read until the run has ended.
+// The trailing padding keeps neighbouring lanes on distinct cache lines.
+type Lane struct {
+	rank int32
+	ev   []Event
+	_    [32]byte // rank + slice header are 32 bytes; pad the struct to 64
+}
+
+// Append records one event, stamping the lane's rank.
+func (l *Lane) Append(ev Event) {
+	ev.Rank = l.rank
+	l.ev = append(l.ev, ev)
+}
+
+// Len returns the number of events recorded so far; the simulator uses it to
+// link a message to the send event about to be appended.
+func (l *Lane) Len() int { return len(l.ev) }
+
+// Disabled is the nil recorder: attaching it to a run records nothing, and
+// the simulator's per-event cost is a single nil test.
+var Disabled *Recorder
+
+// ErrNoRun is returned by Trace when the recorder holds no completed run.
+var ErrNoRun = errors.New("trace: recorder holds no completed run (attach it to a run first)")
+
+// ErrUnclean is returned by Trace when the recorded run was torn down with
+// rank goroutines possibly still running (a wall-clock deadline with an
+// uninterruptible rank); such lanes cannot be read safely.
+var ErrUnclean = errors.New("trace: run was torn down before every rank stopped; trace discarded")
+
+// Recorder accumulates the events of one simulation run. Create one with
+// NewRecorder, attach it via the run options (hbsp.WithRecorder or
+// sim.Options.Recorder), and read the result with Trace after the run
+// returns. A Recorder records one run at a time — beginning a new run
+// discards the previous one — and must not be shared by concurrent runs;
+// give each run of a parallel sweep its own recorder.
+type Recorder struct {
+	mu       sync.Mutex
+	recorded bool
+	unclean  bool
+	label    string
+	meta     Meta
+	lanes    []Lane
+	times    []float64
+	makespan float64
+	messages int64
+	bytes    int64
+	runErr   error
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetLabel names the workload in the metadata of subsequently recorded runs;
+// exporters print it. Safe on the nil recorder.
+func (r *Recorder) SetLabel(label string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.label = label
+	r.mu.Unlock()
+}
+
+// Enabled reports whether the recorder records anything; it is false exactly
+// for the nil recorder (Disabled).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// BeginRun resets the recorder for a run with the given metadata and sizes
+// one lane per rank. The simulator calls it; user code does not.
+func (r *Recorder) BeginRun(meta Meta) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded = false
+	r.unclean = false
+	r.runErr = nil
+	if meta.Label == "" {
+		meta.Label = r.label
+	}
+	r.meta = meta
+	r.times = nil
+	r.makespan = 0
+	r.messages, r.bytes = 0, 0
+	r.lanes = make([]Lane, meta.Procs)
+	for i := range r.lanes {
+		r.lanes[i].rank = int32(i)
+	}
+}
+
+// LaneOf returns rank's lane of the current run. The simulator calls it once
+// per rank at attach time.
+func (r *Recorder) LaneOf(rank int) *Lane {
+	return &r.lanes[rank]
+}
+
+// EndRun seals the current run with its result. clean must be false when the
+// teardown could have left rank goroutines running (their lanes may still be
+// written to and are discarded). The simulator calls it; user code does not.
+func (r *Recorder) EndRun(times []float64, makespan float64, messages, bytes int64, runErr error, clean bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded = true
+	r.unclean = !clean
+	r.runErr = runErr
+	if times != nil {
+		r.times = append([]float64(nil), times...)
+	}
+	r.makespan = makespan
+	r.messages, r.bytes = messages, bytes
+	if r.unclean {
+		r.lanes = nil
+	}
+}
+
+// Trace merges the recorded lanes into the analyzable, deterministic view of
+// the run. It may be called any number of times; each call builds a fresh
+// Trace from the sealed lanes.
+func (r *Recorder) Trace() (*Trace, error) {
+	if r == nil {
+		return nil, ErrNoRun
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.recorded {
+		return nil, ErrNoRun
+	}
+	if r.unclean {
+		return nil, ErrUnclean
+	}
+	t := &Trace{
+		Meta:     r.meta,
+		Lanes:    make([][]Event, len(r.lanes)),
+		Times:    append([]float64(nil), r.times...),
+		MakeSpan: r.makespan,
+		Messages: r.messages,
+		Bytes:    r.bytes,
+		Err:      r.runErr,
+	}
+	for i := range r.lanes {
+		t.Lanes[i] = r.lanes[i].ev
+	}
+	return t, nil
+}
+
+// Trace is the merged, immutable view of one recorded run.
+type Trace struct {
+	// Meta labels the run (procs, seed, machine, workload).
+	Meta Meta
+	// Lanes holds each rank's events in that rank's own clock order. The
+	// slices are shared with the recorder; treat them as read-only.
+	Lanes [][]Event
+	// Times are the per-rank final virtual times of the run (nil when the
+	// run failed before producing a result).
+	Times []float64
+	// MakeSpan is the run's virtual makespan.
+	MakeSpan float64
+	// Messages and Bytes total the delivered traffic.
+	Messages int64
+	Bytes    int64
+	// Err is the run's error, if any.
+	Err error
+
+	// cp memoizes CriticalPath: the trace is immutable, every consumer
+	// (report, CLI assert, experiment series) wants the same chain, and the
+	// walk is O(events). Guarded by a Once so a Trace is safe to analyze
+	// from concurrent readers.
+	cpOnce sync.Once
+	cp     *CriticalPath
+}
+
+// Events returns all lanes merged into one deterministic stream, ordered by
+// (T0, T1, rank, per-rank sequence). Because each lane is deterministic and
+// the key is a pure function of the events, repeated runs with the same seed
+// yield identical streams.
+func (t *Trace) Events() []Event {
+	n := 0
+	for _, l := range t.Lanes {
+		n += len(l)
+	}
+	out := make([]Event, 0, n)
+	for _, l := range t.Lanes {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.T0 != b.T0 {
+			return a.T0 < b.T0
+		}
+		if a.T1 != b.T1 {
+			return a.T1 < b.T1
+		}
+		return a.Rank < b.Rank
+	})
+	return out
+}
+
+// NumEvents returns the total event count across all lanes.
+func (t *Trace) NumEvents() int {
+	n := 0
+	for _, l := range t.Lanes {
+		n += len(l)
+	}
+	return n
+}
+
+// Steps returns the number of superstep buckets the trace covers: one more
+// than the highest Step stamped on any event, so events recorded after the
+// final boundary mark still land in a bucket of their own.
+func (t *Trace) Steps() int {
+	max := int32(0)
+	for _, l := range t.Lanes {
+		for i := range l {
+			if l[i].Step > max {
+				max = l[i].Step
+			}
+		}
+	}
+	return int(max) + 1
+}

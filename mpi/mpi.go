@@ -42,8 +42,18 @@ var (
 // ErrInvalidRoot is returned by collectives validating a root rank.
 var ErrInvalidRoot = impi.ErrInvalidRoot
 
+// BarrierObserver is notified on every rank after each completed Barrier —
+// the MPI analogue of a superstep boundary; hbsp.WithTrace installs one.
+type BarrierObserver = impi.BarrierObserver
+
 // RunContext executes body once per rank of the machine with explicit
 // simulator options and a cancellable context.
 func RunContext(ctx context.Context, m sim.Machine, body func(c *Comm) error, o sim.Options) (*sim.Result, error) {
 	return impi.RunContext(ctx, m, body, o)
+}
+
+// RunObserved is RunContext with a barrier observer called on every rank
+// after each completed Barrier.
+func RunObserved(ctx context.Context, m sim.Machine, body func(c *Comm) error, o sim.Options, obs BarrierObserver) (*sim.Result, error) {
+	return impi.RunObserved(ctx, m, body, o, obs)
 }

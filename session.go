@@ -14,6 +14,7 @@ import (
 	"hbsp/collective"
 	"hbsp/mpi"
 	"hbsp/sim"
+	"hbsp/trace"
 )
 
 // Typed errors of the facade. Errors returned by a Session wrap these
@@ -39,7 +40,9 @@ type TraceEvent struct {
 	Kind string
 	// Rank is the reporting process, or -1 for run-level events.
 	Rank int
-	// Step is the completed superstep index ("superstep" events only).
+	// Step is the completed superstep index ("superstep" events only). BSP
+	// runs emit one per completed Sync, MPI runs one per completed Barrier
+	// (the MPI analogue of a superstep boundary).
 	Step int
 	// Time is the virtual time in seconds: the reporting process' clock for
 	// "superstep", the makespan for "run.end", zero for "run.start".
@@ -56,7 +59,9 @@ type TraceFunc func(TraceEvent)
 // owns the validated machine, the simulator options, the superstep
 // synchronizer and the collective-schedule source, and runs raw simulator,
 // BSP and MPI programs against them. A Session is immutable after New and
-// safe for concurrent runs.
+// safe for concurrent runs — with one exception: a session built with
+// WithRecorder must not run concurrently, because its recorder holds exactly
+// one run at a time (see WithRecorder).
 type Session struct {
 	machine   sim.Machine
 	options   sim.Options
@@ -204,15 +209,42 @@ func WithCollectiveSchedules(src bsp.ScheduleSource) Option {
 	}
 }
 
-// WithTrace installs a callback observing run starts and ends and, for BSP
-// runs, every completed superstep. Events from concurrent simulated
-// processes are serialized before delivery.
+// WithTrace installs a callback observing run starts and ends and every
+// completed superstep (a Sync for BSP runs, a Barrier for MPI runs). Events
+// from concurrent simulated processes are serialized before delivery.
+//
+// WithTrace is the lightweight callback hook; for full per-event recording
+// with analysis and export, attach a recorder with WithRecorder instead (the
+// two compose).
 func WithTrace(f TraceFunc) Option {
 	return func(s *Session) error {
 		if f == nil {
 			return fmt.Errorf("%w: nil trace func", ErrOption)
 		}
 		s.trace = f
+		return nil
+	}
+}
+
+// WithRecorder attaches a trace.Recorder to every run of the session: the
+// simulator records message injections, receive completions, compute
+// intervals and superstep/stage boundaries into per-rank lock-free lanes,
+// and after the run rec.Trace() yields the merged deterministic trace for
+// analysis (critical path, time breakdowns, h-relations) and export (Chrome
+// trace JSON, text report).
+//
+// A recorder holds one run at a time: each run of the session overwrites the
+// previous recording, and a session carrying a recorder loses the Session's
+// usual concurrent-run safety — serialize its runs (or build one session per
+// goroutine, each with its own recorder, as the parallel sweep engine does).
+// Passing trace.Disabled (the nil recorder) is rejected — omit the option
+// instead.
+func WithRecorder(rec *trace.Recorder) Option {
+	return func(s *Session) error {
+		if !rec.Enabled() {
+			return fmt.Errorf("%w: nil recorder (construct one with trace.NewRecorder, or omit WithRecorder)", ErrOption)
+		}
+		s.options.Recorder = rec
 		return nil
 	}
 }
@@ -237,13 +269,41 @@ func (s *Session) emit(ev TraceEvent) {
 	s.trace(ev)
 }
 
-// finish emits the run.end event and passes the run result through.
-func (s *Session) finish(res *sim.Result, err error) (*sim.Result, error) {
+// superstepObserver builds the per-rank superstep callback shared by RunBSP
+// (Sync boundaries) and RunMPI (Barrier boundaries), or nil without a trace
+// func. The runEnded flag is read under the trace mutex — the same critical
+// section endRun raises it in — so a rank leaked by an aborted run (stuck in
+// uninterruptible compute past the teardown grace period) can never deliver
+// a superstep event after this run's run.end.
+func (s *Session) superstepObserver(runEnded *atomic.Bool) func(rank, step int, vtime float64) {
+	if s.trace == nil {
+		return nil
+	}
+	return func(rank, step int, vtime float64) {
+		s.traceMu.Lock()
+		defer s.traceMu.Unlock()
+		if runEnded.Load() {
+			return
+		}
+		s.trace(TraceEvent{Kind: "superstep", Rank: rank, Step: step, Time: vtime})
+	}
+}
+
+// endRun marks the run ended and emits run.end atomically with respect to
+// the superstep observer, then passes the run result through.
+func (s *Session) endRun(runEnded *atomic.Bool, res *sim.Result, err error) (*sim.Result, error) {
 	ev := TraceEvent{Kind: "run.end", Rank: -1, Err: err}
 	if res != nil {
 		ev.Time = res.MakeSpan
 	}
-	s.emit(ev)
+	if s.trace == nil {
+		runEnded.Store(true)
+		return res, err
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	runEnded.Store(true)
+	s.trace(ev)
 	return res, err
 }
 
@@ -252,8 +312,10 @@ func (s *Session) finish(res *sim.Result, err error) (*sim.Result, error) {
 // aborts the run (every rank blocked in a receive unwinds before Run
 // returns) with an error wrapping ErrAborted.
 func (s *Session) Run(ctx context.Context, body func(p *sim.Proc) error) (*sim.Result, error) {
+	var runEnded atomic.Bool
 	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
-	return s.finish(sim.Run(ctx, s.machine, body, s.options))
+	res, err := sim.Run(ctx, s.machine, body, s.options)
+	return s.endRun(&runEnded, res, err)
 }
 
 // RunBSP executes the SPMD program under the BSP run-time with the session's
@@ -264,33 +326,24 @@ func (s *Session) RunBSP(ctx context.Context, program bsp.Program) (*sim.Result,
 	if !ok {
 		return nil, fmt.Errorf("%w: BSP programs need per-rank kernel timing (bsp.Machine), got %T", ErrInvalidMachine, s.machine)
 	}
-	var observer bsp.SyncObserver
 	var runEnded atomic.Bool
-	if s.trace != nil {
-		observer = func(pid, step int, vtime float64) {
-			// An aborted run can leak a rank stuck in uninterruptible
-			// compute; if it later reaches a Sync, its event must not arrive
-			// after this run's run.end.
-			if runEnded.Load() {
-				return
-			}
-			s.emit(TraceEvent{Kind: "superstep", Rank: pid, Step: step, Time: vtime})
-		}
-	}
 	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
 	opts := s.options
 	res, err := bsp.RunContext(ctx, m, bsp.RunConfig{
 		Sync:      s.sync,
 		Schedules: s.schedules,
-		Observer:  observer,
+		Observer:  s.superstepObserver(&runEnded),
 		Options:   &opts,
 	}, program)
-	runEnded.Store(true)
-	return s.finish(res, err)
+	return s.endRun(&runEnded, res, err)
 }
 
-// RunMPI executes body once per rank under the MPI-flavoured layer.
+// RunMPI executes body once per rank under the MPI-flavoured layer. With
+// WithTrace installed, every completed Barrier is reported as a "superstep"
+// event, mirroring the BSP instrumentation.
 func (s *Session) RunMPI(ctx context.Context, body func(c *mpi.Comm) error) (*sim.Result, error) {
+	var runEnded atomic.Bool
 	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
-	return s.finish(mpi.RunContext(ctx, s.machine, body, s.options))
+	res, err := mpi.RunObserved(ctx, s.machine, body, s.options, s.superstepObserver(&runEnded))
+	return s.endRun(&runEnded, res, err)
 }

@@ -4,6 +4,7 @@ package hbsp_test
 // outside internal/ would — only public packages are imported.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"hbsp/collective"
 	"hbsp/mpi"
 	"hbsp/sim"
+	"hbsp/trace"
 )
 
 func testMachine(t *testing.T, procs int) *cluster.Machine {
@@ -56,6 +58,9 @@ func TestNewOptionMatrix(t *testing.T) {
 			hbsp.WithSeed(42), hbsp.WithDeadline(30 * time.Second), hbsp.WithAckSends(true),
 			hbsp.WithScheduleSynchronizer(diss), hbsp.WithTrace(func(hbsp.TraceEvent) {}),
 		}, nil},
+		{"recorder", []hbsp.Option{hbsp.WithRecorder(trace.NewRecorder())}, nil},
+		{"nil recorder", []hbsp.Option{hbsp.WithRecorder(nil)}, hbsp.ErrOption},
+		{"disabled recorder", []hbsp.Option{hbsp.WithRecorder(trace.Disabled)}, hbsp.ErrOption},
 		{"zero deadline", []hbsp.Option{hbsp.WithDeadline(0)}, hbsp.ErrOption},
 		{"negative deadline", []hbsp.Option{hbsp.WithDeadline(-time.Second)}, hbsp.ErrOption},
 		{"nil synchronizer", []hbsp.Option{hbsp.WithSynchronizer(nil)}, hbsp.ErrOption},
@@ -247,5 +252,98 @@ func TestTraceObservesSupersteps(t *testing.T) {
 		if perStep[s] != procs {
 			t.Errorf("superstep %d reported by %d processes, want %d", s, perStep[s], procs)
 		}
+	}
+}
+
+// TestTraceObservesMPIBarriers checks that MPI runs emit superstep events
+// too — one per process per completed Barrier — so WithTrace instruments
+// both run-times symmetrically.
+func TestTraceObservesMPIBarriers(t *testing.T) {
+	const procs, barriers = 4, 3
+	var events []hbsp.TraceEvent
+	sess, err := hbsp.New(testMachine(t, procs), hbsp.WithTrace(func(ev hbsp.TraceEvent) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunMPI(context.Background(), func(c *mpi.Comm) error {
+		for i := 0; i < barriers; i++ {
+			c.Compute(1e-6)
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2+procs*barriers {
+		t.Fatalf("got %d events, want %d (start + %d×%d supersteps + end)", len(events), 2+procs*barriers, procs, barriers)
+	}
+	if events[0].Kind != "run.start" {
+		t.Errorf("first event = %q, want run.start", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != "run.end" || last.Time != res.MakeSpan {
+		t.Errorf("last event = %+v, want run.end with makespan %g", last, res.MakeSpan)
+	}
+	perStep := map[int]int{}
+	for _, ev := range events[1 : len(events)-1] {
+		if ev.Kind != "superstep" {
+			t.Fatalf("middle event = %+v, want superstep", ev)
+		}
+		perStep[ev.Step]++
+	}
+	for s := 0; s < barriers; s++ {
+		if perStep[s] != procs {
+			t.Errorf("barrier %d reported by %d processes, want %d", s, perStep[s], procs)
+		}
+	}
+}
+
+// TestWithRecorderRoundTrip runs a traced BSP program through the facade and
+// checks the recorded trace end to end: seed metadata from WithSeed, a
+// critical path ending exactly at the makespan, and a loadable export.
+func TestWithRecorderRoundTrip(t *testing.T) {
+	rec := trace.NewRecorder()
+	rec.SetLabel("facade round trip")
+	sess, err := hbsp.New(testMachine(t, 8), hbsp.WithSeed(123), hbsp.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunBSP(context.Background(), func(c *bsp.Ctx) error {
+		c.Compute(1e-6 * float64(c.Pid()+1))
+		v, err := c.AllReduce([]float64{float64(c.Pid())}, bsp.OpSum)
+		if err != nil {
+			return err
+		}
+		if v[0] != 28 { // 0+1+...+7
+			return c.Abort("allreduce = %v", v)
+		}
+		return c.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Meta.SeedKnown || tr.Meta.Seed != 123 {
+		t.Fatalf("trace seed = (%v, %d), want (true, 123) from WithSeed", tr.Meta.SeedKnown, tr.Meta.Seed)
+	}
+	if tr.Meta.Label != "facade round trip" {
+		t.Fatalf("trace label = %q", tr.Meta.Label)
+	}
+	cp := tr.CriticalPath()
+	if cp.End != res.MakeSpan {
+		t.Fatalf("critical path end %v != makespan %v", cp.End, res.MakeSpan)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteReport(&buf, tr, trace.ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("(== makespan)")) {
+		t.Fatalf("report does not confirm the critical path:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,130 @@
+// Package trace is the public surface of the tracing and analysis
+// subsystem: a Recorder that the simulator fills with per-event observations
+// (message injections, receive completions, compute intervals, superstep and
+// collective-stage boundaries), the merged deterministic Trace it yields,
+// analysis passes (critical-path extraction, per-rank and per-superstep time
+// breakdowns, straggler attribution, h-relation statistics), and exporters
+// to Chrome trace-event JSON (loadable in chrome://tracing and Perfetto) and
+// a compact text report.
+//
+// Attach a recorder to a session with hbsp.WithRecorder:
+//
+//	rec := trace.NewRecorder()
+//	rec.SetLabel("my workload")
+//	s, _ := hbsp.New(machine, hbsp.WithSeed(42), hbsp.WithRecorder(rec))
+//	s.RunBSP(ctx, program)
+//	tr, _ := rec.Trace()
+//	trace.WriteReport(os.Stdout, tr, trace.ReportOptions{})
+//	trace.WriteChrome(chromeFile, tr)
+//
+// Recording is lock-free on the simulator's hot path (per-rank append-only
+// lanes) and merged deterministically afterwards, so two runs with the same
+// seed produce byte-identical traces. A nil recorder (trace.Disabled) is the
+// no-op fast path: its per-event cost is one pointer test, benchmarked by
+// BenchmarkTraceOverhead at the repository root.
+package trace
+
+import (
+	"io"
+
+	itrace "hbsp/internal/trace"
+)
+
+// Recorder accumulates the events of one simulation run; create one with
+// NewRecorder and attach it with hbsp.WithRecorder (or sim.Options.Recorder).
+// A Recorder records one run at a time and must not be shared by concurrent
+// runs — give each run of a parallel sweep its own recorder.
+type Recorder = itrace.Recorder
+
+// Trace is the merged, immutable view of one recorded run.
+type Trace = itrace.Trace
+
+// Event is one recorded observation; Kind classifies it.
+type (
+	Event = itrace.Event
+	Kind  = itrace.Kind
+)
+
+// Event kinds.
+const (
+	KindCompute   = itrace.KindCompute
+	KindSend      = itrace.KindSend
+	KindRecvWait  = itrace.KindRecvWait
+	KindSendWait  = itrace.KindSendWait
+	KindAdvance   = itrace.KindAdvance
+	KindSuperstep = itrace.KindSuperstep
+	KindStage     = itrace.KindStage
+)
+
+// Meta labels a recorded run (procs, seed, machine, workload).
+type Meta = itrace.Meta
+
+// Analysis result types.
+type (
+	// Breakdown attributes every rank's wall time to categories, overall
+	// and per superstep.
+	Breakdown     = itrace.Breakdown
+	RankBreakdown = itrace.RankBreakdown
+	StepBreakdown = itrace.StepBreakdown
+	// Category buckets busy and blocked time in breakdowns.
+	Category = itrace.Category
+	// CriticalPath is the chain of compute intervals and gating messages
+	// that determines the makespan.
+	CriticalPath = itrace.CriticalPath
+	PathHop      = itrace.PathHop
+	// HRelation summarizes one superstep's communication relation.
+	HRelation = itrace.HRelation
+	// Straggler pairs a rank with its end-of-run slack.
+	Straggler = itrace.Straggler
+)
+
+// Breakdown categories, in report order (also see Categories).
+const (
+	CatCompute   = itrace.CatCompute
+	CatSend      = itrace.CatSend
+	CatStraggler = itrace.CatStraggler
+	CatLatency   = itrace.CatLatency
+	CatPort      = itrace.CatPort
+	CatAck       = itrace.CatAck
+	CatAdvance   = itrace.CatAdvance
+	CatSkew      = itrace.CatSkew
+)
+
+// Categories lists all breakdown categories in report order.
+var Categories = itrace.Categories
+
+// Disabled is the nil recorder: attaching it records nothing and costs one
+// pointer test per event.
+var Disabled = itrace.Disabled
+
+// Errors of the recorder lifecycle.
+var (
+	// ErrNoRun is returned by Recorder.Trace before a run was recorded.
+	ErrNoRun = itrace.ErrNoRun
+	// ErrUnclean is returned by Recorder.Trace when the run's teardown may
+	// have left rank goroutines running (deadline with an uninterruptible
+	// rank); such lanes cannot be read safely.
+	ErrUnclean = itrace.ErrUnclean
+)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return itrace.NewRecorder() }
+
+// ReportOptions tune WriteReport.
+type ReportOptions = itrace.ReportOptions
+
+// WriteReport renders the compact text report of a trace: metadata, time
+// breakdowns, per-superstep straggler attribution, h-relation statistics and
+// the critical path. The output is a pure function of the trace.
+func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
+	return itrace.WriteReport(w, t, opts)
+}
+
+// WriteEvents dumps the merged event stream, one line per event, in the
+// deterministic merge order.
+func WriteEvents(w io.Writer, t *Trace) error { return itrace.WriteEvents(w, t) }
+
+// WriteChrome exports the trace in Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto; the output of a deterministic trace is
+// byte-identical across runs.
+func WriteChrome(w io.Writer, t *Trace) error { return itrace.WriteChrome(w, t) }
