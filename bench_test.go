@@ -476,26 +476,39 @@ func BenchmarkMailboxTake(b *testing.B) {
 	// Rank 0 injects many messages with distinct tags; rank 1 drains them in
 	// reverse tag order, so every receive has to match against a full pending
 	// set — the worst case for a linear-scan mailbox, O(1) for an indexed one.
+	// The "flat" variant keeps the tags clustered, so matching runs on the
+	// direct-index table; "map" spreads them beyond the flat budget, forcing
+	// the hash-map fallback.
 	const msgs = 512
-	m := simBenchMachine(b, 2)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := simnet.Run(m, func(p *simnet.Proc) error {
-			switch p.Rank() {
-			case 0:
-				for t := 0; t < msgs; t++ {
-					p.Post(1, t, 8, nil)
-				}
-			case 1:
-				for t := msgs - 1; t >= 0; t-- {
-					p.Recv(0, t)
+	for _, bench := range []struct {
+		name   string
+		stride int
+	}{
+		{name: "flat", stride: 1},
+		{name: "map", stride: 1 << 16},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			m := simBenchMachine(b, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := simnet.Run(m, func(p *simnet.Proc) error {
+					switch p.Rank() {
+					case 0:
+						for t := 0; t < msgs; t++ {
+							p.Post(1, t*bench.stride, 8, nil)
+						}
+					case 1:
+						for t := msgs - 1; t >= 0; t-- {
+							p.Recv(0, t*bench.stride)
+						}
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
 				}
 			}
-			return nil
-		}); err != nil {
-			b.Fatal(err)
-		}
+		})
 	}
 }
 

@@ -1,19 +1,32 @@
 // Command simbench is the machine-readable benchmark harness of the
 // virtual-time simulator: it measures the point-to-point hot path (Send/Recv,
 // untraced and with a trace recorder attached), the dissemination BSP
-// synchronization and the total-exchange collective at
-// P ∈ {16, 64, 256, 512} and writes ns/op, allocs/op and simulated messages/s
-// to a JSON file (BENCH_simnet.json at the repository root is the tracked
-// baseline — regenerate it with `go run ./cmd/simbench` after touching the
-// simulator hot path and commit the diff, so the perf trajectory is visible
-// across PRs).
+// synchronization and the total-exchange collective, and writes ns/op,
+// allocs/op and simulated messages/s to a JSON file (BENCH_simnet.json at the
+// repository root is the tracked baseline — regenerate it with
+// `go run ./cmd/simbench` after touching the simulator hot path and commit
+// the diff, so the perf trajectory is visible across PRs).
+//
+// Two engines are tracked side by side. The plain entries (send_recv,
+// sync_dissemination, total_exchange, ...) force the concurrent engine —
+// goroutines, mailboxes, channel wake-ups — at P ∈ {16, 64, 256, 512}; the
+// *_de entries run the same workloads through the goroutine-free
+// discrete-event evaluator at P ∈ {16, 64, 256, 512, 1024, 4096}, rank
+// counts the concurrent engine cannot reach in CI time. The two engines
+// produce bit-identical virtual times (pinned by the cross-engine golden
+// tests), so every ns/op delta between a plain entry and its _de twin is
+// pure execution-strategy speedup.
 //
 // Usage:
 //
-//	go run ./cmd/simbench [-quick] [-out BENCH_simnet.json]
+//	go run ./cmd/simbench [-quick] [-out BENCH_simnet.json] [-diff BENCH_simnet.json] [-tol 0.10]
 //
 // -quick restricts the sweep to P ∈ {16, 64} with a single iteration per
-// benchmark; CI uses it as a smoke test and uploads the JSON as an artifact.
+// benchmark (after one untimed warm-up, so pools and caches are hot); CI uses
+// it as a smoke test. -diff compares the allocs/op of every measured entry
+// against the committed baseline and exits non-zero when one regresses by
+// more than -tol (allocs/op is the stable cross-PR metric; ns/op depends on
+// the host).
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 	"hbsp/cluster"
 	"hbsp/collective"
 	"hbsp/experiments"
+	"hbsp/sched"
 	"hbsp/sim"
 	"hbsp/trace"
 )
@@ -54,10 +68,20 @@ type Baseline struct {
 	Entries   []Entry `json:"entries"`
 }
 
+// concurrentOpts forces the per-message concurrent engine, the "before"
+// column of the two-engine baseline.
+func concurrentOpts() sim.Options {
+	o := sim.DefaultOptions()
+	o.Engine = sim.EngineConcurrent
+	return o
+}
+
 func main() {
 	log.SetFlags(0)
 	quick := flag.Bool("quick", false, "P ∈ {16,64} and one iteration per benchmark (CI smoke mode)")
 	out := flag.String("out", "BENCH_simnet.json", "output JSON path")
+	diff := flag.String("diff", "", "baseline JSON to compare allocs/op against (CI regression gate)")
+	tol := flag.Float64("tol", 0.10, "relative allocs/op tolerance for -diff")
 	testing.Init()
 	flag.Parse()
 	if *quick {
@@ -68,23 +92,29 @@ func main() {
 	}
 
 	sweep := []int{16, 64, 256, 512}
+	deSweep := []int{16, 64, 256, 512, 1024, 4096}
 	if *quick {
 		sweep = []int{16, 64}
+		deSweep = []int{16, 64}
 	}
 
 	var entries []Entry
+	emit := func(e Entry) {
+		entries = append(entries, e)
+		fmt.Printf("%-22s P=%-5d %14.0f ns/op %10d allocs/op %14.0f msgs/s\n",
+			e.Name, e.Procs, e.NsPerOp, e.AllocsPerOp, e.MessagesPerSec)
+	}
 	for _, p := range sweep {
 		m := benchMachine(p)
-		entries = append(entries,
-			benchSendRecv(m),
-			benchSendRecvTraced(m),
-			benchSync(m),
-			benchTotalExchange(m),
-		)
-		for _, e := range entries[len(entries)-4:] {
-			fmt.Printf("%-16s P=%-4d %14.0f ns/op %10d allocs/op %14.0f msgs/s\n",
-				e.Name, e.Procs, e.NsPerOp, e.AllocsPerOp, e.MessagesPerSec)
-		}
+		emit(benchSendRecv(m, *quick))
+		emit(benchSendRecvTraced(m, *quick))
+		emit(benchSync(m, *quick))
+		emit(benchTotalExchange(m, *quick))
+	}
+	for _, p := range deSweep {
+		m := benchMachine(p)
+		emit(benchSyncDE(m, *quick))
+		emit(benchTotalExchangeDE(m, *quick))
 	}
 
 	base := Baseline{
@@ -102,6 +132,62 @@ func main() {
 		log.Fatalf("simbench: %v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *diff != "" {
+		if err := diffAllocs(*diff, entries, *tol); err != nil {
+			log.Fatalf("simbench: %v", err)
+		}
+	}
+}
+
+// diffAllocs compares the measured allocs/op against the committed baseline
+// and fails on regressions beyond the tolerance. Entries missing on either
+// side are skipped (the quick sweep is a subset of the full baseline);
+// improvements beyond the tolerance are reported as a reminder to regenerate
+// the baseline, but do not fail.
+func diffAllocs(path string, entries []Entry, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	type key struct {
+		name  string
+		procs int
+	}
+	committed := map[key]Entry{}
+	for _, e := range base.Entries {
+		committed[key{e.Name, e.Procs}] = e
+	}
+	failed := false
+	for _, e := range entries {
+		b, ok := committed[key{e.Name, e.Procs}]
+		if !ok {
+			continue
+		}
+		slack := float64(b.AllocsPerOp) * tol
+		if slack < 16 {
+			slack = 16 // absolute floor so tiny counts don't flap
+		}
+		delta := float64(e.AllocsPerOp - b.AllocsPerOp)
+		switch {
+		case delta > slack:
+			fmt.Printf("REGRESSION %-22s P=%-5d allocs/op %d -> %d (+%.1f%%, tolerance %.0f%%)\n",
+				e.Name, e.Procs, b.AllocsPerOp, e.AllocsPerOp, 100*delta/float64(b.AllocsPerOp), 100*tol)
+			failed = true
+		case -delta > slack:
+			fmt.Printf("improved   %-22s P=%-5d allocs/op %d -> %d (regenerate the baseline)\n",
+				e.Name, e.Procs, b.AllocsPerOp, e.AllocsPerOp)
+		}
+	}
+	if failed {
+		return fmt.Errorf("allocs/op regressed against %s", path)
+	}
+	fmt.Printf("allocs/op within ±%.0f%% of %s\n", 100*tol, path)
+	return nil
 }
 
 // benchMachine instantiates the shared benchmark machine (see
@@ -131,11 +217,16 @@ func entry(name string, procs int, r testing.BenchmarkResult, messages int64) En
 	return e
 }
 
-// benchSendRecv measures the raw point-to-point path on the shared fixed
-// workload (experiments.SendRecvRingProgram): every rank runs a ring of
-// eager posts and blocking receives, the minimal program that exercises
-// injection ports, mailbox delivery and matching.
-func benchSendRecv(m *cluster.Machine) Entry {
+// run measures one op under the benchmark harness. In quick mode (one
+// iteration) the op runs once untimed first, so pools, caches and compiled
+// schedules are warm and allocs/op reflects the steady state the committed
+// full-sweep baseline records.
+func run(name string, procs int, quick bool, op func() (messages int64, err error)) Entry {
+	if quick {
+		if _, err := op(); err != nil {
+			log.Fatalf("simbench: %s warm-up: %v", name, err)
+		}
+	}
 	var messages atomic.Int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -144,78 +235,109 @@ func benchSendRecv(m *cluster.Machine) Entry {
 		// count only that round's messages.
 		messages.Store(0)
 		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, sim.DefaultOptions())
+			n, err := op()
 			if err != nil {
 				b.Fatal(err)
 			}
-			messages.Add(res.Messages)
+			messages.Add(n)
 		}
 	})
-	return entry("send_recv", m.Procs(), r, messages.Load())
+	return entry(name, procs, r, messages.Load())
+}
+
+// benchSendRecv measures the raw point-to-point path on the shared fixed
+// workload (experiments.SendRecvRingProgram): every rank runs a ring of
+// eager posts and blocking receives, the minimal program that exercises
+// injection ports, mailbox delivery and matching.
+func benchSendRecv(m *cluster.Machine, quick bool) Entry {
+	return run("send_recv", m.Procs(), quick, func() (int64, error) {
+		res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, concurrentOpts())
+		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
 }
 
 // benchSendRecvTraced is benchSendRecv with a trace recorder attached: the
 // identical ring workload (the shared experiments.SendRecvRingProgram, so
 // the traced/untraced comparison can never drift apart) paying one event
-// append per send and wait. The recorder-off overhead is zero by
-// construction (a nil test), which keeping send_recv itself in the baseline
-// pins across PRs.
-func benchSendRecvTraced(m *cluster.Machine) Entry {
+// append per send and wait. The recorder's lanes are pooled across runs, so
+// steady state re-records into already-sized blocks.
+func benchSendRecvTraced(m *cluster.Machine, quick bool) Entry {
 	rec := trace.NewRecorder()
-	o := sim.DefaultOptions()
+	o := concurrentOpts()
 	o.Recorder = rec
-	var messages atomic.Int64
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		messages.Store(0)
-		for i := 0; i < b.N; i++ {
-			res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, o)
-			if err != nil {
-				b.Fatal(err)
-			}
-			messages.Add(res.Messages)
+	return run("send_recv_traced", m.Procs(), quick, func() (int64, error) {
+		res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, o)
+		if err != nil {
+			return 0, err
 		}
+		return res.Messages, nil
 	})
-	return entry("send_recv_traced", m.Procs(), r, messages.Load())
 }
 
 // benchSync measures the dissemination count exchange plus drain that ends
 // every BSP superstep, on the same fixed workload every harness uses
-// (experiments.SyncExchangeProgram).
-func benchSync(m *cluster.Machine) Entry {
-	var messages atomic.Int64
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		messages.Store(0)
-		for i := 0; i < b.N; i++ {
-			res, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{}, experiments.SyncExchangeProgram)
-			if err != nil {
-				b.Fatal(err)
-			}
-			messages.Add(res.Messages)
+// (experiments.SyncExchangeProgram), with the concurrent engine forced.
+func benchSync(m *cluster.Machine, quick bool) Entry {
+	o := concurrentOpts()
+	return run("sync_dissemination", m.Procs(), quick, func() (int64, error) {
+		res, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{Options: &o}, experiments.SyncExchangeProgram)
+		if err != nil {
+			return 0, err
 		}
+		return res.Messages, nil
 	})
-	return entry("sync_dissemination", m.Procs(), r, messages.Load())
+}
+
+// benchSyncDE is benchSync on the default engine: the count exchange is
+// evaluated at the run's gate by the discrete-event evaluator, the drain and
+// the user program stay on their rank goroutines.
+func benchSyncDE(m *cluster.Machine, quick bool) Entry {
+	return run("sync_dissemination_de", m.Procs(), quick, func() (int64, error) {
+		res, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{}, experiments.SyncExchangeProgram)
+		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
 }
 
 // benchTotalExchange measures the heaviest collective the schedule engine
-// generates: P² payload-carrying messages per execution.
-func benchTotalExchange(m *cluster.Machine) Entry {
+// generates — P² payload-carrying messages per execution — with the
+// concurrent engine forced (Measure runs one warm-up plus one timed
+// repetition).
+func benchTotalExchange(m *cluster.Machine, quick bool) Entry {
 	pat, err := collective.TotalExchange(m.Procs(), 64)
 	if err != nil {
 		log.Fatalf("simbench: total exchange for %d ranks: %v", m.Procs(), err)
 	}
-	var messages atomic.Int64
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		messages.Store(0)
-		for i := 0; i < b.N; i++ {
-			if _, err := collective.Measure(m, pat, 1); err != nil {
-				b.Fatal(err)
-			}
-			// Measure runs one warm-up execution plus one timed repetition.
-			messages.Add(2 * int64(pat.Signals()))
+	o := concurrentOpts()
+	return run("total_exchange", m.Procs(), quick, func() (int64, error) {
+		if _, err := collective.MeasureWith(m, pat, 1, o); err != nil {
+			return 0, err
 		}
+		return 2 * int64(pat.Signals()), nil
 	})
-	return entry("total_exchange", m.Procs(), r, messages.Load())
+}
+
+// benchTotalExchangeDE measures the same workload — warm-up plus one timed
+// execution of the linear-shift total exchange — evaluated with zero
+// goroutines by sched.RunSchedule over the streaming schedule, whose O(P)
+// stage generation is what makes the P=1024 and P=4096 points of the sweep
+// representable at all.
+func benchTotalExchangeDE(m *cluster.Machine, quick bool) Entry {
+	p := m.Procs()
+	stream, err := collective.StreamTotalExchange(p, 64)
+	if err != nil {
+		log.Fatalf("simbench: streaming total exchange for %d ranks: %v", p, err)
+	}
+	return run("total_exchange_de", p, quick, func() (int64, error) {
+		res, err := sched.RunSchedule(context.Background(), m, stream, 2, sim.DefaultOptions())
+		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
 }

@@ -18,6 +18,7 @@ import (
 
 	"hbsp/matrix"
 	"hbsp/mpi"
+	"hbsp/sched"
 	"hbsp/sim"
 )
 
@@ -88,6 +89,15 @@ func TotalExchange(p, blockBytes int) (*Pattern, error) {
 	return barrier.TotalExchange(p, blockBytes)
 }
 
+// StreamTotalExchange returns the linear-shift total-exchange schedule in
+// streaming form — identical stage structure and payload sizes to
+// TotalExchange, but generated stage by stage into O(P) reused buffers
+// instead of dense P×P matrices. Evaluate it with sched.RunSchedule; it is
+// the representation that makes P=4096 collective sweeps feasible.
+func StreamTotalExchange(p, blockBytes int) (sched.Schedule, error) {
+	return barrier.StreamTotalExchange(p, blockBytes)
+}
+
 // Collectives returns one verified schedule per collective at the given
 // process count and block size, keyed by name.
 func Collectives(p, blockBytes int) (map[string]*Pattern, error) {
@@ -122,6 +132,14 @@ func Predict(pat *Pattern, params Params, opts CostOptions) (*Prediction, error)
 // worst-case duration statistics.
 func Measure(m sim.Machine, pat *Pattern, reps int) (*Measurement, error) {
 	return barrier.Measure(m, pat, reps)
+}
+
+// MeasureWith is Measure under explicit simulator options — most usefully
+// the engine selection (sim.EngineConcurrent forces the per-message
+// concurrent walk; the default routes executions through the direct
+// discrete-event evaluator, bit-identically).
+func MeasureWith(m sim.Machine, pat *Pattern, reps int, o sim.Options) (*Measurement, error) {
+	return barrier.MeasureWith(m, pat, reps, o)
 }
 
 // MeasureAlgorithms measures the three reference barriers on the machine.

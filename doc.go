@@ -65,6 +65,37 @@
 // See cmd/hbsptrace for a ready-made front-end and examples/tracing for a
 // runnable walkthrough.
 //
+// # Execution engines
+//
+// Two engines execute simulated workloads, always with bit-identical virtual
+// times, traffic counters and recorded traces:
+//
+//   - The concurrent engine runs every rank as a goroutine against indexed
+//     mailboxes. It executes arbitrary simulated code — closures, data
+//     movement, irregular communication — and is the reference the golden
+//     tests pin.
+//
+//   - The direct discrete-event evaluator (package sched) computes virtual
+//     times from the LogGP recurrence with no goroutines, mailboxes or
+//     channel wake-ups. Workloads whose communication structure is fixed
+//     before they run — verified collective schedules, the superstep count
+//     exchange, straight-line sim.Program op-streams — are evaluated
+//     sequentially, 5–10x faster at P ≥ 256, and scale to rank counts
+//     (P = 4096) the concurrent engine cannot reach.
+//
+// By default the two cooperate: runs execute concurrently, and every
+// schedule-expressible collective — a collective.Execute pattern execution,
+// the count exchange ending a bsp Sync, an mpi schedule flood (which backs
+// the bsp.Ctx and mpi.Comm collectives) — brings all ranks to a rendezvous
+// where the last arriver evaluates the whole collective at once and resumes
+// everyone. Arbitrary closures around the collectives still run
+// concurrently, so the fast path is invisible except in wall-clock time.
+// WithConcurrentEngine (or sim.EngineConcurrent) opts a session out, forcing
+// every message through the mailboxes — useful for engine diffing and for
+// programs that break the collective-call contract the rendezvous relies on.
+// Whole workloads can also be evaluated with zero goroutines via
+// sched.RunSchedule and sched.RunProgram.
+//
 // The public packages layer as follows: cluster (platform profiles,
 // topologies, machines) feeds sim (the virtual-time simulator), on which bsp
 // (the BSPlib run-time with user collectives and the pluggable superstep

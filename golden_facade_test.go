@@ -6,6 +6,7 @@ package hbsp
 // that the API redesign is a pure surface change with no timing drift.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -16,8 +17,10 @@ import (
 	"hbsp/internal/simnet"
 
 	"hbsp/bsp"
+	"hbsp/collective"
 	"hbsp/mpi"
 	"hbsp/sim"
+	"hbsp/trace"
 )
 
 func goldenMachine(t *testing.T, procs int) *platform.Machine {
@@ -150,4 +153,152 @@ func TestGoldenFacadeRaw(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireIdenticalTimes(t, "sim", facade, internal)
+}
+
+// runEngines runs one session-built workload twice — default (direct
+// discrete-event fast path) and WithConcurrentEngine — with a recorder
+// attached to each, and requires bit-identical per-rank times and
+// byte-identical merged event streams. It is the facade-level engine diff
+// demanded by the two-engine architecture: the evaluator must be a pure
+// execution-strategy change, invisible in every observable output.
+func runEngines(t *testing.T, name string, seed int64, run func(s *Session) (*sim.Result, error), opts ...Option) {
+	t.Helper()
+	type outcome struct {
+		res    *sim.Result
+		events string
+	}
+	runWith := func(extra ...Option) outcome {
+		rec := trace.NewRecorder()
+		all := append(append([]Option{WithSeed(seed), WithRecorder(rec)}, opts...), extra...)
+		sess, err := New(goldenMachine(t, 16), all...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := run(sess)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := rec.Trace()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteEvents(&buf, tr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return outcome{res: res, events: buf.String()}
+	}
+	direct := runWith()
+	concurrent := runWith(WithConcurrentEngine())
+	requireIdenticalTimes(t, name, direct.res, concurrent.res)
+	if direct.events != concurrent.events {
+		t.Errorf("%s: traced event streams differ between engines", name)
+	}
+}
+
+// TestGoldenEnginesBSP diffs the engines on the full BSP surface: supersteps
+// with one-sided traffic and BSMP, plus every user-facing collective (which
+// execute verified schedules through the mpi flood).
+func TestGoldenEnginesBSP(t *testing.T) {
+	program := func(c *bsp.Ctx) error {
+		area := make([]float64, c.NProcs())
+		c.PushReg("x", area)
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		right := (c.Pid() + 1) % c.NProcs()
+		if err := c.Put(right, "x", c.Pid(), []float64{1}); err != nil {
+			return err
+		}
+		if err := c.Send(right, 7, []float64{2, 3}); err != nil {
+			return err
+		}
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		if _, err := c.Broadcast(0, area); err != nil {
+			return err
+		}
+		if _, err := c.Reduce(1, area, bsp.OpSum); err != nil {
+			return err
+		}
+		if _, err := c.AllReduce([]float64{float64(c.Pid())}, bsp.OpSum); err != nil {
+			return err
+		}
+		if _, err := c.AllGather([]float64{float64(c.Pid())}); err != nil {
+			return err
+		}
+		blocks := make([][]float64, c.NProcs())
+		for j := range blocks {
+			blocks[j] = []float64{float64(j)}
+		}
+		if _, err := c.TotalExchange(blocks); err != nil {
+			return err
+		}
+		return c.Sync()
+	}
+	runEngines(t, "bsp-engines", 23, func(s *Session) (*sim.Result, error) {
+		return s.RunBSP(context.Background(), program)
+	})
+}
+
+// TestGoldenEnginesBSPScheduleSynchronizer diffs the engines with a verified
+// schedule executing the count exchange (the schedule-synchronizer fast
+// path, payload sizes derived from the knowledge recursion).
+func TestGoldenEnginesBSPScheduleSynchronizer(t *testing.T) {
+	diss, err := collective.Dissemination(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := collective.WithSyncPayload(diss, 4)
+	program := func(c *bsp.Ctx) error {
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		right := (c.Pid() + 1) % c.NProcs()
+		if err := c.Send(right, 9, []float64{1}); err != nil {
+			return err
+		}
+		return c.Sync()
+	}
+	runEngines(t, "bsp-schedule-sync", 31, func(s *Session) (*sim.Result, error) {
+		return s.RunBSP(context.Background(), program)
+	}, WithScheduleSynchronizer(pat))
+}
+
+func mustPattern(t *testing.T, build func() (*collective.Pattern, error)) *collective.Pattern {
+	t.Helper()
+	pat, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pat
+}
+
+// TestGoldenEnginesMPI diffs the engines on the MPI surface: barriers,
+// pattern executions and schedule-driven data collectives.
+func TestGoldenEnginesMPI(t *testing.T) {
+	tree := mustPattern(t, func() (*collective.Pattern, error) { return collective.Tree(16) })
+	bcast := mustPattern(t, func() (*collective.Pattern, error) { return collective.Broadcast(16, 2, 64) })
+	allred := mustPattern(t, func() (*collective.Pattern, error) { return collective.AllReduce(16, 8) })
+	runEngines(t, "mpi-engines", 37, func(s *Session) (*sim.Result, error) {
+		return s.RunMPI(context.Background(), func(c *mpi.Comm) error {
+			c.Barrier()
+			collective.Execute(c, tree, 0)
+			if _, err := c.BcastSchedule(bcast, 2, float64(c.Rank())); err != nil {
+				return err
+			}
+			v, err := c.AllreduceSchedule(allred, 1, mpi.OpSum)
+			if err != nil {
+				return err
+			}
+			if v != 16 {
+				return fmt.Errorf("rank %d: bad allreduce %v", c.Rank(), v)
+			}
+			if err := c.BarrierSchedule(tree); err != nil {
+				return err
+			}
+			return nil
+		})
+	})
 }

@@ -1,0 +1,288 @@
+package barrier
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"hbsp/internal/mpi"
+	"hbsp/internal/platform"
+	"hbsp/internal/sched"
+	"hbsp/internal/simnet"
+	"hbsp/internal/trace"
+)
+
+// enginePatterns builds the full diff matrix of schedule shapes at one
+// process count: the three barriers and every payload-carrying collective.
+func enginePatterns(t *testing.T, p int) map[string]*Pattern {
+	t.Helper()
+	out := map[string]*Pattern{}
+	add := func(name string, pat *Pattern, err error) {
+		if err != nil {
+			t.Fatalf("%s(p=%d): %v", name, p, err)
+		}
+		out[name] = pat
+	}
+	linear, err := Linear(p, 0)
+	add("linear", linear, err)
+	diss, err := Dissemination(p)
+	add("dissemination", diss, err)
+	tree, err := Tree(p)
+	add("tree", tree, err)
+	for name, pat := range map[string]func() (*Pattern, error){
+		"broadcast":      func() (*Pattern, error) { return Broadcast(p, 0, 96) },
+		"reduce":         func() (*Pattern, error) { return Reduce(p, 0, 96) },
+		"allreduce":      func() (*Pattern, error) { return AllReduce(p, 96) },
+		"allgather":      func() (*Pattern, error) { return AllGather(p, 96) },
+		"total-exchange": func() (*Pattern, error) { return TotalExchange(p, 96) },
+	} {
+		built, err := pat()
+		add(name, built, err)
+	}
+	return out
+}
+
+func engineMachine(t *testing.T, p int, noisy bool) *platform.Machine {
+	t.Helper()
+	prof := platform.Xeon8x2x4()
+	if !noisy {
+		prof = platform.XeonCluster((p + 7) / 8)
+	}
+	m, err := prof.Machine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.WithRunSeed(99)
+}
+
+// measureEngine runs warm-up plus two executions of the pattern under the
+// given engine, traced, returning the per-rank times and the merged event
+// stream.
+func measureEngine(t *testing.T, m simnet.Machine, pat *Pattern, engine simnet.Engine, ack bool) ([]float64, string) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	o := simnet.DefaultOptions()
+	o.AckSends = ack
+	o.Engine = engine
+	o.Recorder = rec
+	res, err := mpi.RunContext(context.Background(), m, func(c *mpi.Comm) error {
+		for g := 0; g < 3; g++ {
+			Execute(c, pat, g)
+		}
+		return nil
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteEvents(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return res.Times, buf.String()
+}
+
+// TestExecuteEnginesBitIdentical is the correctness bar of the direct
+// evaluator: for every collective pattern, odd and power-of-two process
+// counts, acks on and off, noisy and noiseless machines, the inline
+// evaluation at the run's gate must reproduce the concurrent engine's
+// virtual times bit for bit and its recorded event stream byte for byte.
+func TestExecuteEnginesBitIdentical(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13, 16} {
+		for _, ack := range []bool{true, false} {
+			for _, noisy := range []bool{true, false} {
+				m := engineMachine(t, p, noisy)
+				for name, pat := range enginePatterns(t, p) {
+					timesC, evC := measureEngine(t, m, pat, simnet.EngineConcurrent, ack)
+					timesD, evD := measureEngine(t, m, pat, simnet.EngineAuto, ack)
+					for r := range timesC {
+						if timesC[r] != timesD[r] {
+							t.Errorf("%s p=%d ack=%v noisy=%v rank %d: concurrent %v, direct %v",
+								name, p, ack, noisy, r, timesC[r], timesD[r])
+						}
+					}
+					if evC != evD {
+						t.Errorf("%s p=%d ack=%v noisy=%v: traced event streams differ", name, p, ack, noisy)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureEnginesAgree pins Measure itself (the entry every experiment
+// series and benchmark drives) across engines, including the measured
+// per-repetition worst cases.
+func TestMeasureEnginesAgree(t *testing.T) {
+	for _, p := range []int{5, 16} {
+		m := engineMachine(t, p, true)
+		for name, pat := range enginePatterns(t, p) {
+			// Measure mutates no engine state; run the concurrent reference
+			// through an explicitly concurrent run of the same body.
+			direct, err := Measure(m, pat, 3)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			concurrent, err := measureConcurrent(m, pat, 3)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for rep := range direct.WorstPerRep {
+				if direct.WorstPerRep[rep] != concurrent.WorstPerRep[rep] {
+					t.Errorf("%s p=%d rep %d: direct %v, concurrent %v",
+						name, p, rep, direct.WorstPerRep[rep], concurrent.WorstPerRep[rep])
+				}
+			}
+			if direct.MeanWorst != concurrent.MeanWorst {
+				t.Errorf("%s p=%d mean: direct %v, concurrent %v", name, p, direct.MeanWorst, concurrent.MeanWorst)
+			}
+		}
+	}
+}
+
+// measureConcurrent is Measure with the concurrent engine forced.
+func measureConcurrent(m simnet.Machine, pat *Pattern, reps int) (*Measurement, error) {
+	durations := make([][]float64, reps)
+	for r := range durations {
+		durations[r] = make([]float64, pat.Procs)
+	}
+	o := simnet.DefaultOptions()
+	o.Engine = simnet.EngineConcurrent
+	_, err := mpi.RunContext(context.Background(), m, func(c *mpi.Comm) error {
+		Execute(c, pat, 0)
+		for rep := 0; rep < reps; rep++ {
+			start := c.Wtime()
+			Execute(c, pat, rep+1)
+			durations[rep][c.Rank()] = c.Wtime() - start
+		}
+		return nil
+	}, o)
+	if err != nil {
+		return nil, err
+	}
+	meas := &Measurement{Pattern: pat.Name, Procs: pat.Procs, Reps: reps}
+	meas.WorstPerRep = make([]float64, reps)
+	for rep := 0; rep < reps; rep++ {
+		worst := 0.0
+		for _, d := range durations[rep] {
+			if d > worst {
+				worst = d
+			}
+		}
+		meas.WorstPerRep[rep] = worst
+	}
+	sum := 0.0
+	for _, w := range meas.WorstPerRep {
+		sum += w
+	}
+	meas.MeanWorst = sum / float64(reps)
+	return meas, nil
+}
+
+// TestRunScheduleMatchesConcurrentRun pins the zero-goroutine whole-run
+// evaluator: sched.RunSchedule of N executions must reproduce, bit for bit,
+// the per-rank times of an mpi run executing the pattern N times on the
+// concurrent engine — and its traced event stream byte for byte.
+func TestRunScheduleMatchesConcurrentRun(t *testing.T) {
+	for _, p := range []int{1, 5, 8, 13} {
+		for _, noisy := range []bool{true, false} {
+			m := engineMachine(t, p, noisy)
+			for name, pat := range enginePatterns(t, p) {
+				recC := trace.NewRecorder()
+				oC := simnet.DefaultOptions()
+				oC.Engine = simnet.EngineConcurrent
+				oC.Recorder = recC
+				resC, err := mpi.RunContext(context.Background(), m, func(c *mpi.Comm) error {
+					for g := 0; g < 3; g++ {
+						Execute(c, pat, g)
+					}
+					return nil
+				}, oC)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				recD := trace.NewRecorder()
+				oD := simnet.DefaultOptions()
+				oD.Recorder = recD
+				resD, err := sched.RunSchedule(context.Background(), m, pat.ScheduleView(), 3, oD)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for r := range resC.Times {
+					if resC.Times[r] != resD.Times[r] {
+						t.Errorf("%s p=%d noisy=%v rank %d: run %v, direct %v", name, p, noisy, r, resC.Times[r], resD.Times[r])
+					}
+				}
+				if resC.Messages != resD.Messages || resC.Bytes != resD.Bytes {
+					t.Errorf("%s p=%d traffic: %d/%d vs %d/%d", name, p, resC.Messages, resC.Bytes, resD.Messages, resD.Bytes)
+				}
+				sc, sd := streamOf(t, recC), streamOf(t, recD)
+				if sc != sd {
+					t.Errorf("%s p=%d noisy=%v: traced event streams differ", name, p, noisy)
+				}
+			}
+		}
+	}
+}
+
+func streamOf(t *testing.T, rec *trace.Recorder) string {
+	t.Helper()
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteEvents(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestStreamTotalExchangeMatchesPattern pins the streaming total-exchange
+// generator against the dense pattern: identical stage structure and,
+// through the evaluator, identical virtual times.
+func TestStreamTotalExchangeMatchesPattern(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 13} {
+		pat, err := TotalExchange(p, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := StreamTotalExchange(p, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj := pat.Adjacency()
+		if stream.NumStages() != len(adj) {
+			t.Fatalf("p=%d: stream has %d stages, pattern %d", p, stream.NumStages(), len(adj))
+		}
+		for s := range adj {
+			st := stream.StageAt(s)
+			for i := 0; i < p; i++ {
+				if fmt.Sprint(st.Out[i]) != fmt.Sprint(adj[s].Out[i]) || fmt.Sprint(st.In[i]) != fmt.Sprint(adj[s].In[i]) {
+					t.Fatalf("p=%d stage %d rank %d: stream %v/%v, pattern %v/%v",
+						p, s, i, st.Out[i], st.In[i], adj[s].Out[i], adj[s].In[i])
+				}
+			}
+		}
+		m := engineMachine(t, p, true)
+		resPat, err := sched.RunSchedule(context.Background(), m, pat.ScheduleView(), 2, simnet.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resStream, err := sched.RunSchedule(context.Background(), m, stream, 2, simnet.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range resPat.Times {
+			if resPat.Times[r] != resStream.Times[r] {
+				t.Errorf("p=%d rank %d: pattern %v, stream %v", p, r, resPat.Times[r], resStream.Times[r])
+			}
+		}
+	}
+}

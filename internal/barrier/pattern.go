@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"hbsp/internal/matrix"
+	"hbsp/internal/sched"
 )
 
 // Pattern is a barrier communication pattern: an ordered sequence of P×P
@@ -49,6 +50,11 @@ type Pattern struct {
 	// race-free.
 	adjOnce sync.Once
 	adj     []StageAdj
+
+	// reachSet caches the evaluator-facing knowledge reach sets built by
+	// FloodReach, under the same immutability assumption as adj.
+	reachOnce sync.Once
+	reachSet  *sched.ReachSet
 }
 
 // ErrInvalidPattern is returned for structurally broken patterns.

@@ -1,10 +1,12 @@
 package barrier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"hbsp/internal/mpi"
+	"hbsp/internal/sched"
 	"hbsp/internal/simnet"
 	"hbsp/internal/stats"
 )
@@ -23,8 +25,19 @@ const baseTag = 1 << 20
 // sparse stage adjacency, so one execution costs O(signals) instead of the
 // O(P²) per rank of scanning dense stage matrices. The generation counter is
 // kept for callers that label repetitions; it no longer affects the tag space.
+//
+// Execute is a collective call: every rank of the run must execute the same
+// pattern. On runs with the direct engine enabled (the default), the ranks
+// rendezvous at the run's gate and the whole execution is evaluated
+// sequentially by the goroutine-free discrete-event evaluator, with
+// bit-identical virtual times and trace events; WithConcurrentEngine (or
+// simnet.EngineConcurrent) restores the concurrent per-message walk.
 func Execute(c *mpi.Comm, pat *Pattern, generation int) {
 	_ = generation
+	if g := c.Proc().SharedGate(); g != nil {
+		executeDirect(g, c.Proc(), pat)
+		return
+	}
 	rank := c.Rank()
 	adj := pat.Adjacency()
 	// On traced runs, bracket every stage so analysis can attribute time
@@ -64,6 +77,31 @@ func Execute(c *mpi.Comm, pat *Pattern, generation int) {
 	}
 }
 
+// executeDirect evaluates one pattern execution at the run's gate: the last
+// rank to arrive imports every rank's LogGP state, replays the execution's
+// operations sequentially and exports the advanced clocks. A run whose ranks
+// arrive with different patterns has violated the collective contract; the
+// resulting error panics the ranks (the concurrent engine would deadlock or
+// cross-match instead).
+func executeDirect(g *simnet.Gate, p *simnet.Proc, pat *Pattern) {
+	err := g.Arrive(p, pat, func(tickets []any) error {
+		for r, t := range tickets {
+			if t != (any)(pat) {
+				return fmt.Errorf("barrier: rank %d executes a different pattern (Execute is collective)", r)
+			}
+		}
+		procs := p.RunProcs()
+		ev := sched.EvaluatorAt(g, p)
+		ev.ImportProcs(procs)
+		ev.ExecSchedule(pat.ScheduleView(), baseTag, true)
+		ev.ExportProcs(procs)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
 // Measurement holds the result of measuring a barrier pattern on a simulated
 // machine, following the thesis' methodology: for every repetition the
 // worst-case (slowest process) duration is recorded, and the arithmetic mean
@@ -91,6 +129,15 @@ var ErrNoReps = errors.New("barrier: at least one repetition required")
 // worst-case duration of each repetition. A warm-up execution aligns the
 // ranks before timing starts.
 func Measure(m simnet.Machine, pat *Pattern, reps int) (*Measurement, error) {
+	return MeasureWith(m, pat, reps, simnet.DefaultOptions())
+}
+
+// MeasureWith is Measure under explicit simulator options — most usefully
+// the engine selection: the default options route every execution through
+// the direct discrete-event evaluator, simnet.EngineConcurrent forces the
+// per-message concurrent walk (the two agree bit for bit; cmd/simbench
+// tracks both).
+func MeasureWith(m simnet.Machine, pat *Pattern, reps int, o simnet.Options) (*Measurement, error) {
 	if reps < 1 {
 		return nil, ErrNoReps
 	}
@@ -106,7 +153,7 @@ func Measure(m simnet.Machine, pat *Pattern, reps int) (*Measurement, error) {
 		durations[r] = make([]float64, pat.Procs)
 	}
 
-	_, err := mpi.Run(m, func(c *mpi.Comm) error {
+	_, err := mpi.RunContext(context.Background(), m, func(c *mpi.Comm) error {
 		// Warm-up execution to bring all ranks to a common point.
 		Execute(c, pat, 0)
 		for rep := 0; rep < reps; rep++ {
@@ -115,7 +162,7 @@ func Measure(m simnet.Machine, pat *Pattern, reps int) (*Measurement, error) {
 			durations[rep][c.Rank()] = c.Wtime() - start
 		}
 		return nil
-	})
+	}, o)
 	if err != nil {
 		return nil, err
 	}

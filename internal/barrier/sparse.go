@@ -3,6 +3,8 @@ package barrier
 import (
 	"fmt"
 	"math/bits"
+
+	"hbsp/internal/sched"
 )
 
 // StageAdj is the sparse per-row adjacency of one stage: Out[i] lists the
@@ -11,12 +13,10 @@ import (
 // pattern carries no payload). It is the representation Verify, Predict and
 // Execute evaluate, so all run in O(signals) per stage instead of the O(P³)
 // dense matrix products of the literal Eq. 5.1/5.2 formulation (kept as
-// VerifyDense for reference and ablation).
-type StageAdj struct {
-	Out      [][]int
-	In       [][]int
-	OutBytes [][]int
-}
+// VerifyDense for reference and ablation). It is an alias for the
+// discrete-event evaluator's stage type, so a pattern's cached adjacency is
+// directly executable by internal/sched without conversion.
+type StageAdj = sched.Stage
 
 // Adjacency returns the sparse adjacency of every stage, building and caching
 // it on first use. The build is guarded by a sync.Once, so concurrent callers
@@ -111,6 +111,51 @@ func (pat *Pattern) reach() *reachSets {
 		r.step(st, prev)
 	}
 	return r
+}
+
+// KnownBeforeStage returns, per stage and per process, the number of
+// distinct contributions the process holds when the stage begins (its own
+// plus everything absorbed in earlier stages): KnownBeforeStage()[s][j] is
+// |K_j| entering stage s. The schedule-synchronizer fast path uses it to
+// price the count-exchange payload a rank snapshots at each stage without
+// moving any data.
+func (pat *Pattern) KnownBeforeStage() [][]int {
+	r := newReachSets(pat.Procs)
+	prev := make([]uint64, len(r.bits))
+	out := make([][]int, len(pat.Adjacency()))
+	for s, st := range pat.Adjacency() {
+		row := make([]int, pat.Procs)
+		for j := 0; j < pat.Procs; j++ {
+			row[j] = r.count(j)
+		}
+		out[s] = row
+		r.step(st, prev)
+	}
+	return out
+}
+
+// patSchedule adapts a pattern's cached adjacency to the evaluator's
+// Schedule interface.
+type patSchedule struct{ pat *Pattern }
+
+func (s patSchedule) NumProcs() int             { return s.pat.Procs }
+func (s patSchedule) NumStages() int            { return len(s.pat.Adjacency()) }
+func (s patSchedule) StageAt(i int) sched.Stage { return s.pat.Adjacency()[i] }
+
+// ScheduleView returns the pattern as an evaluator-executable schedule (the
+// cached sparse adjacency, stage by stage).
+func (pat *Pattern) ScheduleView() sched.Schedule { return patSchedule{pat: pat} }
+
+// FloodReach returns (building and caching on first use) the knowledge
+// reach sets of the pattern in the evaluator's representation: the origins
+// whose contribution a knowledge-flooding walk delivers to each rank. The
+// direct schedule flood consults it on every collective call, so it is
+// cached like the adjacency rather than recomputed per call.
+func (pat *Pattern) FloodReach() *sched.ReachSet {
+	pat.reachOnce.Do(func() {
+		pat.reachSet = sched.ReachOf(pat.ScheduleView())
+	})
+	return pat.reachSet
 }
 
 // checkReach verifies the semantics' postcondition against final reach sets:

@@ -1,0 +1,78 @@
+package barrier
+
+import (
+	"fmt"
+
+	"hbsp/internal/sched"
+)
+
+// teStream is the linear-shift total exchange as a streaming schedule: stage
+// k prescribes the single edge i→(i+k+1) mod p for every rank i. StageAt
+// rewrites one reused set of adjacency buffers, so the whole schedule costs
+// O(P) memory at any stage count — the representation that lets the direct
+// evaluator sweep P=4096, where the dense stage matrices (P−1 stages of P×P
+// incidence plus payload) are far beyond budget.
+type teStream struct {
+	p, blockBytes int
+	stage         int // stage the buffers currently describe, -1 initially
+	out, in       [][]int
+	outBytes      [][]int
+	outBack       []int
+	inBack        []int
+}
+
+// StreamTotalExchange returns the linear-shift total-exchange schedule
+// (identical stage structure and payload sizes to TotalExchange) in
+// streaming form. The returned schedule reuses internal buffers across
+// StageAt calls and must not be shared by concurrent evaluations.
+func StreamTotalExchange(p, blockBytes int) (sched.Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: total exchange with p=%d", ErrInvalidPattern, p)
+	}
+	if blockBytes < 0 {
+		blockBytes = 0
+	}
+	s := &teStream{
+		p:          p,
+		blockBytes: blockBytes,
+		stage:      -1,
+		out:        make([][]int, p),
+		in:         make([][]int, p),
+		outBytes:   make([][]int, p),
+		outBack:    make([]int, p),
+		inBack:     make([]int, p),
+	}
+	sizes := []int{blockBytes}
+	for i := 0; i < p; i++ {
+		if p > 1 {
+			s.out[i] = s.outBack[i : i+1]
+			s.in[i] = s.inBack[i : i+1]
+			s.outBytes[i] = sizes
+		} else {
+			// A single empty stage, mirroring TotalExchange's p=1 pattern.
+			s.out[i] = nil
+			s.in[i] = nil
+		}
+	}
+	return s, nil
+}
+
+func (s *teStream) NumProcs() int { return s.p }
+
+func (s *teStream) NumStages() int {
+	if s.p == 1 {
+		return 1
+	}
+	return s.p - 1
+}
+
+func (s *teStream) StageAt(k int) sched.Stage {
+	if s.p > 1 && s.stage != k {
+		for i := 0; i < s.p; i++ {
+			s.outBack[i] = (i + k + 1) % s.p
+			s.inBack[i] = (i - k - 1 + s.p + s.p) % s.p
+		}
+		s.stage = k
+	}
+	return sched.Stage{Out: s.out, In: s.in, OutBytes: s.outBytes}
+}

@@ -1,0 +1,80 @@
+package bsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
+)
+
+func gateMachine(t *testing.T, procs int) *platform.Machine {
+	t.Helper()
+	m, err := platform.Xeon8x2x4().Machine(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSyncGateUnwindsOnRankError pins the teardown of the direct-engine
+// rendezvous: when one rank errors out before Sync, the remaining ranks are
+// parked at the run's gate and can only be released by the deadline teardown
+// — exactly like ranks blocked in receives on the concurrent engine. The run
+// must return ErrDeadline promptly, with every rank goroutine unwound.
+func TestSyncGateUnwindsOnRankError(t *testing.T) {
+	m := gateMachine(t, 8)
+	o := simnet.DefaultOptions()
+	o.Deadline = 200 * time.Millisecond
+	start := time.Now()
+	_, err := RunContext(context.Background(), m, RunConfig{Options: &o}, func(c *Ctx) error {
+		if c.Pid() == 0 {
+			return fmt.Errorf("rank 0 gives up before the superstep ends")
+		}
+		return c.Sync()
+	})
+	if !errors.Is(err, simnet.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("teardown took %v; gate waiters were not woken", elapsed)
+	}
+}
+
+// TestSyncGateUnwindsOnContextCancel pins context cancellation while ranks
+// are parked at the gate: the run aborts with an error wrapping ErrAborted
+// and the cancellation cause, identical to cancellation of ranks blocked in
+// receives.
+func TestSyncGateUnwindsOnContextCancel(t *testing.T) {
+	m := gateMachine(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	o := simnet.DefaultOptions()
+	_, err := RunContext(ctx, m, RunConfig{Options: &o}, func(c *Ctx) error {
+		if c.Pid() == 0 {
+			// Leave the others parked at the gate, then pull the plug.
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+			return fmt.Errorf("rank 0 cancelled the run")
+		}
+		return c.Sync()
+	})
+	if !errors.Is(err, simnet.ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrAborted wrapping context.Canceled, got %v", err)
+	}
+}
+
+// TestSyncGateSingleRank pins the degenerate rendezvous: at P=1 the sole
+// rank is always the gate leader and the exchange evaluates to its own row.
+func TestSyncGateSingleRank(t *testing.T) {
+	m := gateMachine(t, 1)
+	res, err := Run(m, func(c *Ctx) error { return c.Sync() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 1 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}

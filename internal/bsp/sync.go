@@ -1,7 +1,11 @@
 package bsp
 
 import (
+	"errors"
 	"fmt"
+
+	"hbsp/internal/sched"
+	"hbsp/internal/simnet"
 )
 
 // Sync ends the current superstep (bsp_sync). It implements the thesis'
@@ -13,7 +17,7 @@ import (
 // state of the registered areas, buffered puts are applied, pending
 // registrations take effect, and the BSMP queue is swapped.
 func (c *Ctx) Sync() error {
-	counts, err := c.sync.ExchangeCounts(c)
+	counts, err := c.runExchange()
 	if err != nil {
 		return err
 	}
@@ -92,6 +96,67 @@ func (c *Ctx) Sync() error {
 		c.observer(c.Pid(), c.currentStep-1, c.proc.Now())
 	}
 	return nil
+}
+
+// runExchange performs the count total exchange on the engine the run
+// selected: synchronizers exposing a direct exchange schedule (both built-in
+// synchronizers do) are evaluated at the run's gate by the goroutine-free
+// discrete-event evaluator, with bit-identical virtual times; custom
+// synchronizers and WithConcurrentEngine runs keep the concurrent walk.
+func (c *Ctx) runExchange() ([][]int, error) {
+	if g := c.proc.SharedGate(); g != nil {
+		if dx, ok := c.sync.(directExchanger); ok {
+			return c.directExchange(g, dx)
+		}
+	}
+	return c.sync.ExchangeCounts(c)
+}
+
+// syncTicket is the rendezvous descriptor of one rank entering Sync: its
+// synchronizer (the leader verifies agreement), its outgoing count row, and
+// the slot the leader deposits the exchanged count matrix in.
+type syncTicket struct {
+	sync Synchronizer
+	row  []int
+	out  *[][]int
+}
+
+// directExchange evaluates the count exchange at the run's gate. The leader
+// snapshots every rank's count row — the same copy the concurrent exchange
+// makes before its first stage — evaluates the exchange's op-stream against
+// the live per-rank clocks, and hands the complete P×P matrix to every rank;
+// no count row ever travels through a mailbox.
+func (c *Ctx) directExchange(g *simnet.Gate, dx directExchanger) ([][]int, error) {
+	var counts [][]int
+	t := &syncTicket{sync: c.sync, row: c.outCounts, out: &counts}
+	err := g.Arrive(c.proc, t, func(tickets []any) error {
+		p := c.NProcs()
+		rows := make([][]int, p)
+		for r, ti := range tickets {
+			st, ok := ti.(*syncTicket)
+			if !ok || st.sync != c.sync {
+				return errors.New("bsp: ranks disagree on the superstep synchronizer (Sync is collective)")
+			}
+			rows[r] = append([]int(nil), st.row...)
+		}
+		sch, err := dx.exchangeSchedule(p)
+		if err != nil {
+			return err
+		}
+		procs := c.proc.RunProcs()
+		ev := sched.EvaluatorAt(g, c.proc)
+		ev.ImportProcs(procs)
+		ev.ExecSchedule(sch, tagCountBase, false)
+		ev.ExportProcs(procs)
+		for _, ti := range tickets {
+			*ti.(*syncTicket).out = rows
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
 }
 
 // serveGet reads the requested slice of a registered area and sends it back

@@ -3,9 +3,11 @@ package bsp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"hbsp/internal/adapt"
 	"hbsp/internal/barrier"
+	"hbsp/internal/sched"
 	"hbsp/internal/simnet"
 )
 
@@ -22,16 +24,65 @@ type Synchronizer interface {
 	ExchangeCounts(c *Ctx) ([][]int, error)
 }
 
-// disseminationSync is the default synchronizer: the ⌈log2 P⌉-stage
-// dissemination exchange with doubling payloads of Section 6.5.
-type disseminationSync struct{}
+// directExchanger is the optional capability a synchronizer implements to
+// route its count exchange through the goroutine-free discrete-event
+// evaluator: the returned schedule is the exchange's exact op-stream — the
+// same stage walk the synchronizer's ExchangeCounts performs concurrently,
+// with every payload size resolved up front (the count-row snapshot a rank
+// sends at stage s is knowledge-determined, never data-determined). Sync
+// evaluates it at the run's gate; synchronizers without the capability (or
+// runs under WithConcurrentEngine) keep the concurrent walk.
+type directExchanger interface {
+	exchangeSchedule(p int) (sched.Schedule, error)
+}
 
-func (disseminationSync) Name() string                           { return "dissemination" }
-func (disseminationSync) ExchangeCounts(c *Ctx) ([][]int, error) { return c.exchangeCounts() }
+// disseminationSync is the default synchronizer: the ⌈log2 P⌉-stage
+// dissemination exchange with doubling payloads of Section 6.5. The evaluator
+// schedule of each process count is cached on the synchronizer, so repeated
+// runs share one immutable stage structure.
+type disseminationSync struct {
+	mu  sync.Mutex
+	byP map[int]sched.Schedule
+}
+
+func (*disseminationSync) Name() string                           { return "dissemination" }
+func (*disseminationSync) ExchangeCounts(c *Ctx) ([][]int, error) { return c.exchangeCounts() }
+func (d *disseminationSync) exchangeSchedule(p int) (sched.Schedule, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.byP[p]; ok {
+		return s, nil
+	}
+	var stages []sched.Stage
+	known := 1 // rows held entering the stage: min(2^s, p)
+	for dist := 1; dist < p; dist *= 2 {
+		st := sched.Stage{Out: make([][]int, p), In: make([][]int, p), OutBytes: make([][]int, p)}
+		size := headerBytes + known*p*countEntryBytes
+		for i := 0; i < p; i++ {
+			st.Out[i] = []int{(i + dist) % p}
+			st.In[i] = []int{(i - dist + p) % p}
+			st.OutBytes[i] = []int{size}
+		}
+		stages = append(stages, st)
+		if known *= 2; known > p {
+			known = p
+		}
+	}
+	s := &sched.StaticStages{Procs: p, Stages: stages}
+	if d.byP == nil {
+		d.byP = map[int]sched.Schedule{}
+	}
+	d.byP[p] = s
+	return s, nil
+}
+
+// defaultSync is the shared default synchronizer instance; sharing it lets
+// every run reuse the cached exchange schedules.
+var defaultSync = &disseminationSync{}
 
 // DefaultSynchronizer returns the dissemination synchronizer the runtime uses
 // when none is configured.
-func DefaultSynchronizer() Synchronizer { return disseminationSync{} }
+func DefaultSynchronizer() Synchronizer { return defaultSync }
 
 // scheduleSync executes an arbitrary verified schedule: at every stage each
 // process receives from its in-edges and forwards everything it knows along
@@ -42,6 +93,13 @@ func DefaultSynchronizer() Synchronizer { return disseminationSync{} }
 // sizing) — change them together.
 type scheduleSync struct {
 	pat *barrier.Pattern
+
+	// once builds the evaluator schedule of the exchange: the pattern's
+	// adjacency with every out-edge sized at the count-row snapshot the
+	// sender holds entering the stage (the knowledge recursion's
+	// KnownBeforeStage counts).
+	once  sync.Once
+	sched sched.Schedule
 }
 
 // NewScheduleSynchronizer wraps a collective schedule as a count-exchange
@@ -67,6 +125,34 @@ func NewScheduleSynchronizer(pat *barrier.Pattern) (Synchronizer, error) {
 }
 
 func (s *scheduleSync) Name() string { return s.pat.Name }
+
+func (s *scheduleSync) exchangeSchedule(p int) (sched.Schedule, error) {
+	if s.pat.Procs != p {
+		return nil, fmt.Errorf("bsp: schedule for %d processes on a %d-process run", s.pat.Procs, p)
+	}
+	s.once.Do(func() {
+		adj := s.pat.Adjacency()
+		known := s.pat.KnownBeforeStage()
+		stages := make([]sched.Stage, len(adj))
+		for sg, st := range adj {
+			outBytes := make([][]int, p)
+			for i := 0; i < p; i++ {
+				if len(st.Out[i]) == 0 {
+					continue
+				}
+				size := headerBytes + known[sg][i]*p*countEntryBytes
+				row := make([]int, len(st.Out[i]))
+				for k := range row {
+					row[k] = size
+				}
+				outBytes[i] = row
+			}
+			stages[sg] = sched.Stage{Out: st.Out, In: st.In, OutBytes: outBytes}
+		}
+		s.sched = &sched.StaticStages{Procs: p, Stages: stages}
+	})
+	return s.sched, nil
+}
 
 func (s *scheduleSync) ExchangeCounts(c *Ctx) ([][]int, error) {
 	p := c.NProcs()

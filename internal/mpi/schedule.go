@@ -1,8 +1,10 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
+	"hbsp/internal/sched"
 	"hbsp/internal/simnet"
 )
 
@@ -60,6 +62,11 @@ func (c *Comm) flood(s Schedule, own any) (map[int]any, error) {
 	if s.NumProcs() != p {
 		return nil, fmt.Errorf("mpi: schedule for %d processes on a %d-process run", s.NumProcs(), p)
 	}
+	if g := c.proc.SharedGate(); g != nil {
+		if ds, ok := s.(directSchedule); ok {
+			return c.floodDirect(g, s, ds.ScheduleView(), own)
+		}
+	}
 	rank := c.Rank()
 	known := map[int]any{rank: own}
 	// On traced runs, bracket every stage for per-stage attribution (checked
@@ -114,6 +121,75 @@ func (c *Comm) flood(s Schedule, own any) (map[int]any, error) {
 		}
 	}
 	return known, nil
+}
+
+// directSchedule is the optional capability a Schedule implements to route
+// its flood through the goroutine-free discrete-event evaluator
+// (barrier.Pattern implements it via its cached sparse adjacency). Schedules
+// without it — and runs under the concurrent engine — keep the concurrent
+// stage walk.
+type directSchedule interface {
+	ScheduleView() sched.Schedule
+}
+
+// floodTicket is the rendezvous descriptor of one rank entering a schedule
+// flood: the schedule (the leader verifies agreement), the rank's own
+// contribution, and the slot the leader deposits its known-contributions map
+// in.
+type floodTicket struct {
+	s   Schedule
+	own any
+	out *map[int]any
+}
+
+// floodDirect evaluates the flood at the run's gate: the timing — every
+// prescribed edge billed at the schedule's per-edge payload size — is
+// evaluated sequentially against the live per-rank clocks, and the data
+// plane collapses to the knowledge recursion: rank j's known map holds
+// exactly the contributions of the origins whose flooding reaches j, by
+// reference, which is precisely what the concurrent walk's merge loop
+// produces message by message.
+func (c *Comm) floodDirect(g *simnet.Gate, s Schedule, view sched.Schedule, own any) (map[int]any, error) {
+	var known map[int]any
+	t := &floodTicket{s: s, own: own, out: &known}
+	err := g.Arrive(c.proc, t, func(tickets []any) error {
+		p := c.Size()
+		owns := make([]any, p)
+		for r, ti := range tickets {
+			ft, ok := ti.(*floodTicket)
+			if !ok || ft.s != s {
+				return errors.New("mpi: ranks disagree on the flooded schedule (schedule collectives are collective)")
+			}
+			owns[r] = ft.own
+		}
+		procs := c.proc.RunProcs()
+		ev := sched.EvaluatorAt(g, c.proc)
+		ev.ImportProcs(procs)
+		ev.ExecSchedule(view, tagSchedule, false)
+		ev.ExportProcs(procs)
+		reach := reachOf(s, view)
+		for r, ti := range tickets {
+			ft := ti.(*floodTicket)
+			m := make(map[int]any, reach.Count(r))
+			reach.ForEach(r, func(origin int) { m[origin] = owns[origin] })
+			*ft.out = m
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return known, nil
+}
+
+// reachOf returns the schedule's knowledge reach sets, preferring the
+// cached sets a schedule exposes (barrier.Pattern caches them alongside its
+// adjacency) over recomputing the recursion per collective call.
+func reachOf(s Schedule, view sched.Schedule) *sched.ReachSet {
+	if fr, ok := s.(interface{ FloodReach() *sched.ReachSet }); ok {
+		return fr.FloodReach()
+	}
+	return sched.ReachOf(view)
 }
 
 // FloodSchedule executes the schedule with the raw knowledge-flooding data

@@ -1,0 +1,348 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hbsp/internal/simnet"
+)
+
+// Internal instruction kinds of compiled programs. Send-side and
+// receive-side waits are split at compile time, and every receive wait is
+// statically matched to the global send slot that produces its message (FIFO
+// per (source, destination, tag) — the concurrent mailbox's matching rule,
+// resolved once instead of at every delivery).
+type instrKind uint8
+
+const (
+	iCompute instrKind = iota
+	iComputeExact
+	iSend     // injects a message into its slot; fills the request's completion time
+	iPost     // injects a message into its slot, no request
+	iRecv     // records the receive's post time into its request slot
+	iWaitSend // waits a send request
+	iWaitRecv // waits a receive request, gated on its matched send slot
+	iSuperstep
+	iStage
+)
+
+// instr is one flat instruction of a compiled per-rank stream.
+type instr struct {
+	kind instrKind
+	peer int32
+	tag  int32
+	size int32
+	req  int32
+	mark int32
+	// slot is the global send slot: for iSend/iPost the slot this
+	// instruction fills, for iWaitRecv the matched slot (-1 when no send in
+	// the program ever produces the message — that wait can never complete,
+	// the static form of a receive deadlock).
+	slot int32
+	sec  float64
+}
+
+// Code is a compiled simnet.Program: flat per-rank instruction arrays with
+// all message matching resolved. A Code is immutable and may be evaluated
+// any number of times; Run's per-evaluation state can be reused via Evaluate
+// on a progState.
+type Code struct {
+	procs int
+	ops   [][]instr
+	nreq  []int
+	// Per global send slot: the owning rank and the index of the producing
+	// instruction in its stream (a slot is filled once its owner's program
+	// counter has passed that index).
+	slotRank []int32
+	slotOp   []int32
+	slotSize []int32
+}
+
+type matchKey struct{ src, dst, tag int }
+
+// Compile lowers the program into flat per-rank instruction arrays, assigns
+// every send a global message slot and statically matches every receive wait
+// to the slot it consumes: the k-th waited receive of rank d from (s, tag)
+// matches the k-th send of rank s to (d, tag), in each rank's program order —
+// exactly the concurrent engine's per-(source, tag) FIFO discipline.
+func Compile(pr *simnet.Program) (*Code, error) {
+	if pr == nil {
+		return nil, errors.New("sched: nil program")
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	p := pr.Procs()
+	c := &Code{procs: p, ops: make([][]instr, p), nreq: make([]int, p)}
+
+	// Pass 1: enumerate send slots in (rank, program order) and build the
+	// per-(src, dst, tag) producer FIFOs.
+	sends := map[matchKey][]int32{}
+	for r := 0; r < p; r++ {
+		for i, op := range pr.Ops(r) {
+			if op.Kind == simnet.OpSend || op.Kind == simnet.OpPost {
+				slot := int32(len(c.slotRank))
+				c.slotRank = append(c.slotRank, int32(r))
+				c.slotOp = append(c.slotOp, int32(i))
+				c.slotSize = append(c.slotSize, int32(op.Size))
+				key := matchKey{src: r, dst: op.Peer, tag: op.Tag}
+				sends[key] = append(sends[key], slot)
+			}
+		}
+	}
+
+	// Pass 2: lower instructions; waited receives consume the producer
+	// FIFOs in wait order.
+	taken := map[matchKey]int{}
+	type reqInfo struct {
+		isSend bool
+		peer   int32
+		tag    int32
+		size   int32
+	}
+	nextSlot := int32(0)
+	for r := 0; r < p; r++ {
+		ops := pr.Ops(r)
+		c.nreq[r] = pr.NumReqs(r)
+		out := make([]instr, 0, len(ops))
+		reqs := make([]reqInfo, pr.NumReqs(r))
+		for _, op := range ops {
+			switch op.Kind {
+			case simnet.OpCompute:
+				out = append(out, instr{kind: iCompute, sec: op.Seconds})
+			case simnet.OpComputeExact:
+				out = append(out, instr{kind: iComputeExact, sec: op.Seconds})
+			case simnet.OpSend, simnet.OpPost:
+				// Slots were assigned in this same traversal order in pass 1.
+				in := instr{peer: int32(op.Peer), tag: int32(op.Tag), size: int32(op.Size), slot: nextSlot}
+				nextSlot++
+				if op.Kind == simnet.OpSend {
+					in.kind = iSend
+					in.req = int32(op.Req)
+					reqs[op.Req] = reqInfo{isSend: true, peer: in.peer, tag: in.tag, size: in.size}
+				} else {
+					in.kind = iPost
+				}
+				out = append(out, in)
+			case simnet.OpRecv:
+				reqs[op.Req] = reqInfo{peer: int32(op.Peer), tag: int32(op.Tag)}
+				out = append(out, instr{kind: iRecv, peer: int32(op.Peer), tag: int32(op.Tag), req: int32(op.Req)})
+			case simnet.OpWait:
+				ri := reqs[op.Req]
+				if ri.isSend {
+					out = append(out, instr{kind: iWaitSend, peer: ri.peer, tag: ri.tag, size: ri.size, req: int32(op.Req)})
+					continue
+				}
+				key := matchKey{src: int(ri.peer), dst: r, tag: int(ri.tag)}
+				slot := int32(-1)
+				var size int32
+				if fifo := sends[key]; taken[key] < len(fifo) {
+					slot = fifo[taken[key]]
+					taken[key]++
+					size = c.slotSize[slot]
+				}
+				out = append(out, instr{kind: iWaitRecv, peer: ri.peer, tag: ri.tag, size: size, req: int32(op.Req), slot: slot})
+			case simnet.OpSuperstep:
+				out = append(out, instr{kind: iSuperstep, mark: int32(op.Mark)})
+			case simnet.OpStage:
+				out = append(out, instr{kind: iStage, mark: int32(op.Mark)})
+			}
+		}
+		c.ops[r] = out
+	}
+	return c, nil
+}
+
+// rankHeap is the binary event heap of runnable ranks, keyed by virtual
+// clock (ties by rank for determinism): the evaluator always advances the
+// earliest runnable rank, the conservative-PDES event order.
+type rankHeap struct {
+	ranks []int32
+	key   []float64 // per rank: the clock at push time
+}
+
+func (h *rankHeap) push(r int32, t float64) {
+	h.key[r] = t
+	h.ranks = append(h.ranks, r)
+	i := len(h.ranks) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.ranks[i], h.ranks[parent]) {
+			break
+		}
+		h.ranks[i], h.ranks[parent] = h.ranks[parent], h.ranks[i]
+		i = parent
+	}
+}
+
+func (h *rankHeap) less(a, b int32) bool {
+	if h.key[a] != h.key[b] {
+		return h.key[a] < h.key[b]
+	}
+	return a < b
+}
+
+func (h *rankHeap) pop() int32 {
+	top := h.ranks[0]
+	last := len(h.ranks) - 1
+	h.ranks[0] = h.ranks[last]
+	h.ranks = h.ranks[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(h.ranks[l], h.ranks[small]) {
+			small = l
+		}
+		if r < last && h.less(h.ranks[r], h.ranks[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.ranks[i], h.ranks[small] = h.ranks[small], h.ranks[i]
+		i = small
+	}
+	return top
+}
+
+// checkEvery bounds how many instructions the evaluator executes between
+// wall-clock deadline and context-cancellation checks.
+const checkEvery = 1 << 13
+
+// Run evaluates the compiled program over the event heap: every rank executes
+// its instruction stream until it finishes or blocks on a receive whose
+// matched send has not been injected yet; injecting a send wakes the rank
+// parked on its slot. Virtual times, traffic counters and recorded events are
+// bit-identical to simnet.RunProgram on the same machine and options.
+//
+// A blocked configuration with an empty heap is a communication deadlock; the
+// concurrent engine would burn its wall-clock deadline before reporting it,
+// the evaluator returns simnet.ErrDeadline immediately. Context cancellation
+// and the wall-clock deadline are checked every few thousand instructions and
+// return the same errors the concurrent engine produces.
+func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*simnet.Result, error) {
+	if m == nil || m.Procs() < 1 {
+		return nil, errors.New("sched: machine with at least one rank required")
+	}
+	if m.Procs() != c.procs {
+		return nil, fmt.Errorf("sched: program for %d ranks on a %d-rank machine", c.procs, m.Procs())
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = simnet.DefaultOptions().Deadline
+	}
+	e := NewEvaluator(m, o.AckSends)
+	beginRecording(o.Recorder, m, o.AckSends, e)
+
+	p := c.procs
+	pc := make([]int32, p)
+	reqTime := make([][]float64, p) // per request slot: post time (recv) or completion (send)
+	for r := 0; r < p; r++ {
+		reqTime[r] = make([]float64, c.nreq[r])
+	}
+	arrivals := make([]float64, len(c.slotRank))
+	sendEvs := make([]int32, len(c.slotRank))
+	parked := make([]int32, len(c.slotRank)) // rank+1 parked on this slot
+	heap := &rankHeap{key: make([]float64, p)}
+	for r := p - 1; r >= 0; r-- {
+		heap.push(int32(r), 0)
+	}
+	finished := 0
+	steps := 0
+	start := time.Now()
+
+	for len(heap.ranks) > 0 {
+		r := heap.pop()
+		rs := &e.states[r]
+		ops := c.ops[r]
+	rankLoop:
+		for pc[r] < int32(len(ops)) {
+			steps++
+			if steps%checkEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					err = fmt.Errorf("%w: %w", simnet.ErrAborted, context.Cause(ctx))
+					endRecording(o.Recorder, nil, e.messages, e.bytes, err)
+					return nil, err
+				}
+				if time.Since(start) > o.Deadline {
+					endRecording(o.Recorder, nil, e.messages, e.bytes, simnet.ErrDeadline)
+					return nil, simnet.ErrDeadline
+				}
+			}
+			in := &ops[pc[r]]
+			switch in.kind {
+			case iCompute:
+				rs.compute(e.m, int(r), in.sec)
+			case iComputeExact:
+				rs.computeExact(int(r), in.sec)
+			case iSend, iPost:
+				arrival, completeAt, sendEv := e.send(rs, int(r), int(in.peer), int(in.tag), int(in.size))
+				arrivals[in.slot] = arrival
+				sendEvs[in.slot] = sendEv
+				if in.kind == iSend {
+					reqTime[r][in.req] = completeAt
+				}
+				if w := parked[in.slot]; w != 0 {
+					parked[in.slot] = 0
+					heap.push(w-1, e.states[w-1].now)
+				}
+			case iRecv:
+				reqTime[r][in.req] = rs.now
+			case iWaitSend:
+				rs.waitSendAdvance(reqTime[r][in.req], int(in.peer), int(in.tag), int(in.size))
+			case iWaitRecv:
+				if in.slot < 0 {
+					// Statically unmatched: this rank can never proceed.
+					break rankLoop
+				}
+				owner := c.slotRank[in.slot]
+				if pc[owner] <= c.slotOp[in.slot] {
+					parked[in.slot] = r + 1
+					break rankLoop
+				}
+				arrival := arrivals[in.slot]
+				completeAt, gated := e.recvComplete(rs, int(r), int(in.peer), reqTime[r][in.req], arrival)
+				rs.waitRecvAdvance(completeAt, int(in.peer), int(in.tag), in.size, sendEvs[in.slot], gated, arrival)
+			case iSuperstep:
+				rs.superstepMark(in.mark)
+			case iStage:
+				rs.stageMark(in.mark)
+			}
+			pc[r]++
+		}
+		if pc[r] == int32(len(ops)) {
+			finished++
+			pc[r]++ // past the end: marks the rank done, and its last send slot visible
+		}
+	}
+
+	if finished != p {
+		endRecording(o.Recorder, nil, e.messages, e.bytes, simnet.ErrDeadline)
+		return nil, simnet.ErrDeadline
+	}
+	res := e.result()
+	res.Messages, res.Bytes = e.messages, e.bytes
+	endRecording(o.Recorder, res, res.Messages, res.Bytes, nil)
+	return res, nil
+}
+
+// RunProgram executes the program on the engine the options select: the
+// direct discrete-event evaluator by default, or the concurrent engine under
+// EngineConcurrent. Both produce bit-identical results; the direct path
+// compiles the program first, so callers evaluating one program many times
+// should Compile once and call Code.Run.
+func RunProgram(ctx context.Context, m simnet.Machine, pr *simnet.Program, o simnet.Options) (*simnet.Result, error) {
+	if o.Engine == simnet.EngineConcurrent {
+		return simnet.RunProgram(ctx, m, pr, o)
+	}
+	code, err := Compile(pr)
+	if err != nil {
+		return nil, err
+	}
+	return code.Run(ctx, m, o)
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"hbsp/internal/simnet"
+	"hbsp/internal/trace"
+)
+
+// beginRecording mirrors simnet.RunContext's recorder attachment: label the
+// run with the machine's identity and exact seed, and hand out lanes.
+func beginRecording(rec *trace.Recorder, m simnet.Machine, ack bool, e *Evaluator) {
+	if !rec.Enabled() {
+		return
+	}
+	meta := trace.Meta{Procs: m.Procs(), AckSends: ack}
+	if rs, ok := m.(interface{ RunSeed() int64 }); ok {
+		meta.Seed, meta.SeedKnown = rs.RunSeed(), true
+	}
+	if st, ok := m.(fmt.Stringer); ok {
+		meta.Machine = st.String()
+	}
+	rec.BeginRun(meta)
+	for r := 0; r < m.Procs(); r++ {
+		e.AttachLane(r, rec.LaneOf(r), 0)
+	}
+}
+
+// endRecording mirrors simnet.RunContext's finish: seal the recording with
+// the outcome. Direct evaluations always tear down cleanly.
+func endRecording(rec *trace.Recorder, res *simnet.Result, messages, bytes int64, err error) {
+	if !rec.Enabled() {
+		return
+	}
+	var times []float64
+	var makespan float64
+	if res != nil {
+		times, makespan = res.Times, res.MakeSpan
+	}
+	rec.EndRun(times, makespan, messages, bytes, err, true)
+}
+
+// result assembles a simnet.Result from the evaluator's state.
+func (e *Evaluator) result() *simnet.Result {
+	res := &simnet.Result{Times: e.Times(nil)}
+	for _, t := range res.Times {
+		if t > res.MakeSpan {
+			res.MakeSpan = t
+		}
+	}
+	return res
+}
+
+// RunSchedule evaluates execs consecutive executions of the schedule on the
+// calling goroutine — the goroutine-free counterpart of running
+// barrier.Execute execs times under mpi.Run — and returns the per-rank
+// virtual finishing times. Virtual times, traffic counters and recorded
+// events are bit-identical to the concurrent engine's (o.Engine is ignored:
+// this entry point IS the direct engine; use simnet/mpi runs for the
+// concurrent one).
+//
+// Cancellation mirrors the concurrent engine: a cancelled context returns an
+// error wrapping simnet.ErrAborted, exceeding o.Deadline returns
+// simnet.ErrDeadline. Both are checked between executions — one execution
+// always evaluates to completion, so a deadline can overrun by at most one
+// execution's wall time (the concurrent engine's asynchronous watchdog has
+// finer grain but the same default two-minute budget).
+func RunSchedule(ctx context.Context, m simnet.Machine, s Schedule, execs int, o simnet.Options) (*simnet.Result, error) {
+	if m == nil || m.Procs() < 1 {
+		return nil, errors.New("sched: machine with at least one rank required")
+	}
+	if s == nil {
+		return nil, errors.New("sched: nil schedule")
+	}
+	if s.NumProcs() != m.Procs() {
+		return nil, fmt.Errorf("sched: schedule for %d ranks on a %d-rank machine", s.NumProcs(), m.Procs())
+	}
+	if execs < 1 {
+		return nil, fmt.Errorf("sched: %d executions requested", execs)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = simnet.DefaultOptions().Deadline
+	}
+	e := NewEvaluator(m, o.AckSends)
+	beginRecording(o.Recorder, m, o.AckSends, e)
+	start := time.Now()
+	for x := 0; x < execs; x++ {
+		if err := ctx.Err(); err != nil {
+			err = fmt.Errorf("%w: %w", simnet.ErrAborted, context.Cause(ctx))
+			endRecording(o.Recorder, nil, e.messages, e.bytes, err)
+			return nil, err
+		}
+		if time.Since(start) > o.Deadline {
+			endRecording(o.Recorder, nil, e.messages, e.bytes, simnet.ErrDeadline)
+			return nil, simnet.ErrDeadline
+		}
+		e.ExecSchedule(s, ScheduleTagBase, true)
+	}
+	res := e.result()
+	res.Messages, res.Bytes = e.messages, e.bytes
+	endRecording(o.Recorder, res, res.Messages, res.Bytes, nil)
+	return res, nil
+}
+
+// ScheduleTagBase is the tag space RunSchedule labels stage s's messages
+// with (tag ScheduleTagBase+s), matching the constant stage tags of
+// barrier.Execute so recorded traces agree between engines.
+const ScheduleTagBase = 1 << 20
+
+// ReachSet holds, per rank, the bitset of origins whose contribution a
+// knowledge-flooding walk over a schedule delivers to that rank — the same
+// recursion the schedule verifier evaluates, exposed so the direct flood can
+// assemble each rank's known-contributions map without moving any payloads.
+type ReachSet struct {
+	p, words int
+	bits     []uint64
+}
+
+// ReachOf runs the knowledge recursion over the schedule.
+func ReachOf(s Schedule) *ReachSet {
+	p := s.NumProcs()
+	words := (p + 63) / 64
+	r := &ReachSet{p: p, words: words, bits: make([]uint64, p*words)}
+	for j := 0; j < p; j++ {
+		r.bits[j*words+j/64] |= 1 << (uint(j) % 64)
+	}
+	prev := make([]uint64, len(r.bits))
+	for sg := 0; sg < s.NumStages(); sg++ {
+		st := s.StageAt(sg)
+		copy(prev, r.bits)
+		for i, dests := range st.Out {
+			if len(dests) == 0 {
+				continue
+			}
+			src := prev[i*words : (i+1)*words]
+			for _, j := range dests {
+				dst := r.bits[j*words : (j+1)*words]
+				for w := range dst {
+					dst[w] |= src[w]
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Count returns the number of origins reaching rank.
+func (r *ReachSet) Count(rank int) int {
+	n := 0
+	for _, w := range r.bits[rank*r.words : (rank+1)*r.words] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for every origin reaching rank, in ascending order.
+func (r *ReachSet) ForEach(rank int, fn func(origin int)) {
+	row := r.bits[rank*r.words : (rank+1)*r.words]
+	for w, word := range row {
+		for word != 0 {
+			fn(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

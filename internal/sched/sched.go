@@ -1,0 +1,414 @@
+// Package sched is the goroutine-free discrete-event evaluator of the
+// simulator: it computes the virtual times of schedule-expressible workloads
+// — verified collective patterns, superstep count exchanges, and arbitrary
+// straight-line per-rank op-streams (simnet.Program) — by evaluating the
+// LogGP recurrence directly, with no goroutines, mailboxes or channel
+// wake-ups. Virtual times, traffic counters and recorded trace events are
+// bit-identical to the concurrent engine's: the evaluator replays exactly the
+// operations the concurrent walkers perform, in each rank's program order,
+// consuming the per-rank Noise(rank, seq) stream in exactly the order the
+// concurrent engine consumes it.
+//
+// Two evaluation modes exist:
+//
+//   - Whole-run evaluation (RunSchedule, RunProgram): the entire workload is
+//     evaluated on the calling goroutine. This is what cmd/simbench's *_de
+//     entries measure and what unlocks P=4096, where the concurrent engine's
+//     per-message costs are prohibitive.
+//
+//   - Inline evaluation (Evaluator.ImportProcs / ExecSchedule / ExportProcs):
+//     inside a concurrent run, all ranks rendezvous at the run's simnet.Gate,
+//     and the last arriver evaluates the collective sequentially against the
+//     live per-rank clocks and port states, then resumes everyone. This is
+//     how barrier.Execute, the BSP count exchange and the mpi schedule flood
+//     route through the evaluator while arbitrary closures around them still
+//     run on the concurrent engine.
+//
+// The arithmetic in this file mirrors simnet.sendCore, simnet.resolveRecv,
+// simnet.Wait and simnet.Compute operation for operation; change them
+// together (the cross-engine diff tests pin the agreement).
+package sched
+
+import (
+	"hbsp/internal/simnet"
+	"hbsp/internal/trace"
+)
+
+// Stage is the sparse adjacency of one schedule stage: Out[i] lists the ranks
+// i signals, In[j] the ranks signalling j, and OutBytes[i][k] the payload
+// size of the edge i→Out[i][k] (nil OutBytes means pure signals).
+//
+// Ordering contract: In[j] must enumerate sources in the order the edges are
+// produced by scanning Out row-major (i ascending, then position in Out[i]).
+// Adjacency built by scanning a stage matrix row by row — as
+// barrier.Pattern.Adjacency does — satisfies this by construction.
+type Stage struct {
+	Out      [][]int
+	In       [][]int
+	OutBytes [][]int
+}
+
+// Schedule is the stage-graph view the evaluator executes. Implementations
+// may build StageAt's result on the fly and reuse its storage across calls
+// (the evaluator walks stages strictly in order, one at a time), which is
+// what keeps P=4096 sweeps inside memory budgets.
+type Schedule interface {
+	// NumProcs returns the number of participating ranks.
+	NumProcs() int
+	// NumStages returns the number of stages.
+	NumStages() int
+	// StageAt returns stage s. The evaluator does not retain the value
+	// across calls.
+	StageAt(s int) Stage
+}
+
+// StaticStages wraps a materialized stage slice as a Schedule.
+type StaticStages struct {
+	Procs  int
+	Stages []Stage
+}
+
+// NumProcs returns the number of participating ranks.
+func (s *StaticStages) NumProcs() int { return s.Procs }
+
+// NumStages returns the number of stages.
+func (s *StaticStages) NumStages() int { return len(s.Stages) }
+
+// StageAt returns stage i.
+func (s *StaticStages) StageAt(i int) Stage { return s.Stages[i] }
+
+// rankState is one rank's LogGP evolution state: its clock, the free times of
+// its injection and extraction ports, its position in the machine's noise
+// stream, and — on traced runs — its trace lane and superstep label.
+type rankState struct {
+	now      float64
+	txFree   float64
+	rxFree   float64
+	noiseSeq uint64
+	lane     *trace.Lane
+	step     int32
+	stage    int32
+}
+
+// Evaluator evaluates schedules against a set of per-rank LogGP states. Its
+// instruction arrays and per-stage scratch are reused across executions, so
+// steady-state evaluation allocates nothing. An Evaluator is not safe for
+// concurrent use; inline callers park one in their run's Gate.Scratch.
+type Evaluator struct {
+	m   simnet.Machine
+	ack bool
+
+	states []rankState
+
+	// Per-stage scratch, reset between stages: entry clocks (the post time
+	// of a rank's receives), per-receiver arrival/size/send-event queues
+	// (filled in sender order, consumed positionally against Stage.In), and
+	// per-sender send-completion times.
+	entry        []float64
+	inArr        [][]float64
+	inSize       [][]int32
+	inEv         [][]int32
+	sendComplete [][]float64
+
+	messages int64
+	bytes    int64
+}
+
+// NewEvaluator returns an evaluator for the given machine and ack mode with
+// all rank states zeroed.
+func NewEvaluator(m simnet.Machine, ack bool) *Evaluator {
+	p := m.Procs()
+	return &Evaluator{
+		m:            m,
+		ack:          ack,
+		states:       make([]rankState, p),
+		entry:        make([]float64, p),
+		inArr:        make([][]float64, p),
+		inSize:       make([][]int32, p),
+		inEv:         make([][]int32, p),
+		sendComplete: make([][]float64, p),
+	}
+}
+
+// Procs returns the evaluator's rank count.
+func (e *Evaluator) Procs() int { return len(e.states) }
+
+// Traffic returns and resets the delivered message and byte counts
+// accumulated since the last call.
+func (e *Evaluator) Traffic() (messages, bytes int64) {
+	messages, bytes = e.messages, e.bytes
+	e.messages, e.bytes = 0, 0
+	return messages, bytes
+}
+
+// Times copies the per-rank clocks into dst (allocating when nil) and
+// returns it.
+func (e *Evaluator) Times(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(e.states))
+	}
+	for i := range e.states {
+		dst[i] = e.states[i].now
+	}
+	return dst
+}
+
+// AttachLane points rank's events at a trace lane (nil detaches) and labels
+// them with the given superstep.
+func (e *Evaluator) AttachLane(rank int, lane *trace.Lane, step int32) {
+	e.states[rank].lane = lane
+	e.states[rank].step = step
+}
+
+// ImportProcs loads the live LogGP state (and trace lane position) of every
+// rank of a concurrent run. Only a gate leader may call it (see simnet.Gate
+// for the synchronization contract).
+func (e *Evaluator) ImportProcs(procs []*simnet.Proc) {
+	for i, p := range procs {
+		st := &e.states[i]
+		st.now, st.txFree, st.rxFree, st.noiseSeq = p.EvalState()
+		st.lane, st.step = p.EvalTrace()
+	}
+}
+
+// ExportProcs stores the advanced LogGP states back into the live ranks and
+// credits the accumulated traffic to the run's counters.
+func (e *Evaluator) ExportProcs(procs []*simnet.Proc) {
+	for i, p := range procs {
+		st := &e.states[i]
+		p.SetEvalState(st.now, st.txFree, st.rxFree, st.noiseSeq)
+	}
+	msgs, bytes := e.Traffic()
+	if msgs != 0 || bytes != 0 {
+		procs[0].AddTraffic(msgs, bytes)
+	}
+}
+
+// EvaluatorAt returns the evaluator parked in the gate's scratch slot,
+// creating it on first use. Only the gate leader may call it.
+func EvaluatorAt(g *simnet.Gate, p *simnet.Proc) *Evaluator {
+	if ev, ok := g.Scratch.(*Evaluator); ok {
+		return ev
+	}
+	ev := NewEvaluator(p.MachineOf(), p.AckSends())
+	g.Scratch = ev
+	return ev
+}
+
+// noise draws the next jitter factor for the rank, mirroring Proc.noise.
+func (st *rankState) noise(m simnet.Machine, rank int) float64 {
+	f := m.Noise(rank, st.noiseSeq)
+	st.noiseSeq++
+	return f
+}
+
+// compute mirrors Proc.Compute: advance the clock by noisy work, recording a
+// compute interval on traced runs.
+func (st *rankState) compute(m simnet.Machine, rank int, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	d := seconds * st.noise(m, rank)
+	if st.lane != nil && d > 0 {
+		st.lane.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
+			Step: st.step, Stage: st.stage, T0: st.now, T1: st.now + d})
+	}
+	st.now += d
+}
+
+// computeExact mirrors Proc.ComputeExact.
+func (st *rankState) computeExact(rank int, seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	if st.lane != nil && seconds > 0 {
+		st.lane.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
+			Step: st.step, Stage: st.stage, T0: st.now, T1: st.now + seconds})
+	}
+	st.now += seconds
+}
+
+// send mirrors Proc.sendCore: pay the sender-side costs of one eager send and
+// return the message's arrival time at dst and the virtual time the send
+// request completes. On traced runs it appends the KindSend event and returns
+// its lane index in sendEv (-1 untraced).
+func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, completeAt float64, sendEv int32) {
+	m := e.m
+	t0 := st.now
+	st.now += m.Overhead(rank, dst) * st.noise(m, rank)
+
+	sameNIC := m.NIC(rank) == m.NIC(dst)
+	transfer := float64(size) * m.Beta(rank, dst)
+	var txStart float64
+	if sameNIC && rank != dst {
+		txStart = st.now
+	} else {
+		txStart = st.now
+		if st.txFree > txStart {
+			txStart = st.txFree
+		}
+		st.txFree = txStart + m.Gap(rank, dst) + transfer
+	}
+	arrival = txStart + (m.Latency(rank, dst)+transfer)*st.noise(m, rank)
+
+	sendEv = -1
+	if st.lane != nil {
+		sendEv = int32(st.lane.Len())
+		st.lane.Append(trace.Event{Kind: trace.KindSend, Peer: int32(dst), Tag: int32(tag),
+			Size: int32(size), SendSeq: -1, Step: st.step, Stage: st.stage,
+			T0: t0, T1: st.now, Arrival: arrival})
+	}
+	e.messages++
+	e.bytes += int64(size)
+
+	completeAt = st.txFree
+	if rank == dst || sameNIC {
+		completeAt = arrival
+	}
+	if e.ack && rank != dst {
+		completeAt = arrival + m.Latency(dst, rank)
+	}
+	return arrival, completeAt, sendEv
+}
+
+// recvComplete mirrors Request.resolveRecv: given the receive's post time and
+// the matched message's arrival, compute the completion time, serializing the
+// extraction port.
+func (e *Evaluator) recvComplete(st *rankState, rank, src int, postTime, arrival float64) (completeAt float64, gated bool) {
+	m := e.m
+	start := postTime
+	if arrival > start {
+		start = arrival
+		gated = true
+	}
+	if m.NIC(rank) != m.NIC(src) {
+		if st.rxFree > start {
+			start = st.rxFree
+			gated = false
+		}
+		st.rxFree = start + m.Gap(src, rank)
+	}
+	return start, gated
+}
+
+// waitRecvAdvance mirrors Proc.Wait for a resolved receive: advance the clock
+// to the completion time, recording the wait interval on traced runs.
+func (st *rankState) waitRecvAdvance(completeAt float64, src, tag int, size, sendEv int32, gated bool, arrival float64) {
+	if completeAt > st.now {
+		if st.lane != nil {
+			st.lane.Append(trace.Event{Kind: trace.KindRecvWait, Gated: gated,
+				Peer: int32(src), Tag: int32(tag), Size: size, SendSeq: sendEv,
+				Step: st.step, Stage: st.stage, T0: st.now, T1: completeAt, Arrival: arrival})
+		}
+		st.now = completeAt
+	}
+}
+
+// waitSendAdvance mirrors Proc.Wait for a send request.
+func (st *rankState) waitSendAdvance(completeAt float64, dst, tag, size int) {
+	if completeAt > st.now {
+		if st.lane != nil {
+			st.lane.Append(trace.Event{Kind: trace.KindSendWait,
+				Peer: int32(dst), Tag: int32(tag), Size: int32(size), SendSeq: -1,
+				Step: st.step, Stage: st.stage, T0: st.now, T1: completeAt})
+		}
+		st.now = completeAt
+	}
+}
+
+// stageMark mirrors Proc.TraceStage: record the mark (for a non-negative
+// stage) and label subsequent events with it.
+func (st *rankState) stageMark(stage int32) {
+	if st.lane == nil {
+		return
+	}
+	if stage >= 0 {
+		st.lane.Append(trace.Event{Kind: trace.KindStage, Peer: -1, SendSeq: -1,
+			Step: st.step, Stage: stage, T0: st.now, T1: st.now})
+	}
+	st.stage = stage
+}
+
+// ExecSchedule evaluates one execution of the schedule: per stage, every rank
+// posts its receives, injects its sends and then waits — receives first, then
+// sends, in edge order — exactly as the concurrent stage walkers
+// (barrier.Execute, the mpi flood, both count exchanges) do. Stage s's
+// messages carry tag tagBase+s in recorded events. computeEmpty selects
+// barrier.Execute's convention of paying an empty Startall/Waitall
+// (Compute(0), one noise draw) on stages where a rank has no edges; the flood
+// and count-exchange walkers skip such stages outright.
+//
+// The two-phase sweep per stage is the conservative-PDES evaluation order:
+// within a stage every arrival depends only on pre-stage sender state, and
+// every completion only on the receiver's own state plus arrivals, so all
+// sends of a stage can be evaluated before all waits without changing any
+// virtual time the concurrent engine would produce.
+func (e *Evaluator) ExecSchedule(s Schedule, tagBase int, computeEmpty bool) {
+	p := len(e.states)
+	for sg := 0; sg < s.NumStages(); sg++ {
+		st := s.StageAt(sg)
+		stage := int32(sg)
+		tag := tagBase + sg
+
+		// Phase A: stage marks, receive post times, send injections.
+		for r := 0; r < p; r++ {
+			rs := &e.states[r]
+			rs.stageMark(stage)
+			ins, outs := st.In[r], st.Out[r]
+			if len(ins) == 0 && len(outs) == 0 {
+				if computeEmpty {
+					rs.compute(e.m, r, 0)
+				}
+				continue
+			}
+			e.entry[r] = rs.now
+			if len(outs) > 0 {
+				sc := e.sendComplete[r][:0]
+				for k, dst := range outs {
+					size := 0
+					if st.OutBytes != nil {
+						size = st.OutBytes[r][k]
+					}
+					arrival, completeAt, sendEv := e.send(rs, r, dst, tag, size)
+					sc = append(sc, completeAt)
+					e.inArr[dst] = append(e.inArr[dst], arrival)
+					e.inSize[dst] = append(e.inSize[dst], int32(size))
+					e.inEv[dst] = append(e.inEv[dst], sendEv)
+				}
+				e.sendComplete[r] = sc
+			}
+		}
+
+		// Phase B: waits, receives first, then sends, in edge order.
+		for r := 0; r < p; r++ {
+			rs := &e.states[r]
+			ins, outs := st.In[r], st.Out[r]
+			for q, src := range ins {
+				arrival := e.inArr[r][q]
+				completeAt, gated := e.recvComplete(rs, r, src, e.entry[r], arrival)
+				rs.waitRecvAdvance(completeAt, src, tag, e.inSize[r][q], e.inEv[r][q], gated, arrival)
+			}
+			for k, dst := range outs {
+				size := 0
+				if st.OutBytes != nil {
+					size = st.OutBytes[r][k]
+				}
+				rs.waitSendAdvance(e.sendComplete[r][k], dst, tag, size)
+			}
+			e.inArr[r] = e.inArr[r][:0]
+			e.inSize[r] = e.inSize[r][:0]
+			e.inEv[r] = e.inEv[r][:0]
+		}
+	}
+}
+
+// superstepMark mirrors Proc.TraceSuperstep: record the boundary of the
+// completed superstep and label subsequent events with the next one.
+func (st *rankState) superstepMark(step int32) {
+	if st.lane == nil {
+		return
+	}
+	st.lane.Append(trace.Event{Kind: trace.KindSuperstep, Peer: -1, SendSeq: -1,
+		Step: step, Stage: st.stage, T0: st.now, T1: st.now})
+	st.step = step + 1
+}

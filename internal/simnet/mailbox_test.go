@@ -16,7 +16,7 @@ import (
 // must come out in FIFO order regardless of scheduling.
 func TestMailboxFIFOPerSourceTag(t *testing.T) {
 	var cancelled atomic.Bool
-	mb := newMailbox(&cancelled)
+	mb := newMailbox(8, &cancelled)
 	const (
 		sources  = 4
 		tags     = 3
@@ -124,7 +124,7 @@ func TestRequestRecycledAfterWait(t *testing.T) {
 // the consumed prefix is compacted away, keeping the queue O(backlog).
 func TestQueueCompactsUnderStandingBacklog(t *testing.T) {
 	var cancelled atomic.Bool
-	mb := newMailbox(&cancelled)
+	mb := newMailbox(8, &cancelled)
 	const messages = 100000
 	mb.deliver(&message{src: 0, tag: 0, payload: -1}) // standing backlog of 1
 	for seq := 0; seq < messages; seq++ {
@@ -171,7 +171,7 @@ func TestDeadlineTearsDownGoroutines(t *testing.T) {
 // take instead of blocking forever).
 func TestCancelAbortsLateReceivers(t *testing.T) {
 	var cancelled atomic.Bool
-	mb := newMailbox(&cancelled)
+	mb := newMailbox(8, &cancelled)
 	cancelled.Store(true)
 	defer func() {
 		if _, ok := recover().(cancelPanic); !ok {
@@ -179,4 +179,99 @@ func TestCancelAbortsLateReceivers(t *testing.T) {
 		}
 	}()
 	mb.take(0, 0)
+}
+
+// TestMailboxFlatToMapMigration drives the tag span across the flat-table
+// budget mid-stream: messages enqueued while the mailbox was flat must
+// survive the migration to the map index, FIFO order intact, and new tags
+// must keep matching afterwards.
+func TestMailboxFlatToMapMigration(t *testing.T) {
+	var cancelled atomic.Bool
+	mb := newMailbox(4, &cancelled)
+
+	// A clustered tag range first: stays on the flat table.
+	for seq := 0; seq < 10; seq++ {
+		mb.deliver(&message{src: 1, tag: 5, payload: seq})
+	}
+	mb.deliver(&message{src: 2, tag: 9, payload: "nine"})
+	if mb.queues != nil {
+		t.Fatal("clustered tags should stay on the flat table")
+	}
+
+	// A far-away tag blows the span budget and migrates everything.
+	mb.deliver(&message{src: 0, tag: 5 + maxFlatEntries, payload: "far"})
+	if mb.queues == nil {
+		t.Fatal("wide tag span should have migrated to the map index")
+	}
+	if mb.flat != nil {
+		t.Fatal("flat table should be released after migration")
+	}
+
+	for seq := 0; seq < 10; seq++ {
+		if got := mb.take(1, 5).payload; got != seq {
+			t.Fatalf("pre-migration FIFO broken: got %v, want %d", got, seq)
+		}
+	}
+	if got := mb.take(2, 9).payload; got != "nine" {
+		t.Fatalf("pre-migration message lost: got %v", got)
+	}
+	if got := mb.take(0, 5+maxFlatEntries).payload; got != "far" {
+		t.Fatalf("post-migration message lost: got %v", got)
+	}
+}
+
+// TestMailboxFlatGrowsBothSides exercises span growth below and above the
+// first observed tag (the table re-bases on downward growth).
+func TestMailboxFlatGrowsBothSides(t *testing.T) {
+	var cancelled atomic.Bool
+	mb := newMailbox(2, &cancelled)
+	mb.deliver(&message{src: 0, tag: 100, payload: "mid"})
+	mb.deliver(&message{src: 1, tag: 40, payload: "low"})
+	mb.deliver(&message{src: 0, tag: 160, payload: "high"})
+	if mb.queues != nil {
+		t.Fatal("small span should stay flat")
+	}
+	if got := mb.take(0, 100).payload; got != "mid" {
+		t.Fatalf("got %v", got)
+	}
+	if got := mb.take(1, 40).payload; got != "low" {
+		t.Fatalf("got %v", got)
+	}
+	if got := mb.take(0, 160).payload; got != "high" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestMailboxHugeRankCount pins the review finding that a rank count beyond
+// the whole flat budget must fall straight through to the map index instead
+// of indexing a nil flat table.
+func TestMailboxHugeRankCount(t *testing.T) {
+	var cancelled atomic.Bool
+	mb := newMailbox(maxFlatEntries+1, &cancelled)
+	mb.deliver(&message{src: 3, tag: 0, payload: "big"})
+	if mb.queues == nil {
+		t.Fatal("oversized rank count should use the map index")
+	}
+	if got := mb.take(3, 0).payload; got != "big" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestMailboxHugeTagSpanNoAliasing pins the overflow finding: a tag span so
+// wide that span*procs wraps int must migrate to the map, never alias a far
+// tag onto an existing flat row.
+func TestMailboxHugeTagSpanNoAliasing(t *testing.T) {
+	var cancelled atomic.Bool
+	mb := newMailbox(8, &cancelled)
+	mb.deliver(&message{src: 0, tag: 0, payload: "near"})
+	mb.deliver(&message{src: 0, tag: 1 << 62, payload: "far"})
+	if mb.queues == nil {
+		t.Fatal("huge tag span should have migrated to the map index")
+	}
+	if got := mb.take(0, 1<<62).payload; got != "far" {
+		t.Fatalf("far tag aliased: got %v, want far", got)
+	}
+	if got := mb.take(0, 0).payload; got != "near" {
+		t.Fatalf("near tag lost: got %v", got)
+	}
 }

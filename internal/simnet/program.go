@@ -1,0 +1,219 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// OpKind identifies one instruction of a Program's per-rank op-stream.
+type OpKind uint8
+
+const (
+	// OpCompute advances the rank's clock by Seconds of noisy work
+	// (Proc.Compute).
+	OpCompute OpKind = iota
+	// OpComputeExact advances the clock without noise (Proc.ComputeExact).
+	OpComputeExact
+	// OpSend posts a non-blocking send to Peer with Tag and Size, filling
+	// request slot Req (Proc.Isend).
+	OpSend
+	// OpPost is a fire-and-forget eager send (Proc.Post).
+	OpPost
+	// OpRecv posts a non-blocking receive from Peer with Tag into request
+	// slot Req (Proc.Irecv).
+	OpRecv
+	// OpWait waits for request slot Req and frees it (Proc.Wait).
+	OpWait
+	// OpSuperstep records a superstep-boundary trace mark for step Mark
+	// (Proc.TraceSuperstep); a no-op on untraced runs.
+	OpSuperstep
+	// OpStage records a collective-stage trace mark for stage Mark
+	// (Proc.TraceStage); a no-op on untraced runs.
+	OpStage
+)
+
+// Op is one instruction of a rank's straight-line program. Programs carry no
+// payloads: they are the timing skeleton of a communication workload, which
+// is exactly what the discrete-event evaluator (internal/sched) needs — and
+// what the concurrent engine replays when a Program is executed for
+// cross-engine verification.
+type Op struct {
+	Kind    OpKind
+	Peer    int
+	Tag     int
+	Size    int
+	Req     int
+	Mark    int
+	Seconds float64
+}
+
+// Req names a per-rank request slot of a Program; RankProgram.Isend and
+// RankProgram.Irecv allocate them, RankProgram.Wait consumes them.
+type Req int
+
+// Program is a per-rank straight-line op-stream: the schedule-expressible
+// core of a simulated workload (sends, receives, waits, compute intervals,
+// trace marks) with every operand fixed up front. A Program can be executed
+// by the concurrent engine (RunProgram) or compiled and evaluated directly by
+// the goroutine-free discrete-event evaluator (internal/sched); both produce
+// bit-identical virtual times.
+//
+// Build one with NewProgram and the RankProgram append API. A Program is
+// immutable once handed to an engine and may be reused across any number of
+// runs (the direct evaluator reuses its compiled instruction arrays).
+type Program struct {
+	procs int
+	ops   [][]Op
+	nreq  []int
+}
+
+// NewProgram returns an empty program for the given number of ranks.
+func NewProgram(procs int) *Program {
+	if procs < 1 {
+		panic(fmt.Sprintf("simnet: program with %d ranks", procs))
+	}
+	return &Program{procs: procs, ops: make([][]Op, procs), nreq: make([]int, procs)}
+}
+
+// Procs returns the number of ranks the program is built for.
+func (pr *Program) Procs() int { return pr.procs }
+
+// Ops returns rank's op-stream; the evaluator compiles from it. Callers must
+// not mutate the returned slice.
+func (pr *Program) Ops(rank int) []Op { return pr.ops[rank] }
+
+// NumReqs returns the number of request slots rank's stream uses.
+func (pr *Program) NumReqs(rank int) int { return pr.nreq[rank] }
+
+// Rank returns the append handle for one rank's op-stream.
+func (pr *Program) Rank(rank int) *RankProgram {
+	if rank < 0 || rank >= pr.procs {
+		panic(fmt.Sprintf("simnet: program rank %d out of range [0,%d)", rank, pr.procs))
+	}
+	return &RankProgram{pr: pr, rank: rank}
+}
+
+// RankProgram appends instructions to one rank's op-stream.
+type RankProgram struct {
+	pr   *Program
+	rank int
+}
+
+func (b *RankProgram) push(op Op) { b.pr.ops[b.rank] = append(b.pr.ops[b.rank], op) }
+
+// Compute appends a noisy compute interval of the given seconds.
+func (b *RankProgram) Compute(seconds float64) { b.push(Op{Kind: OpCompute, Seconds: seconds}) }
+
+// ComputeExact appends a noiseless compute interval.
+func (b *RankProgram) ComputeExact(seconds float64) {
+	b.push(Op{Kind: OpComputeExact, Seconds: seconds})
+}
+
+// Post appends a fire-and-forget eager send.
+func (b *RankProgram) Post(dst, tag, size int) {
+	b.push(Op{Kind: OpPost, Peer: dst, Tag: tag, Size: size})
+}
+
+// Isend appends a non-blocking send and returns its request slot.
+func (b *RankProgram) Isend(dst, tag, size int) Req {
+	r := b.pr.nreq[b.rank]
+	b.pr.nreq[b.rank]++
+	b.push(Op{Kind: OpSend, Peer: dst, Tag: tag, Size: size, Req: r})
+	return Req(r)
+}
+
+// Irecv appends a non-blocking receive and returns its request slot.
+func (b *RankProgram) Irecv(src, tag int) Req {
+	r := b.pr.nreq[b.rank]
+	b.pr.nreq[b.rank]++
+	b.push(Op{Kind: OpRecv, Peer: src, Tag: tag, Req: r})
+	return Req(r)
+}
+
+// Wait appends a wait on a previously posted request slot.
+func (b *RankProgram) Wait(r Req) { b.push(Op{Kind: OpWait, Req: int(r)}) }
+
+// Superstep appends a superstep-boundary trace mark for the completed step.
+func (b *RankProgram) Superstep(step int) { b.push(Op{Kind: OpSuperstep, Mark: step}) }
+
+// Stage appends a collective-stage trace mark.
+func (b *RankProgram) Stage(stage int) { b.push(Op{Kind: OpStage, Mark: stage}) }
+
+// Validate checks the program's structural consistency: peers in range,
+// request slots posted exactly once before their (at most one) wait.
+func (pr *Program) Validate() error {
+	for rank := 0; rank < pr.procs; rank++ {
+		posted := make([]int8, pr.nreq[rank]) // 0 unposted, 1 posted, 2 waited
+		for i, op := range pr.ops[rank] {
+			switch op.Kind {
+			case OpSend, OpPost, OpRecv:
+				if op.Peer < 0 || op.Peer >= pr.procs {
+					return fmt.Errorf("simnet: rank %d op %d: peer %d out of range", rank, i, op.Peer)
+				}
+				if op.Kind != OpPost {
+					if posted[op.Req] != 0 {
+						return fmt.Errorf("simnet: rank %d op %d: request slot %d reused", rank, i, op.Req)
+					}
+					posted[op.Req] = 1
+				}
+			case OpWait:
+				if op.Req < 0 || op.Req >= len(posted) || posted[op.Req] != 1 {
+					return fmt.Errorf("simnet: rank %d op %d: wait on request slot %d in state %d", rank, i, op.Req, postedState(posted, op.Req))
+				}
+				posted[op.Req] = 2
+			}
+		}
+	}
+	return nil
+}
+
+func postedState(posted []int8, req int) int8 {
+	if req < 0 || req >= len(posted) {
+		return -1
+	}
+	return posted[req]
+}
+
+// RunProgram executes the program on the concurrent engine: every rank runs
+// its op-stream in its own goroutine against real mailboxes, exactly as a
+// hand-written body would. It is the reference the direct evaluator is diffed
+// against, and the execution path WithConcurrentEngine selects.
+func RunProgram(ctx context.Context, m Machine, pr *Program, o Options) (*Result, error) {
+	if pr == nil {
+		return nil, errors.New("simnet: nil program")
+	}
+	if m != nil && m.Procs() != pr.procs {
+		return nil, fmt.Errorf("simnet: program for %d ranks on a %d-rank machine", pr.procs, m.Procs())
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	return RunContext(ctx, m, func(p *Proc) error {
+		ops := pr.ops[p.Rank()]
+		reqs := make([]*Request, pr.nreq[p.Rank()])
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case OpCompute:
+				p.Compute(op.Seconds)
+			case OpComputeExact:
+				p.ComputeExact(op.Seconds)
+			case OpSend:
+				reqs[op.Req] = p.Isend(op.Peer, op.Tag, op.Size, nil)
+			case OpPost:
+				p.Post(op.Peer, op.Tag, op.Size, nil)
+			case OpRecv:
+				reqs[op.Req] = p.Irecv(op.Peer, op.Tag)
+			case OpWait:
+				p.Wait(reqs[op.Req])
+				reqs[op.Req] = nil
+			case OpSuperstep:
+				p.TraceSuperstep(op.Mark)
+			case OpStage:
+				p.TraceStage(op.Mark)
+			}
+		}
+		return nil
+	}, o)
+}

@@ -58,12 +58,33 @@ type Machine interface {
 	Noise(rank int, seq uint64) float64
 }
 
+// Engine selects how schedule-expressible parts of a run are executed.
+type Engine int
+
+const (
+	// EngineAuto (the default) runs simulated bodies concurrently but routes
+	// every schedule-expressible collective — pattern executions, superstep
+	// count exchanges, schedule floods — through the goroutine-free
+	// discrete-event evaluator at an all-ranks rendezvous (see Gate). Virtual
+	// times are bit-identical to EngineConcurrent.
+	EngineAuto Engine = iota
+	// EngineConcurrent disables the direct-evaluation fast path entirely:
+	// every message goes through goroutines and mailboxes. It exists for
+	// engine diffing and for programs that break the collective-call
+	// contract the rendezvous relies on.
+	EngineConcurrent
+)
+
 // Options configure a simulation run.
 type Options struct {
 	// AckSends makes send requests complete only when an acknowledgement
 	// has returned from the destination (one extra latency). This is the
 	// default and corresponds to the factor 2 in the thesis' stage cost.
 	AckSends bool
+	// Engine selects the execution engine for schedule-expressible
+	// collectives; the zero value (EngineAuto) enables the direct
+	// discrete-event fast path.
+	Engine Engine
 	// Deadline bounds the real (wall-clock) duration of the simulated run as
 	// a guard against deadlocked simulated programs.
 	Deadline time.Duration
@@ -168,21 +189,55 @@ type mbKey struct{ src, tag int }
 // of P.
 const queueChunkSize = 64
 
-// mailbox holds one rank's incoming traffic, indexed by (source, tag). The
-// one-entry (lastKey, lastQ) cache short-circuits the map for the dominant
-// access pattern — consecutive operations on the same pair (superstep drains,
-// stage-wise collectives) — so the hot path often skips hashing entirely.
+// maxFlatEntries bounds the size of a mailbox's flat (src, tag) table: while
+// the observed tag span keeps procs·span at or below it, lookups index a flat
+// slice directly; the first tag outside that budget migrates the mailbox to
+// the map index for the rest of the run.
+const maxFlatEntries = 1 << 14
+
+// mailbox holds one rank's incoming traffic, indexed by (source, tag).
+//
+// Two index representations exist. While the observed tag span is small —
+// which the constant stage tags of the schedule walkers guarantee for
+// collective-heavy runs — queues live in a flat slice indexed by
+// (tag-flatLo)·procs + src, so the hot path is a bounds check and an array
+// load with no hashing at all. A run whose tags spread beyond maxFlatEntries
+// (e.g. mixing the one-sided, count-exchange and schedule tag ranges at high
+// P) is migrated once to the map index, the previous behaviour. On top of
+// both, the one-entry (lastKey, lastQ) cache short-circuits consecutive
+// operations on the same pair (superstep drains, stage-wise collectives).
 type mailbox struct {
-	mu        sync.Mutex
-	queues    map[mbKey]*msgQueue
+	mu    sync.Mutex
+	procs int
+
+	// Flat index: rows of procs queue pointers, one row per tag in
+	// [flatLo, flatLo + len(flat)/procs). flatHi tracks the highest tag
+	// actually observed; seen is false until the first lookup fixes flatLo.
+	flat   []*msgQueue
+	flatLo int
+	flatHi int
+	seen   bool
+
+	// Map index, non-nil once the mailbox has migrated.
+	queues map[mbKey]*msgQueue
+
 	lastKey   mbKey
 	lastQ     *msgQueue
 	chunk     []msgQueue
 	cancelled *atomic.Bool
 }
 
-func newMailbox(cancelled *atomic.Bool) *mailbox {
-	return &mailbox{queues: map[mbKey]*msgQueue{}, cancelled: cancelled}
+func newMailbox(procs int, cancelled *atomic.Bool) *mailbox {
+	return &mailbox{procs: procs, cancelled: cancelled}
+}
+
+// newQueue allocates a queue from the arena chunk.
+func (mb *mailbox) newQueue() *msgQueue {
+	if len(mb.chunk) == cap(mb.chunk) {
+		mb.chunk = make([]msgQueue, 0, queueChunkSize)
+	}
+	mb.chunk = append(mb.chunk, msgQueue{})
+	return &mb.chunk[len(mb.chunk)-1]
 }
 
 // queue returns (creating if needed) the FIFO of the (src, tag) pair. The
@@ -192,15 +247,101 @@ func (mb *mailbox) queue(src, tag int) *msgQueue {
 	if mb.lastQ != nil && mb.lastKey == key {
 		return mb.lastQ
 	}
-	q := mb.queues[key]
-	if q == nil {
-		if len(mb.chunk) == cap(mb.chunk) {
-			mb.chunk = make([]msgQueue, 0, queueChunkSize)
+	var q *msgQueue
+	if mb.queues != nil {
+		q = mb.queues[key]
+		if q == nil {
+			q = mb.newQueue()
+			mb.queues[key] = q
 		}
-		mb.chunk = append(mb.chunk, msgQueue{})
-		q = &mb.chunk[len(mb.chunk)-1]
-		mb.queues[key] = q
+	} else {
+		idx, ok := mb.flatIndex(tag)
+		if !ok {
+			return mb.migrate(src, tag)
+		}
+		q = mb.flat[idx*mb.procs+src]
+		if q == nil {
+			q = mb.newQueue()
+			mb.flat[idx*mb.procs+src] = q
+		}
 	}
+	mb.lastKey, mb.lastQ = key, q
+	return q
+}
+
+// flatIndex returns tag's row in the flat table, growing the table if the tag
+// extends the observed span. ok is false when the grown span would exceed the
+// flat budget and the mailbox must migrate to the map index.
+func (mb *mailbox) flatIndex(tag int) (row int, ok bool) {
+	if !mb.seen {
+		mb.seen = true
+		mb.flatLo, mb.flatHi = tag, tag
+		if mb.flat == nil {
+			rows := 8
+			if budget := maxFlatEntries / mb.procs; rows > budget {
+				rows = budget
+				if rows < 1 {
+					return 0, false
+				}
+			}
+			mb.flat = make([]*msgQueue, rows*mb.procs)
+		}
+		return 0, true
+	}
+	if tag >= mb.flatLo && tag <= mb.flatHi {
+		return tag - mb.flatLo, true
+	}
+	lo, hi := mb.flatLo, mb.flatHi
+	if tag < lo {
+		lo = tag
+	} else {
+		hi = tag
+	}
+	span := hi - lo + 1
+	// Divide instead of multiplying: a huge tag span must not overflow the
+	// budget check into a false pass (and procs > maxFlatEntries must fall
+	// through to the map).
+	if span <= 0 || span > maxFlatEntries/mb.procs {
+		return 0, false
+	}
+	rows := len(mb.flat) / mb.procs
+	shift := mb.flatLo - lo
+	if shift == 0 && span <= rows {
+		// Growing on the high side within the allocated rows.
+		mb.flatHi = hi
+		return tag - mb.flatLo, true
+	}
+	newRows := span
+	if newRows < 2*rows {
+		newRows = 2 * rows
+	}
+	if newRows*mb.procs > maxFlatEntries {
+		newRows = maxFlatEntries / mb.procs
+	}
+	grown := make([]*msgQueue, newRows*mb.procs)
+	copy(grown[shift*mb.procs:], mb.flat[:(mb.flatHi-mb.flatLo+1)*mb.procs])
+	mb.flat = grown
+	mb.flatLo, mb.flatHi = lo, hi
+	return tag - mb.flatLo, true
+}
+
+// migrate moves the flat table into the map index (the tag span outgrew the
+// flat budget) and returns the queue of the pair that triggered it.
+func (mb *mailbox) migrate(src, tag int) *msgQueue {
+	mb.queues = make(map[mbKey]*msgQueue, 64)
+	if mb.seen && mb.flat != nil {
+		for row := 0; row <= mb.flatHi-mb.flatLo; row++ {
+			for s := 0; s < mb.procs; s++ {
+				if q := mb.flat[row*mb.procs+s]; q != nil {
+					mb.queues[mbKey{src: s, tag: mb.flatLo + row}] = q
+				}
+			}
+		}
+	}
+	mb.flat = nil
+	key := mbKey{src: src, tag: tag}
+	q := mb.newQueue()
+	mb.queues[key] = q
 	mb.lastKey, mb.lastQ = key, q
 	return q
 }
@@ -260,12 +401,20 @@ func (mb *mailbox) take(src, tag int) *message {
 // have not blocked yet abort on entry to take instead.
 func (mb *mailbox) cancelAll() {
 	mb.mu.Lock()
-	for _, q := range mb.queues {
+	wake := func(q *msgQueue) {
 		for i, w := range q.waiters {
 			w <- nil
 			q.waiters[i] = nil
 		}
 		q.waiters = q.waiters[:0]
+	}
+	for _, q := range mb.queues {
+		wake(q)
+	}
+	for _, q := range mb.flat {
+		if q != nil {
+			wake(q)
+		}
 	}
 	mb.mu.Unlock()
 }
@@ -274,6 +423,8 @@ type world struct {
 	machine   Machine
 	opts      Options
 	mailboxes []*mailbox
+	procs     []*Proc
+	gate      *Gate
 	cancelled atomic.Bool
 	messages  atomic.Int64
 	bytes     atomic.Int64
@@ -378,6 +529,52 @@ func (p *Proc) AdvanceTo(t float64) {
 // run-times use it to skip per-stage instrumentation calls entirely on
 // untraced runs.
 func (p *Proc) Tracing() bool { return p.tr != nil }
+
+// The accessors below are the seam between the concurrent engine and the
+// goroutine-free discrete-event evaluator (internal/sched): at a Gate
+// rendezvous the evaluator imports every rank's LogGP evolution state,
+// replays the collective's operations sequentially with identical
+// arithmetic, and exports the advanced state back. They are not meant for
+// simulated programs.
+
+// EvalState exports the rank's LogGP evolution state: its clock, the
+// injection/extraction port free times, and the position in the rank's noise
+// stream.
+func (p *Proc) EvalState() (now, txFree, rxFree float64, noiseSeq uint64) {
+	return p.now, p.txFree, p.rxFree, p.noiseSeq
+}
+
+// SetEvalState imports the rank's LogGP evolution state after a direct
+// evaluation advanced it.
+func (p *Proc) SetEvalState(now, txFree, rxFree float64, noiseSeq uint64) {
+	p.now, p.txFree, p.rxFree, p.noiseSeq = now, txFree, rxFree, noiseSeq
+}
+
+// EvalTrace exports the rank's trace lane (nil on untraced runs) and the
+// superstep label events recorded now would carry.
+func (p *Proc) EvalTrace() (lane *trace.Lane, step int32) { return p.tr, p.curStep }
+
+// MachineOf returns the machine the run executes on.
+func (p *Proc) MachineOf() Machine { return p.w.machine }
+
+// AckSends reports whether the run acknowledges sends (Options.AckSends).
+func (p *Proc) AckSends() bool { return p.w.opts.AckSends }
+
+// AddTraffic adds to the run's delivered message and byte counters on behalf
+// of a direct evaluation.
+func (p *Proc) AddTraffic(messages, bytes int64) {
+	p.w.messages.Add(messages)
+	p.w.bytes.Add(bytes)
+}
+
+// SharedGate returns the run's rendezvous gate, or nil when the run executes
+// with EngineConcurrent — callers use it as the engine switch: a nil gate
+// means "walk the collective concurrently".
+func (p *Proc) SharedGate() *Gate { return p.w.gate }
+
+// RunProcs returns all ranks' process handles, indexed by rank. Only the
+// gate leader may touch peers' handles (see Gate).
+func (p *Proc) RunProcs() []*Proc { return p.w.procs }
 
 // TraceSuperstep records a superstep-boundary mark (the index of the
 // superstep just completed) and labels subsequent events with the next
@@ -648,7 +845,10 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	}
 	w := &world{machine: m, opts: o, mailboxes: make([]*mailbox, m.Procs())}
 	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox(&w.cancelled)
+		w.mailboxes[i] = newMailbox(m.Procs(), &w.cancelled)
+	}
+	if o.Engine == EngineAuto {
+		w.gate = newGate(m.Procs())
 	}
 
 	// Attach the recorder, labeling the run with the machine's identity and
@@ -680,6 +880,7 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	}
 
 	procs := make([]*Proc, m.Procs())
+	w.procs = procs
 	errs := make([]error, m.Procs())
 	var wg sync.WaitGroup
 	for rank := 0; rank < m.Procs(); rank++ {
@@ -720,6 +921,9 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	// after the grace period: a leaked rank may still be running).
 	teardown := func() bool {
 		w.cancelled.Store(true)
+		if w.gate != nil {
+			w.gate.cancelGate()
+		}
 		for _, mb := range w.mailboxes {
 			mb.cancelAll()
 		}

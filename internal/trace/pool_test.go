@@ -1,0 +1,71 @@
+package trace
+
+import "testing"
+
+var poolTimes = []float64{1, 2, 3, 4}
+
+func fillRun(r *Recorder, procs, events int) {
+	r.BeginRun(Meta{Procs: procs})
+	for rank := 0; rank < procs; rank++ {
+		lane := r.LaneOf(rank)
+		for e := 0; e < events; e++ {
+			lane.Append(Event{Kind: KindCompute, Peer: -1, SendSeq: -1, T0: float64(e), T1: float64(e) + 1})
+		}
+	}
+	r.EndRun(poolTimes[:procs], 2, int64(events), 0, nil, true)
+}
+
+// TestRecorderLaneReuse pins the lane pool: while no Trace view has been
+// exported, BeginRun truncates and reuses the previous run's event blocks
+// (steady-state recording allocates nothing), and once Trace has shared the
+// lanes, the next run gets fresh storage pre-sized from the previous event
+// counts — without corrupting the exported view.
+func TestRecorderLaneReuse(t *testing.T) {
+	rec := NewRecorder()
+	fillRun(rec, 2, 64)
+
+	// Unexported lanes are reused: same backing array, truncated.
+	before := &rec.LaneOf(0).ev[:1][0]
+	fillRun(rec, 2, 64)
+	after := &rec.LaneOf(0).ev[:1][0]
+	if before != after {
+		t.Error("unexported lanes were reallocated instead of reused")
+	}
+
+	// Steady-state recording on warmed lanes does not grow lane storage:
+	// the only per-run allocation left is EndRun's copy of the times slice.
+	allocs := testing.AllocsPerRun(10, func() { fillRun(rec, 2, 64) })
+	if allocs > 1 {
+		t.Errorf("steady-state traced run allocated %.0f times in the recorder, want <= 1", allocs)
+	}
+
+	// An exported view survives later runs untouched.
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := len(tr.Lanes[0])
+	wantT1 := tr.Lanes[0][0].T1
+	fillRun(rec, 2, 8)
+	if len(tr.Lanes[0]) != wantLen || tr.Lanes[0][0].T1 != wantT1 {
+		t.Error("exported trace was mutated by a later run")
+	}
+	// And the post-export run produced its own, correct lanes.
+	tr2, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Lanes[0]) != 8 {
+		t.Errorf("post-export run recorded %d events, want 8", len(tr2.Lanes[0]))
+	}
+
+	// A different rank count abandons the pool cleanly.
+	fillRun(rec, 3, 4)
+	tr3, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr3.Lanes) != 3 || len(tr3.Lanes[2]) != 4 {
+		t.Errorf("resized run recorded %d lanes / %d events", len(tr3.Lanes), len(tr3.Lanes[2]))
+	}
+}

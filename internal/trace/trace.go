@@ -169,9 +169,11 @@ type Recorder struct {
 	mu       sync.Mutex
 	recorded bool
 	unclean  bool
+	exported bool
 	label    string
 	meta     Meta
 	lanes    []Lane
+	prevLens []int
 	times    []float64
 	makespan float64
 	messages int64
@@ -199,6 +201,15 @@ func (r *Recorder) Enabled() bool { return r != nil }
 
 // BeginRun resets the recorder for a run with the given metadata and sizes
 // one lane per rank. The simulator calls it; user code does not.
+//
+// Lane storage is pooled: when the previous run's lanes were never exported
+// through Trace (the benchmark and sweep pattern — run, read the Result,
+// run again), their event blocks are truncated and reused, so a recorder in
+// steady state appends into already-sized lanes and allocates nothing. Once
+// Trace has been called, the lanes are shared with the returned view and the
+// next run allocates fresh ones — pre-sized from the previous run's per-rank
+// event counts, so even the exporting pattern pays one right-sized
+// allocation per lane instead of a growth series.
 func (r *Recorder) BeginRun(meta Meta) {
 	if r == nil {
 		return
@@ -215,9 +226,30 @@ func (r *Recorder) BeginRun(meta Meta) {
 	r.times = nil
 	r.makespan = 0
 	r.messages, r.bytes = 0, 0
+	if len(r.lanes) == meta.Procs {
+		// Remember the finished run's event counts: they are the size
+		// estimate the next allocation (if any) is seeded with.
+		if r.prevLens == nil || len(r.prevLens) != meta.Procs {
+			r.prevLens = make([]int, meta.Procs)
+		}
+		for i := range r.lanes {
+			r.prevLens[i] = len(r.lanes[i].ev)
+		}
+	}
+	if !r.exported && len(r.lanes) == meta.Procs {
+		for i := range r.lanes {
+			r.lanes[i].ev = r.lanes[i].ev[:0]
+			r.lanes[i].rank = int32(i)
+		}
+		return
+	}
+	r.exported = false
 	r.lanes = make([]Lane, meta.Procs)
 	for i := range r.lanes {
 		r.lanes[i].rank = int32(i)
+		if len(r.prevLens) == meta.Procs && r.prevLens[i] > 0 {
+			r.lanes[i].ev = make([]Event, 0, r.prevLens[i])
+		}
 	}
 }
 
@@ -264,6 +296,9 @@ func (r *Recorder) Trace() (*Trace, error) {
 	if r.unclean {
 		return nil, ErrUnclean
 	}
+	// The returned view shares the lane storage; the next BeginRun must
+	// allocate fresh lanes instead of truncating these.
+	r.exported = true
 	t := &Trace{
 		Meta:     r.meta,
 		Lanes:    make([][]Event, len(r.lanes)),

@@ -1,0 +1,55 @@
+// Package sched is the public surface of the goroutine-free discrete-event
+// evaluator: the schedule and op-stream entry points that compute virtual
+// times directly from the LogGP recurrence, with no goroutines, mailboxes or
+// channel wake-ups, bit-identical to the concurrent engine.
+//
+// Most programs never call this package: with the default engine, runs
+// started through hbsp.Session (or the bsp/mpi/collective layers) already
+// route every schedule-expressible collective through the evaluator at an
+// all-ranks rendezvous. Call it directly to evaluate a whole workload with
+// zero goroutines — collective sweeps at rank counts the concurrent engine
+// cannot reach (cmd/simbench's P=4096 entries run this way), or a
+// sim.Program built by hand.
+package sched
+
+import (
+	"context"
+
+	"hbsp/internal/sched"
+	"hbsp/sim"
+)
+
+// Stage is the sparse adjacency of one schedule stage.
+type Stage = sched.Stage
+
+// Schedule is the stage-graph view the evaluator executes; implementations
+// may generate stages on the fly (see Stage for the ordering contract).
+// collective.Pattern values are Schedules via their ScheduleView method.
+type Schedule = sched.Schedule
+
+// StaticStages wraps a materialized stage slice as a Schedule.
+type StaticStages = sched.StaticStages
+
+// Code is a compiled sim.Program, reusable across evaluations.
+type Code = sched.Code
+
+// Compile lowers a program into flat per-rank instruction arrays with all
+// message matching resolved; evaluate it with Code.Run.
+func Compile(pr *sim.Program) (*Code, error) { return sched.Compile(pr) }
+
+// RunProgram executes the program on the engine the options select: the
+// direct discrete-event evaluator by default, the concurrent engine under
+// sim.EngineConcurrent. Both produce bit-identical virtual times, traffic
+// counters and recorded traces.
+func RunProgram(ctx context.Context, m sim.Machine, pr *sim.Program, o sim.Options) (*sim.Result, error) {
+	return sched.RunProgram(ctx, m, pr, o)
+}
+
+// RunSchedule evaluates execs consecutive executions of the schedule with
+// zero goroutines — the direct counterpart of executing a verified pattern
+// execs times under an MPI run — and returns the per-rank virtual finishing
+// times. Cancellation and deadlines behave like the concurrent engine's
+// (errors wrap sim.ErrAborted / sim.ErrDeadline).
+func RunSchedule(ctx context.Context, m sim.Machine, s Schedule, execs int, o sim.Options) (*sim.Result, error) {
+	return sched.RunSchedule(ctx, m, s, execs, o)
+}

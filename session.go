@@ -149,6 +149,22 @@ func WithAckSends(ack bool) Option {
 	}
 }
 
+// WithConcurrentEngine disables the direct discrete-event fast path: every
+// schedule-expressible collective (pattern executions, superstep count
+// exchanges, schedule floods) is walked message by message through
+// goroutines and mailboxes instead of being evaluated sequentially at an
+// all-ranks rendezvous. Virtual times are bit-identical either way — the
+// default (direct) engine is simply 5–10x faster on collective-heavy runs —
+// so this option exists for engine diffing and for programs that break the
+// collective-call contract the rendezvous relies on (e.g. only a subset of
+// ranks executing a collective).
+func WithConcurrentEngine() Option {
+	return func(s *Session) error {
+		s.options.Engine = sim.EngineConcurrent
+		return nil
+	}
+}
+
 // WithSynchronizer installs the synchronizer that performs the count total
 // exchange ending every BSP superstep (bsp.DefaultSynchronizer, a
 // bsp.NewScheduleSynchronizer schedule, or any custom implementation).

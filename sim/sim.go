@@ -34,6 +34,34 @@ type Proc = simnet.Proc
 // by Wait and must not be used afterwards.
 type Request = simnet.Request
 
+// Engine selects how schedule-expressible parts of a run are executed; see
+// EngineAuto and EngineConcurrent.
+type Engine = simnet.Engine
+
+const (
+	// EngineAuto (the default) routes schedule-expressible collectives
+	// through the goroutine-free discrete-event evaluator; virtual times are
+	// bit-identical to EngineConcurrent.
+	EngineAuto = simnet.EngineAuto
+	// EngineConcurrent forces every message through goroutines and
+	// mailboxes.
+	EngineConcurrent = simnet.EngineConcurrent
+)
+
+// Program is a per-rank straight-line op-stream: the schedule-expressible
+// timing skeleton of a workload, executable by both engines with
+// bit-identical virtual times. Build one with NewProgram.
+type Program = simnet.Program
+
+// RankProgram appends instructions to one rank's op-stream.
+type RankProgram = simnet.RankProgram
+
+// Req names a request slot of a Program.
+type Req = simnet.Req
+
+// NewProgram returns an empty program for the given number of ranks.
+func NewProgram(procs int) *Program { return simnet.NewProgram(procs) }
+
 // ErrDeadline is returned when the simulated program does not finish within
 // the wall-clock deadline (usually a deadlocked communication pattern).
 var ErrDeadline = simnet.ErrDeadline
