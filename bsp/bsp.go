@@ -16,6 +16,7 @@ import (
 	ibsp "hbsp/internal/bsp"
 
 	"hbsp/collective"
+	"hbsp/sched"
 	"hbsp/sim"
 )
 
@@ -81,6 +82,13 @@ func NewAdaptedSynchronizer(params collective.Params, opts collective.CostOption
 // NewScheduleCache returns the default generator-backed schedule source used
 // by the Ctx collectives.
 func NewScheduleCache() ScheduleSource { return ibsp.NewScheduleCache() }
+
+// ExchangeSchedule returns the default dissemination count-exchange schedule
+// for p ranks — the exact op-stream Sync evaluates per superstep, with every
+// payload size resolved up front. Evaluate it with sched.RunSchedule to sweep
+// the superstep synchronization cost at rank counts no concurrent run could
+// reach.
+func ExchangeSchedule(p int) (sched.Schedule, error) { return ibsp.ExchangeSchedule(p) }
 
 // RunContext executes the SPMD program on every rank of the machine under an
 // explicit configuration and a cancellable context.

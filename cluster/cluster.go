@@ -75,6 +75,22 @@ func XeonCluster(nodes int) *Profile { return platform.XeonCluster(nodes) }
 // rank count on the scaled Xeon cluster.
 func XeonClusterMachine(procs int) (*Machine, error) { return platform.XeonClusterMachine(procs) }
 
+// XeonClusterHomogeneousMachine is XeonClusterMachine with the per-pair
+// heterogeneity spread and the noise model switched off: every pair at the
+// same topological distance gets identical parameters, which is what lets the
+// direct evaluator collapse rank-equivalence classes.
+func XeonClusterHomogeneousMachine(procs int) (*Machine, error) {
+	return platform.XeonClusterHomogeneousMachine(procs)
+}
+
+// FlatCluster is a one-core-per-node profile with N identical nodes: every
+// pair of distinct ranks sits at network distance with identical parameters,
+// the ideal symmetric platform for collapse-scaling studies.
+func FlatCluster(nodes int) *Profile { return platform.FlatCluster(nodes) }
+
+// FlatClusterMachine instantiates FlatCluster with one rank per node.
+func FlatClusterMachine(procs int) (*Machine, error) { return platform.FlatClusterMachine(procs) }
+
 // Opteron12x2x6 is the synthetic stand-in for the 12-node dual hexa-core
 // Opteron cluster (144 cores).
 func Opteron12x2x6() *Profile { return platform.Opteron12x2x6() }

@@ -17,6 +17,14 @@
 // tests), so every ns/op delta between a plain entry and its _de twin is
 // pure execution-strategy speedup.
 //
+// The *_sym entries push further: on a flat homogeneous machine the direct
+// evaluator collapses all ranks into one equivalence class and evaluates one
+// representative rank per stage, so the dissemination count exchange and the
+// streaming total exchange are measured at P ∈ {65536, 262144} (quick mode:
+// one P=65536 smoke point), plus a P=1,048,576 count-exchange point in full
+// mode. Collapse results are bit-identical to per-rank evaluation (pinned by
+// the collapse golden tests).
+//
 // Usage:
 //
 //	go run ./cmd/simbench [-quick] [-out BENCH_simnet.json] [-diff BENCH_simnet.json] [-tol 0.10]
@@ -116,6 +124,21 @@ func main() {
 		emit(benchSyncDE(m, *quick))
 		emit(benchTotalExchangeDE(m, *quick))
 	}
+	symSweep := []int{65536, 262144}
+	if *quick {
+		symSweep = []int{65536}
+	}
+	for _, p := range symSweep {
+		m := symMachine(p)
+		emit(benchSyncSym(m, *quick))
+		emit(benchTotalExchangeSym(m, *quick))
+	}
+	if !*quick {
+		// The headline scaling point: one superstep count exchange at a
+		// million ranks, feasible only because the collapse evaluates a
+		// single representative rank per stage.
+		emit(benchSyncSym(symMachine(1<<20), *quick))
+	}
 
 	base := Baseline{
 		Schema:    "hbsp-simbench/v1",
@@ -196,6 +219,18 @@ func benchMachine(procs int) *cluster.Machine {
 	m, err := cluster.XeonClusterMachine(procs)
 	if err != nil {
 		log.Fatalf("simbench: machine for %d ranks: %v", procs, err)
+	}
+	return m
+}
+
+// symMachine instantiates the flat homogeneous machine of the *_sym entries:
+// one rank per node, every pair identical, so the direct evaluator collapses
+// all ranks into one equivalence class (the Xeon benchmark machine carries a
+// per-pair heterogeneity spread and stays on the per-rank path).
+func symMachine(procs int) *cluster.Machine {
+	m, err := cluster.FlatClusterMachine(procs)
+	if err != nil {
+		log.Fatalf("simbench: flat machine for %d ranks: %v", procs, err)
 	}
 	return m
 }
@@ -335,6 +370,44 @@ func benchTotalExchangeDE(m *cluster.Machine, quick bool) Entry {
 	}
 	return run("total_exchange_de", p, quick, func() (int64, error) {
 		res, err := sched.RunSchedule(context.Background(), m, stream, 2, sim.DefaultOptions())
+		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
+}
+
+// benchSyncSym measures one superstep count exchange evaluated through the
+// symmetry collapse: the dissemination exchange schedule (the exact op-stream
+// Sync evaluates, payload sizes included) on a flat homogeneous machine,
+// where every rank is equivalent and each of the ⌈log2 P⌉ stages costs O(1)
+// evaluation work plus the O(P) result replication.
+func benchSyncSym(m *cluster.Machine, quick bool) Entry {
+	p := m.Procs()
+	s, err := bsp.ExchangeSchedule(p)
+	if err != nil {
+		log.Fatalf("simbench: exchange schedule for %d ranks: %v", p, err)
+	}
+	return run("sync_dissemination_sym", p, quick, func() (int64, error) {
+		res, err := sched.RunSchedule(context.Background(), m, s, 1, sim.DefaultOptions())
+		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
+}
+
+// benchTotalExchangeSym measures one execution of the streaming linear-shift
+// total exchange through the symmetry collapse: P−1 circulant stages, each
+// evaluated at a single representative rank.
+func benchTotalExchangeSym(m *cluster.Machine, quick bool) Entry {
+	p := m.Procs()
+	stream, err := collective.StreamTotalExchange(p, 64)
+	if err != nil {
+		log.Fatalf("simbench: streaming total exchange for %d ranks: %v", p, err)
+	}
+	return run("total_exchange_sym", p, quick, func() (int64, error) {
+		res, err := sched.RunSchedule(context.Background(), m, stream, 1, sim.DefaultOptions())
 		if err != nil {
 			return 0, err
 		}

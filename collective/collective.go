@@ -88,6 +88,9 @@ func AllGather(p, blockBytes int) (*Pattern, error) {
 func TotalExchange(p, blockBytes int) (*Pattern, error) {
 	return barrier.TotalExchange(p, blockBytes)
 }
+func AllGatherRing(p, blockBytes int) (*Pattern, error) {
+	return barrier.AllGatherRing(p, blockBytes)
+}
 
 // StreamTotalExchange returns the linear-shift total-exchange schedule in
 // streaming form — identical stage structure and payload sizes to
@@ -96,6 +99,29 @@ func TotalExchange(p, blockBytes int) (*Pattern, error) {
 // the representation that makes P=4096 collective sweeps feasible.
 func StreamTotalExchange(p, blockBytes int) (sched.Schedule, error) {
 	return barrier.StreamTotalExchange(p, blockBytes)
+}
+
+// The remaining streaming generators mirror their dense counterparts the same
+// way: identical stage structure and payload sizes, O(P) (circulants: O(1))
+// state per stage. All of them declare their rank symmetry, so on homogeneous
+// machines sched.RunSchedule evaluates one representative rank per
+// equivalence class — the combination that takes dissemination sweeps to
+// P=1M.
+func StreamDissemination(p int) (sched.Schedule, error) { return barrier.StreamDissemination(p) }
+func StreamAllReduce(p, msgBytes int) (sched.Schedule, error) {
+	return barrier.StreamAllReduce(p, msgBytes)
+}
+func StreamAllGather(p, blockBytes int) (sched.Schedule, error) {
+	return barrier.StreamAllGather(p, blockBytes)
+}
+func StreamAllGatherRing(p, blockBytes int) (sched.Schedule, error) {
+	return barrier.StreamAllGatherRing(p, blockBytes)
+}
+func StreamBroadcast(p, root, msgBytes int) (sched.Schedule, error) {
+	return barrier.StreamBroadcast(p, root, msgBytes)
+}
+func StreamReduce(p, root, msgBytes int) (sched.Schedule, error) {
+	return barrier.StreamReduce(p, root, msgBytes)
 }
 
 // Collectives returns one verified schedule per collective at the given

@@ -96,6 +96,20 @@
 // Whole workloads can also be evaluated with zero goroutines via
 // sched.RunSchedule and sched.RunProgram.
 //
+// On top of the direct evaluator, symmetry collapse detects rank-equivalence
+// classes — a pairwise-uniform machine (cluster.FlatCluster, or any
+// homogeneous profile) plus a rank-symmetric schedule (the circulant
+// generators, the dissemination count exchange) — and evaluates one
+// representative rank per class, replicating the class results at assembly.
+// Times, makespan and traffic counters stay bit-identical to per-rank
+// evaluation; where the collapse does not apply (per-pair heterogeneity, a
+// live noise model, an attached trace recorder, an asymmetric schedule) the
+// evaluator falls back to per-rank silently. The collapse is what takes
+// direct sweeps from P = 4096 to P = 1M. It is on by default;
+// WithSymmetryCollapse(false) (or sim.CollapseOff) forces per-rank
+// evaluation everywhere — the escape hatch, and the control column when
+// diffing the two paths.
+//
 // The public packages layer as follows: cluster (platform profiles,
 // topologies, machines) feeds sim (the virtual-time simulator), on which bsp
 // (the BSPlib run-time with user collectives and the pluggable superstep

@@ -33,6 +33,7 @@ type (
 	ClusteringResult      = iexp.ClusteringResult
 	HybridPoint           = iexp.HybridPoint
 	CollectivePoint       = iexp.CollectivePoint
+	CollapsePoint         = iexp.CollapsePoint
 	AdaptedSyncPoint      = iexp.AdaptedSyncPoint
 	StencilConfigRow      = iexp.StencilConfigRow
 	WallTimeRow           = iexp.WallTimeRow
@@ -97,6 +98,16 @@ func CollectiveTable(title string, points []CollectivePoint) *Table {
 }
 func AdaptedSyncSeries(prof *cluster.Profile, maxProcs int, opts Options) ([]AdaptedSyncPoint, error) {
 	return iexp.AdaptedSyncSeries(prof, maxProcs, opts)
+}
+
+// CollapseScalingSeries evaluates the superstep count exchange on flat
+// homogeneous clusters at the given rank counts through the
+// symmetry-collapsed direct evaluator — the P=4096 → P=1M scaling study.
+func CollapseScalingSeries(procsList []int) ([]CollapsePoint, error) {
+	return iexp.CollapseScalingSeries(procsList)
+}
+func CollapseScalingTable(title string, points []CollapsePoint) *Table {
+	return iexp.CollapseScalingTable(title, points)
 }
 func AdaptedSyncTable(title string, points []AdaptedSyncPoint) *Table {
 	return iexp.AdaptedSyncTable(title, points)

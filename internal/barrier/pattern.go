@@ -44,6 +44,13 @@ type Pattern struct {
 	// Root is the root process of rooted collectives (broadcast, reduce);
 	// barrier-like semantics ignore it.
 	Root int
+	// Sym declares the pattern's rank symmetry (sched.SymCirculant for the
+	// circulant generators: dissemination, total exchange, allreduce,
+	// allgather). The direct evaluator uses it as the O(1) eligibility hint
+	// for symmetry-collapsed evaluation; SymNone (the zero value) merely
+	// falls back to the structural fingerprint, so leaving it unset is always
+	// safe — setting it on a non-circulant pattern is not.
+	Sym sched.Symmetry
 
 	// adj caches the sparse per-stage adjacency built by Adjacency, guarded
 	// by adjOnce so concurrent Verify/Predict calls on a shared pattern are
@@ -219,7 +226,7 @@ func Dissemination(p int) (*Pattern, error) {
 	if len(stages) == 0 {
 		stages = []*matrix.Bool{matrix.NewBool(p, p)}
 	}
-	return &Pattern{Name: "dissemination", Procs: p, Stages: stages}, nil
+	return &Pattern{Name: "dissemination", Procs: p, Stages: stages, Sym: sched.SymCirculant}, nil
 }
 
 // Tree returns the binary combining-tree barrier of Fig. 5.4: in arrival

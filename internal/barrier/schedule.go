@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hbsp/internal/matrix"
+	"hbsp/internal/sched"
 )
 
 // Semantics names the collective postcondition a schedule must establish.
@@ -151,6 +152,7 @@ func AllReduce(p, msgBytes int) (*Pattern, error) {
 		Stages:    diss.Stages,
 		Payload:   uniformPayload(diss.Stages, p, msgBytes),
 		Semantics: SemAllReduce,
+		Sym:       diss.Sym,
 	}, nil
 }
 
@@ -203,6 +205,40 @@ func TotalExchange(p, blockBytes int) (*Pattern, error) {
 		Stages:    stages,
 		Payload:   uniformPayload(stages, p, blockBytes),
 		Semantics: SemTotalExchange,
+		Sym:       sched.SymCirculant,
+	}, nil
+}
+
+// AllGatherRing returns the ring allgather schedule: P−1 stages in which
+// every process forwards one block of blockBytes to its successor, so block
+// i travels the whole ring. Fewer bytes per stage than the dissemination
+// allgather (always one block) at the cost of P−1 instead of ⌈log2 P⌉
+// stages — the classic bandwidth/latency trade.
+func AllGatherRing(p, blockBytes int) (*Pattern, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: ring allgather with p=%d", ErrInvalidPattern, p)
+	}
+	if blockBytes < 0 {
+		blockBytes = 0
+	}
+	var stages []*matrix.Bool
+	for k := 1; k < p; k++ {
+		st := matrix.NewBool(p, p)
+		for i := 0; i < p; i++ {
+			st.Set(i, (i+1)%p, true)
+		}
+		stages = append(stages, st)
+	}
+	if len(stages) == 0 {
+		stages = []*matrix.Bool{matrix.NewBool(p, p)}
+	}
+	return &Pattern{
+		Name:      "allgather-ring",
+		Procs:     p,
+		Stages:    stages,
+		Payload:   uniformPayload(stages, p, blockBytes),
+		Semantics: SemAllGather,
+		Sym:       sched.SymCirculant,
 	}, nil
 }
 
@@ -247,6 +283,10 @@ func withAccumulatingPayload(pat *Pattern, perProcBytes float64) *Pattern {
 		Payload:   make([]*matrix.Dense, len(stages)),
 		Semantics: pat.Semantics,
 		Root:      pat.Root,
+		// A circulant pattern's reach counts are rank-invariant, so the
+		// accumulating payload stays uniform per stage and the symmetry hint
+		// remains valid on the copy.
+		Sym: pat.Sym,
 	}
 	// Walk the SOURCE pattern's adjacency: the structure is identical (stages
 	// are clones), and out's own adjacency must not be built yet — it caches

@@ -142,6 +142,10 @@ func (s patSchedule) NumProcs() int             { return s.pat.Procs }
 func (s patSchedule) NumStages() int            { return len(s.pat.Adjacency()) }
 func (s patSchedule) StageAt(i int) sched.Stage { return s.pat.Adjacency()[i] }
 
+// Symmetry forwards the pattern's declared rank symmetry to the evaluator
+// (sched.SymmetricSchedule).
+func (s patSchedule) Symmetry() sched.Symmetry { return s.pat.Sym }
+
 // ScheduleView returns the pattern as an evaluator-executable schedule (the
 // cached sparse adjacency, stage by stage).
 func (pat *Pattern) ScheduleView() sched.Schedule { return patSchedule{pat: pat} }

@@ -6,19 +6,36 @@ import (
 	"hbsp/internal/sched"
 )
 
-// teStream is the linear-shift total exchange as a streaming schedule: stage
-// k prescribes the single edge i→(i+k+1) mod p for every rank i. StageAt
-// rewrites one reused set of adjacency buffers, so the whole schedule costs
-// O(P) memory at any stage count — the representation that lets the direct
-// evaluator sweep P=4096, where the dense stage matrices (P−1 stages of P×P
-// incidence plus payload) are far beyond budget.
-type teStream struct {
-	p, blockBytes int
-	stage         int // stage the buffers currently describe, -1 initially
-	out, in       [][]int
-	outBytes      [][]int
-	outBack       []int
-	inBack        []int
+// Streaming schedule generators: the circulant collectives in O(P)-memory
+// form. Where the Pattern generators materialize one P×P incidence matrix
+// (plus payload) per stage, these return sched.Circulant values that describe
+// a stage by its single (offset, size) pair — O(stages) state, O(P) only if
+// a per-rank evaluation materializes the reused adjacency row. They carry
+// the SymCirculant hint by construction, so on a homogeneous one-rank-per-
+// node machine the direct evaluator collapses them to a single equivalence
+// class and never touches a per-rank stage at all: the representation that
+// carries P=1M runs. Stage structure and payload sizes are identical to the
+// corresponding Pattern generators (the equivalence tests pin this).
+//
+// The binomial broadcast/reduce trees are not circulant; StreamBroadcast and
+// StreamReduce stream them through reused O(P) adjacency buffers instead.
+
+// streamOffsets returns the dissemination offsets 1, 2, 4, ... < p.
+func streamOffsets(p int) []int {
+	var offs []int
+	for dist := 1; dist < p; dist *= 2 {
+		offs = append(offs, dist)
+	}
+	return offs
+}
+
+// circulant wraps sched.NewCirculant with the p==1 convention of the Pattern
+// generators: a single empty stage.
+func circulant(p int, offsets, sizes []int) (*sched.Circulant, error) {
+	if p == 1 {
+		return sched.NewCirculant(1, []int{0}, []int{0})
+	}
+	return sched.NewCirculant(p, offsets, sizes)
 }
 
 // StreamTotalExchange returns the linear-shift total-exchange schedule
@@ -32,47 +49,171 @@ func StreamTotalExchange(p, blockBytes int) (sched.Schedule, error) {
 	if blockBytes < 0 {
 		blockBytes = 0
 	}
-	s := &teStream{
-		p:          p,
-		blockBytes: blockBytes,
-		stage:      -1,
-		out:        make([][]int, p),
-		in:         make([][]int, p),
-		outBytes:   make([][]int, p),
-		outBack:    make([]int, p),
-		inBack:     make([]int, p),
+	offs := make([]int, 0, p-1)
+	sizes := make([]int, 0, p-1)
+	for k := 1; k < p; k++ {
+		offs = append(offs, k)
+		sizes = append(sizes, blockBytes)
 	}
-	sizes := []int{blockBytes}
-	for i := 0; i < p; i++ {
-		if p > 1 {
-			s.out[i] = s.outBack[i : i+1]
-			s.in[i] = s.inBack[i : i+1]
-			s.outBytes[i] = sizes
-		} else {
-			// A single empty stage, mirroring TotalExchange's p=1 pattern.
-			s.out[i] = nil
-			s.in[i] = nil
+	return circulant(p, offs, sizes)
+}
+
+// StreamDissemination returns the dissemination barrier (identical to
+// Dissemination: stage s signals offset 2^s, no payload) in streaming form.
+func StreamDissemination(p int) (sched.Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: dissemination barrier with p=%d", ErrInvalidPattern, p)
+	}
+	return circulant(p, streamOffsets(p), nil)
+}
+
+// StreamAllReduce returns the circulant allreduce (identical to AllReduce:
+// dissemination stages, every signal carrying msgBytes) in streaming form.
+func StreamAllReduce(p, msgBytes int) (sched.Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: allreduce with p=%d", ErrInvalidPattern, p)
+	}
+	if msgBytes < 0 {
+		msgBytes = 0
+	}
+	offs := streamOffsets(p)
+	sizes := make([]int, len(offs))
+	for i := range sizes {
+		sizes[i] = msgBytes
+	}
+	return circulant(p, offs, sizes)
+}
+
+// StreamAllGather returns the dissemination allgather (identical to
+// AllGather: stage s forwards the min(2^s, P) blocks gathered so far) in
+// streaming form.
+func StreamAllGather(p, blockBytes int) (sched.Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: allgather with p=%d", ErrInvalidPattern, p)
+	}
+	if blockBytes < 0 {
+		blockBytes = 0
+	}
+	offs := streamOffsets(p)
+	sizes := make([]int, len(offs))
+	for i, dist := range offs {
+		known := dist // before the stage with offset 2^s, each rank holds min(2^s, p) blocks
+		if known > p {
+			known = p
 		}
+		sizes[i] = known * blockBytes
 	}
-	return s, nil
+	return circulant(p, offs, sizes)
 }
 
-func (s *teStream) NumProcs() int { return s.p }
-
-func (s *teStream) NumStages() int {
-	if s.p == 1 {
-		return 1
+// StreamAllGatherRing returns the ring allgather (identical to
+// AllGatherRing: P−1 stages forwarding one block to the successor) in
+// streaming form.
+func StreamAllGatherRing(p, blockBytes int) (sched.Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: ring allgather with p=%d", ErrInvalidPattern, p)
 	}
-	return s.p - 1
+	if blockBytes < 0 {
+		blockBytes = 0
+	}
+	offs := make([]int, 0, p-1)
+	sizes := make([]int, 0, p-1)
+	for k := 1; k < p; k++ {
+		offs = append(offs, 1)
+		sizes = append(sizes, blockBytes)
+	}
+	return circulant(p, offs, sizes)
 }
 
-func (s *teStream) StageAt(k int) sched.Stage {
+// binomStream streams the binomial broadcast/reduce trees: stage s of the
+// broadcast has the ≤2^s edges (root+r) → (root+r+2^s) mod p for r < 2^s;
+// the reduce runs the transposed stages in reverse order. Adjacency rows are
+// rebuilt per stage into reused O(P) buffers (each rank has at most one edge
+// per side per stage), so no dense matrix is ever materialized.
+type binomStream struct {
+	p, root, msgBytes int
+	reverse           bool // reduce: transposed stages in reverse order
+	nstages           int
+
+	stage   int // stage the buffers currently describe, -1 initially
+	out, in [][]int
+	bytes   [][]int
+	dst     []int // per sender: its single destination
+	src     []int // per receiver: its single source
+	sizeRow []int
+}
+
+func newBinomStream(p, root, msgBytes int, reverse bool) *binomStream {
+	nstages := 0
+	for dist := 1; dist < p; dist *= 2 {
+		nstages++
+	}
+	if nstages == 0 {
+		nstages = 1 // single empty stage, mirroring binomialStages at p=1
+	}
+	return &binomStream{
+		p: p, root: root, msgBytes: msgBytes, reverse: reverse,
+		nstages: nstages,
+		stage:   -1,
+		out:     make([][]int, p),
+		in:      make([][]int, p),
+		bytes:   make([][]int, p),
+		dst:     make([]int, p),
+		src:     make([]int, p),
+		sizeRow: []int{msgBytes},
+	}
+}
+
+func (s *binomStream) NumProcs() int  { return s.p }
+func (s *binomStream) NumStages() int { return s.nstages }
+
+func (s *binomStream) StageAt(k int) sched.Stage {
 	if s.p > 1 && s.stage != k {
 		for i := 0; i < s.p; i++ {
-			s.outBack[i] = (i + k + 1) % s.p
-			s.inBack[i] = (i - k - 1 + s.p + s.p) % s.p
+			s.out[i], s.in[i], s.bytes[i] = nil, nil, nil
+		}
+		bk := k
+		if s.reverse {
+			bk = s.nstages - 1 - k
+		}
+		dist := 1 << bk
+		for r := 0; r < dist && r+dist < s.p; r++ {
+			from := (s.root + r) % s.p
+			to := (s.root + r + dist) % s.p
+			if s.reverse {
+				from, to = to, from
+			}
+			s.dst[from], s.src[to] = to, from
+			s.out[from] = s.dst[from : from+1]
+			s.in[to] = s.src[to : to+1]
+			s.bytes[from] = s.sizeRow
 		}
 		s.stage = k
 	}
-	return sched.Stage{Out: s.out, In: s.in, OutBytes: s.outBytes}
+	return sched.Stage{Out: s.out, In: s.in, OutBytes: s.bytes}
+}
+
+// StreamBroadcast returns the binomial-tree broadcast (identical to
+// Broadcast: ⌈log2 P⌉ stages, every signal carrying msgBytes) in streaming
+// form.
+func StreamBroadcast(p, root, msgBytes int) (sched.Schedule, error) {
+	if p < 1 || root < 0 || root >= p {
+		return nil, fmt.Errorf("%w: broadcast with p=%d root=%d", ErrInvalidPattern, p, root)
+	}
+	if msgBytes < 0 {
+		msgBytes = 0
+	}
+	return newBinomStream(p, root, msgBytes, false), nil
+}
+
+// StreamReduce returns the binomial-tree reduction (identical to Reduce: the
+// transposed broadcast stages in reverse order) in streaming form.
+func StreamReduce(p, root, msgBytes int) (sched.Schedule, error) {
+	if p < 1 || root < 0 || root >= p {
+		return nil, fmt.Errorf("%w: reduce with p=%d root=%d", ErrInvalidPattern, p, root)
+	}
+	if msgBytes < 0 {
+		msgBytes = 0
+	}
+	return newBinomStream(p, root, msgBytes, true), nil
 }

@@ -1,0 +1,60 @@
+package bsp
+
+import (
+	"context"
+	"testing"
+
+	"hbsp/internal/platform"
+	"hbsp/internal/simnet"
+)
+
+// collapseProgram is a two-superstep workload whose makespan is dominated by
+// the count exchanges the gate evaluates inline: registration, a ring of
+// puts, and the drain.
+func collapseProgram(c *Ctx) error {
+	p := c.NProcs()
+	area := make([]float64, p)
+	c.PushReg("x", area)
+	if err := c.Sync(); err != nil {
+		return err
+	}
+	right := (c.Pid() + 1) % p
+	if err := c.Put(right, "x", c.Pid(), []float64{1}); err != nil {
+		return err
+	}
+	return c.Sync()
+}
+
+// TestGateExchangeCollapseBitIdentical pins the inline gate path: on a
+// pairwise-uniform machine the superstep count exchange is evaluated through
+// the symmetry collapse (ExecScheduleAuto at the gate), and the run's
+// virtual times must be bit-identical to a run with the collapse forced off.
+func TestGateExchangeCollapseBitIdentical(t *testing.T) {
+	for _, p := range []int{4, 16, 64} {
+		m, err := platform.FlatClusterMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oOff := simnet.DefaultOptions()
+		oOff.SymmetryCollapse = simnet.CollapseOff
+		resOff, err := RunContext(context.Background(), m, RunConfig{Options: &oOff}, collapseProgram)
+		if err != nil {
+			t.Fatalf("p=%d off: %v", p, err)
+		}
+		resAuto, err := RunContext(context.Background(), m, RunConfig{}, collapseProgram)
+		if err != nil {
+			t.Fatalf("p=%d auto: %v", p, err)
+		}
+		for r := range resOff.Times {
+			if resAuto.Times[r] != resOff.Times[r] {
+				t.Fatalf("p=%d rank %d: collapsed %v, per-rank %v", p, r, resAuto.Times[r], resOff.Times[r])
+			}
+		}
+		if resAuto.MakeSpan != resOff.MakeSpan ||
+			resAuto.Messages != resOff.Messages || resAuto.Bytes != resOff.Bytes {
+			t.Fatalf("p=%d: collapsed %v/%d/%d, per-rank %v/%d/%d", p,
+				resAuto.MakeSpan, resAuto.Messages, resAuto.Bytes,
+				resOff.MakeSpan, resOff.Messages, resOff.Bytes)
+		}
+	}
+}

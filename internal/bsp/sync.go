@@ -146,7 +146,7 @@ func (c *Ctx) directExchange(g *simnet.Gate, dx directExchanger) ([][]int, error
 		procs := c.proc.RunProcs()
 		ev := sched.EvaluatorAt(g, c.proc)
 		ev.ImportProcs(procs)
-		ev.ExecSchedule(sch, tagCountBase, false)
+		ev.ExecScheduleAuto(sch, tagCountBase, false)
 		ev.ExportProcs(procs)
 		for _, ti := range tickets {
 			*ti.(*syncTicket).out = rows

@@ -47,33 +47,68 @@ type disseminationSync struct {
 
 func (*disseminationSync) Name() string                           { return "dissemination" }
 func (*disseminationSync) ExchangeCounts(c *Ctx) ([][]int, error) { return c.exchangeCounts() }
+
+// staticExchangeLimit bounds the rank counts whose exchange schedule is
+// materialized (and cached) as immutable StaticStages — shareable across
+// concurrent runs and stable under the evaluator's partition cache. Above it
+// the exchange is handed out as a fresh streaming Circulant per call: O(1)
+// state per stage, which is what keeps the P=1M count exchange in memory.
+const staticExchangeLimit = 1 << 12
+
+// exchangeOffsetsSizes returns the dissemination exchange's stage offsets
+// (2^s) and payload sizes (header plus the min(2^s, p) count rows the sender
+// holds entering the stage).
+func exchangeOffsetsSizes(p int) (offs, sizes []int) {
+	known := 1 // rows held entering the stage: min(2^s, p)
+	for dist := 1; dist < p; dist *= 2 {
+		offs = append(offs, dist)
+		sizes = append(sizes, headerBytes+known*p*countEntryBytes)
+		if known *= 2; known > p {
+			known = p
+		}
+	}
+	return offs, sizes
+}
+
 func (d *disseminationSync) exchangeSchedule(p int) (sched.Schedule, error) {
+	if p > staticExchangeLimit {
+		offs, sizes := exchangeOffsetsSizes(p)
+		return sched.NewCirculant(p, offs, sizes)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if s, ok := d.byP[p]; ok {
 		return s, nil
 	}
 	var stages []sched.Stage
-	known := 1 // rows held entering the stage: min(2^s, p)
-	for dist := 1; dist < p; dist *= 2 {
+	offs, sizes := exchangeOffsetsSizes(p)
+	for k, dist := range offs {
 		st := sched.Stage{Out: make([][]int, p), In: make([][]int, p), OutBytes: make([][]int, p)}
-		size := headerBytes + known*p*countEntryBytes
 		for i := 0; i < p; i++ {
 			st.Out[i] = []int{(i + dist) % p}
 			st.In[i] = []int{(i - dist + p) % p}
-			st.OutBytes[i] = []int{size}
+			st.OutBytes[i] = []int{sizes[k]}
 		}
 		stages = append(stages, st)
-		if known *= 2; known > p {
-			known = p
-		}
 	}
-	s := &sched.StaticStages{Procs: p, Stages: stages}
+	s := &sched.StaticStages{Procs: p, Stages: stages, Sym: sched.SymCirculant}
 	if d.byP == nil {
 		d.byP = map[int]sched.Schedule{}
 	}
 	d.byP[p] = s
 	return s, nil
+}
+
+// ExchangeSchedule returns the default dissemination count-exchange schedule
+// for p ranks — the exact op-stream Sync evaluates per superstep, with every
+// payload size resolved up front. Exported so direct RunSchedule sweeps (and
+// cmd/simbench's large-P symmetry entries) can evaluate the superstep count
+// exchange without spawning a concurrent run.
+func ExchangeSchedule(p int) (sched.Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("bsp: count exchange with p=%d", p)
+	}
+	return defaultSync.exchangeSchedule(p)
 }
 
 // defaultSync is the shared default synchronizer instance; sharing it lets
@@ -149,7 +184,10 @@ func (s *scheduleSync) exchangeSchedule(p int) (sched.Schedule, error) {
 			}
 			stages[sg] = sched.Stage{Out: st.Out, In: st.In, OutBytes: outBytes}
 		}
-		s.sched = &sched.StaticStages{Procs: p, Stages: stages}
+		// A circulant pattern has rank-invariant knowledge counts, so the
+		// count-sized payloads stay uniform per stage and the pattern's
+		// symmetry hint carries over to the exchange schedule.
+		s.sched = &sched.StaticStages{Procs: p, Stages: stages, Sym: s.pat.Sym}
 	})
 	return s.sched, nil
 }

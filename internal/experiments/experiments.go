@@ -30,6 +30,11 @@ type Options struct {
 	StencilIterations int
 	// Synthetic skips the stencil's floating-point work (model time only).
 	Synthetic bool
+	// CollapseProcs are the rank counts of the symmetry-collapse scaling
+	// study (CollapseScalingSeries); each point is a direct RunSchedule
+	// evaluation of the superstep count exchange on a flat homogeneous
+	// cluster, so counts far beyond the concurrent sweeps are feasible.
+	CollapseProcs []int
 }
 
 // Full returns the settings used to regenerate the complete evaluation.
@@ -43,6 +48,7 @@ func Full() Options {
 		StencilSmallN:     384,
 		StencilIterations: 4,
 		Synthetic:         true,
+		CollapseProcs:     []int{4096, 65536, 262144, 1048576},
 	}
 }
 
@@ -57,6 +63,7 @@ func Quick() Options {
 		StencilSmallN:     128,
 		StencilIterations: 2,
 		Synthetic:         true,
+		CollapseProcs:     []int{256, 4096, 65536},
 	}
 }
 
@@ -83,6 +90,9 @@ func (o Options) normalize() Options {
 	}
 	if o.StencilIterations < 1 {
 		o.StencilIterations = q.StencilIterations
+	}
+	if len(o.CollapseProcs) == 0 {
+		o.CollapseProcs = q.CollapseProcs
 	}
 	return o
 }

@@ -145,6 +145,15 @@ func RunAll(w io.Writer, opts Options) error {
 		}
 		fmt.Fprint(w, CollectiveTable(tc.title, points).String(), "\n")
 	}
+	// Symmetry-collapsed scaling: the count exchange evaluated directly on
+	// flat homogeneous clusters at rank counts no concurrent (or even
+	// per-rank direct) sweep could reach.
+	collapse, err := CollapseScalingSeries(opts.CollapseProcs)
+	if err != nil {
+		return fmt.Errorf("collapse scaling: %w", err)
+	}
+	fmt.Fprint(w, CollapseScalingTable("Symmetry-collapsed sync scaling (flat homogeneous cluster)", collapse).String(), "\n")
+
 	adaptedSync, err := AdaptedSyncSeries(xeon, opts.MaxProcsXeon, opts)
 	if err != nil {
 		return fmt.Errorf("adapted synchronizer: %w", err)

@@ -165,7 +165,7 @@ func (c *Comm) floodDirect(g *simnet.Gate, s Schedule, view sched.Schedule, own 
 		procs := c.proc.RunProcs()
 		ev := sched.EvaluatorAt(g, c.proc)
 		ev.ImportProcs(procs)
-		ev.ExecSchedule(view, tagSchedule, false)
+		ev.ExecScheduleAuto(view, tagSchedule, false)
 		ev.ExportProcs(procs)
 		reach := reachOf(s, view)
 		for r, ti := range tickets {

@@ -1,0 +1,85 @@
+package platform
+
+import "testing"
+
+// TestLazyMatricesBitIdentical pins the on-demand parameter path against the
+// dense one: above denseMatrixLimit the P×P matrices stay nil and every
+// accessor computes the profile formula directly, so forcing the lazy path at
+// a small P must reproduce the dense matrices bit for bit — including the
+// per-pair heterogeneity factors the Xeon preset carries.
+func TestLazyMatricesBitIdentical(t *testing.T) {
+	old := denseMatrixLimit
+	defer func() { denseMatrixLimit = old }()
+
+	for _, prof := range []*Profile{Xeon8x2x4(), FlatCluster(12), HeteroDemo()} {
+		const p = 12
+		denseMatrixLimit = 1 << 20
+		dense, err := prof.Machine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.latency == nil {
+			t.Fatalf("%s: dense machine did not materialize matrices", prof.Name)
+		}
+		denseMatrixLimit = 1
+		lazy, err := prof.Machine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lazy.latency != nil || lazy.gap != nil || lazy.beta != nil || lazy.overhead != nil {
+			t.Fatalf("%s: lazy machine materialized matrices", prof.Name)
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if dense.Latency(i, j) != lazy.Latency(i, j) {
+					t.Errorf("%s latency(%d,%d): dense %v, lazy %v", prof.Name, i, j, dense.Latency(i, j), lazy.Latency(i, j))
+				}
+				if dense.Gap(i, j) != lazy.Gap(i, j) {
+					t.Errorf("%s gap(%d,%d): dense %v, lazy %v", prof.Name, i, j, dense.Gap(i, j), lazy.Gap(i, j))
+				}
+				if dense.Beta(i, j) != lazy.Beta(i, j) {
+					t.Errorf("%s beta(%d,%d): dense %v, lazy %v", prof.Name, i, j, dense.Beta(i, j), lazy.Beta(i, j))
+				}
+				if dense.Overhead(i, j) != lazy.Overhead(i, j) {
+					t.Errorf("%s overhead(%d,%d): dense %v, lazy %v", prof.Name, i, j, dense.Overhead(i, j), lazy.Overhead(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetryPredicates pins the machine side of the collapse eligibility
+// tests on the presets the collapse paths rely on.
+func TestSymmetryPredicates(t *testing.T) {
+	flat, err := FlatClusterMachine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.HomogeneousClasses() || !flat.UniformPairs() {
+		t.Errorf("flat cluster: homogeneous=%v uniform=%v, want true/true", flat.HomogeneousClasses(), flat.UniformPairs())
+	}
+	homog, err := XeonClusterHomogeneousMachine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !homog.HomogeneousClasses() {
+		t.Error("homogeneous Xeon: HomogeneousClasses() = false")
+	}
+	if homog.UniformPairs() {
+		t.Error("homogeneous Xeon at 16 ranks on 2 nodes: UniformPairs() = true, want false (intra-node pairs exist)")
+	}
+	hetero, err := XeonClusterMachine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetero.HomogeneousClasses() {
+		t.Error("Xeon with HeteroSpread > 0: HomogeneousClasses() = true")
+	}
+	noisy, err := Xeon8x2x4().Machine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.HomogeneousClasses() {
+		t.Error("Xeon8x2x4 with NoiseRel > 0: HomogeneousClasses() = true")
+	}
+}

@@ -13,6 +13,12 @@ import (
 // deterministic run-to-run noise source. It satisfies the simnet.Machine
 // interface structurally and is what the virtual-time simulator executes
 // against.
+//
+// Up to denseMatrixLimit ranks the pairwise parameters are materialized as
+// dense P×P matrices; above it the matrices stay nil and the accessors
+// compute the same profile formulas on demand (four P×P float64 matrices at
+// P=1M would be 32 TB). The values are bit-identical either way — the dense
+// path is a cache of the exact same expressions.
 type Machine struct {
 	profile   *Profile
 	placement *topology.Placement
@@ -23,6 +29,15 @@ type Machine struct {
 	beta     [][]float64
 	overhead [][]float64
 }
+
+// denseMatrixLimit is the largest rank count whose pairwise parameters are
+// materialized eagerly. Above it the machines the evaluator sweeps (P=4096
+// up to P=1M) would pay hundreds of megabytes and double-digit seconds of
+// matrix fill per instantiation, dwarfing the evaluation itself; the lazy
+// accessors cost ~15 ns per pair instead. A variable, not a constant, so
+// tests can force the lazy path at small P and diff it against the dense
+// one.
+var denseMatrixLimit = 2048
 
 // Machine instantiates the profile for the given number of ranks using the
 // profile's default placement policy.
@@ -38,6 +53,9 @@ func (p *Profile) Machine(ranks int) (*Machine, error) {
 func (p *Profile) MachineFor(pl *topology.Placement) *Machine {
 	n := pl.Ranks()
 	m := &Machine{profile: p, placement: pl, runSeed: p.Seed}
+	if n > denseMatrixLimit {
+		return m
+	}
 	alloc := func() [][]float64 {
 		rows := make([][]float64, n)
 		for i := range rows {
@@ -82,16 +100,36 @@ func (m *Machine) Placement() *topology.Placement { return m.placement }
 func (m *Machine) Procs() int { return m.placement.Ranks() }
 
 // Latency returns the ground-truth latency from rank i to rank j.
-func (m *Machine) Latency(i, j int) float64 { return m.latency[i][j] }
+func (m *Machine) Latency(i, j int) float64 {
+	if m.latency == nil {
+		return m.profile.Latency(m.placement, i, j)
+	}
+	return m.latency[i][j]
+}
 
 // Gap returns the per-message NIC occupancy from rank i to rank j.
-func (m *Machine) Gap(i, j int) float64 { return m.gap[i][j] }
+func (m *Machine) Gap(i, j int) float64 {
+	if m.gap == nil {
+		return m.profile.Gap(m.placement, i, j)
+	}
+	return m.gap[i][j]
+}
 
 // Beta returns the inverse bandwidth from rank i to rank j.
-func (m *Machine) Beta(i, j int) float64 { return m.beta[i][j] }
+func (m *Machine) Beta(i, j int) float64 {
+	if m.beta == nil {
+		return m.profile.Beta(m.placement, i, j)
+	}
+	return m.beta[i][j]
+}
 
 // Overhead returns the per-request sender CPU overhead from rank i to rank j.
-func (m *Machine) Overhead(i, j int) float64 { return m.overhead[i][j] }
+func (m *Machine) Overhead(i, j int) float64 {
+	if m.overhead == nil {
+		return m.profile.Overhead(m.placement, i, j)
+	}
+	return m.overhead[i][j]
+}
 
 // SelfOverhead returns the invocation overhead of rank i.
 func (m *Machine) SelfOverhead(i int) float64 { return m.profile.SelfOverhead }
@@ -100,6 +138,35 @@ func (m *Machine) SelfOverhead(i int) float64 { return m.profile.SelfOverhead }
 // share a NIC; messages between different NICs occupy both for their gap and
 // serialized transfer time.
 func (m *Machine) NIC(i int) int { return m.placement.NodeOf(i) }
+
+// HomogeneousClasses reports whether the pairwise parameters are a pure
+// function of the pair's distance class and the noise stream is identically
+// 1 — no per-pair heterogeneity, no run-to-run jitter. This is the machine
+// side of the symmetry-collapse eligibility test (sched.SymmetricMachine).
+func (m *Machine) HomogeneousClasses() bool {
+	return m.profile.HeteroSpread == 0 && m.profile.NoiseRel <= 0
+}
+
+// PairClass returns the distance class of the pair (i, j); under
+// HomogeneousClasses, pairs of equal class have identical parameters.
+func (m *Machine) PairClass(i, j int) uint8 {
+	return uint8(m.placement.Distance(i, j))
+}
+
+// UniformPairs reports whether additionally every off-diagonal pair has the
+// same class and crosses NICs — one rank per node on a homogeneous profile —
+// so all ranks are interchangeable and circulant schedules collapse to a
+// single equivalence class.
+func (m *Machine) UniformPairs() bool {
+	if !m.HomogeneousClasses() {
+		return false
+	}
+	t := m.placement.Topology
+	if t.CoresPerNode() == 1 {
+		return true
+	}
+	return m.placement.Policy == topology.RoundRobin && m.Procs() <= t.Nodes
+}
 
 // Noise returns a multiplicative jitter factor (>= 1) for the seq-th noisy
 // event observed by rank i. The stream is a deterministic function of the

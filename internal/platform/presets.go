@@ -120,6 +120,48 @@ func XeonClusterMachine(procs int) (*Machine, error) {
 	return p.Machine(procs)
 }
 
+// FlatCluster is a homogeneous one-core-per-node cluster (nodes × 1 × 1) with
+// the Xeon link and core parameters but zero heterogeneity spread and zero
+// noise: every off-diagonal pair is an identical network-class link, the
+// machine shape on which rank-symmetric schedules collapse to a single
+// equivalence class. This is the platform of the large-P symmetry benchmarks
+// and the cross-engine collapse goldens.
+func FlatCluster(nodes int) *Profile {
+	p := Xeon8x2x4()
+	p.Name = fmt.Sprintf("flat-%dx1x1", nodes)
+	p.Topology = topology.Topology{Nodes: nodes, SocketsPerNode: 1, CoresPerSocket: 1}
+	p.HeteroSpread = 0
+	p.NoiseRel = 0
+	return p
+}
+
+// FlatClusterMachine instantiates the flat cluster with one rank per node.
+// Above the dense-matrix limit the pairwise parameters are computed lazily,
+// so machines up to P=1M stay within memory budgets.
+func FlatClusterMachine(procs int) (*Machine, error) {
+	nodes := procs
+	if nodes < 1 {
+		nodes = 1
+	}
+	return FlatCluster(nodes).Machine(procs)
+}
+
+// XeonClusterHomogeneousMachine is XeonClusterMachine with the heterogeneity
+// spread also zeroed: multiple ranks per node, so distance classes still
+// differ pair to pair, but parameters are a pure function of the class. On
+// this machine symmetric schedules collapse to a few classes rather than
+// one — the multi-class test bed of the structural refinement.
+func XeonClusterHomogeneousMachine(procs int) (*Machine, error) {
+	nodes := (procs + 7) / 8
+	if nodes < 1 {
+		nodes = 1
+	}
+	p := XeonCluster(nodes)
+	p.NoiseRel = 0
+	p.HeteroSpread = 0
+	return p.Machine(procs)
+}
+
 // Opteron12x2x6 is the synthetic stand-in for the 12-node dual hexa-core
 // Opteron cluster (144 cores) of Figs. 5.10–5.13.
 func Opteron12x2x6() *Profile {

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CirculantSchedule is the O(1)-per-stage view of a circulant schedule: the
+// collapsed evaluator reads stages through it without materializing any
+// per-rank adjacency, which is what keeps a P=1M evaluation at O(stages)
+// work and O(P) memory (the rank states themselves).
+type CirculantSchedule interface {
+	Schedule
+	// CirculantStage returns stage k's uniform offset (every rank i signals
+	// (i+offset) mod P; offset 0 mod P means an empty stage) and the uniform
+	// payload size in bytes of every edge.
+	CirculantStage(k int) (offset, sizeBytes int)
+}
+
+// Circulant is a streaming circulant schedule: stage k prescribes the single
+// uniform edge i→(i+offsets[k]) mod P for every rank i, with the uniform
+// payload sizes[k]. It is the shape of the dissemination, linear-shift
+// total-exchange and ring collectives, and it carries the SymCirculant hint
+// by construction. StageAt materializes one reused O(P) adjacency for
+// per-rank evaluation (allocated lazily, so collapsed evaluations never pay
+// it); a Circulant must therefore not be shared by concurrent evaluations.
+type Circulant struct {
+	p       int
+	offsets []int // normalized to [0, p); 0 = empty stage
+	sizes   []int // nil = pure signals
+
+	// StageAt scratch, built on first use and rewritten per stage.
+	stage    int
+	out, in  [][]int
+	outBytes [][]int
+	outBack  []int
+	inBack   []int
+	sizeRow  []int
+}
+
+// NewCirculant returns the circulant schedule over p ranks with one stage
+// per offset. sizes gives the uniform per-edge payload of each stage (nil
+// for pure signals; otherwise it must have one entry per offset). Offsets
+// are taken mod p; an offset of 0 mod p yields an empty stage.
+func NewCirculant(p int, offsets, sizes []int) (*Circulant, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sched: circulant schedule with p=%d", p)
+	}
+	if sizes != nil && len(sizes) != len(offsets) {
+		return nil, errors.New("sched: circulant schedule needs one size per offset")
+	}
+	c := &Circulant{p: p, offsets: make([]int, len(offsets)), stage: -1}
+	for k, off := range offsets {
+		c.offsets[k] = ((off % p) + p) % p
+	}
+	if sizes != nil {
+		c.sizes = make([]int, len(sizes))
+		for k, sz := range sizes {
+			if sz < 0 {
+				sz = 0
+			}
+			c.sizes[k] = sz
+		}
+	}
+	return c, nil
+}
+
+// NumProcs returns the number of participating ranks.
+func (c *Circulant) NumProcs() int { return c.p }
+
+// NumStages returns the number of stages.
+func (c *Circulant) NumStages() int { return len(c.offsets) }
+
+// Symmetry declares the circulant hint.
+func (c *Circulant) Symmetry() Symmetry { return SymCirculant }
+
+// CirculantStage returns stage k's uniform offset and payload size.
+func (c *Circulant) CirculantStage(k int) (offset, sizeBytes int) {
+	offset = c.offsets[k]
+	if c.sizes != nil {
+		sizeBytes = c.sizes[k]
+	}
+	return offset, sizeBytes
+}
+
+// StageAt materializes stage k into the reused adjacency buffers (the
+// per-rank fallback path; collapsed evaluation reads CirculantStage
+// instead).
+func (c *Circulant) StageAt(k int) Stage {
+	if c.out == nil {
+		c.out = make([][]int, c.p)
+		c.in = make([][]int, c.p)
+		c.outBack = make([]int, c.p)
+		c.inBack = make([]int, c.p)
+		c.sizeRow = make([]int, 1)
+		if c.sizes != nil {
+			c.outBytes = make([][]int, c.p)
+		}
+		c.stage = -1
+	}
+	if c.stage != k {
+		off, size := c.CirculantStage(k)
+		if off == 0 {
+			for i := 0; i < c.p; i++ {
+				c.out[i], c.in[i] = nil, nil
+				if c.outBytes != nil {
+					c.outBytes[i] = nil
+				}
+			}
+		} else {
+			c.sizeRow[0] = size
+			for i := 0; i < c.p; i++ {
+				c.outBack[i] = (i + off) % c.p
+				c.inBack[i] = (i - off + c.p) % c.p
+				c.out[i] = c.outBack[i : i+1]
+				c.in[i] = c.inBack[i : i+1]
+				if c.outBytes != nil {
+					c.outBytes[i] = c.sizeRow
+				}
+			}
+		}
+		c.stage = k
+	}
+	return Stage{Out: c.out, In: c.in, OutBytes: c.outBytes}
+}

@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"reflect"
+)
+
+// Collapsed execution: ExecCollapsed evaluates one representative rankState
+// per equivalence class per stage instead of all P ranks. Member states are
+// untouched until ReplicateClasses copies the representative's clock, port
+// and noise-stream state across each class — so a run of consecutive
+// executions pays O(classes·stages) evaluation plus one O(P) assembly.
+//
+// The arithmetic is the same send/recvComplete code the per-rank sweep uses;
+// only the iteration domain shrinks. Collapse preconditions (checked by the
+// callers): the partition came from CollapseClasses on this machine and
+// schedule, no trace lanes are attached, and entry states are class-aligned.
+
+// ExecScheduleAuto evaluates one execution of the schedule, collapsing
+// symmetric stages onto class representatives when the machine, schedule and
+// current entry states allow it, and falling back to the per-rank
+// ExecSchedule sweep otherwise. Results — clocks, port states, noise
+// positions, traffic counters — are bit-identical either way; the inline
+// gate paths (the BSP count exchange, the mpi schedule flood) call this.
+func (e *Evaluator) ExecScheduleAuto(s Schedule, tagBase int, computeEmpty bool) {
+	part := e.partitionFor(s)
+	if part == nil || !e.classesAligned(part) {
+		e.ExecSchedule(s, tagBase, computeEmpty)
+		return
+	}
+	e.ExecCollapsed(s, part, tagBase, computeEmpty)
+	e.ReplicateClasses(part)
+}
+
+// partitionFor returns the cached rank-equivalence partition of the schedule
+// (nil = collapse does not apply), computing and caching it on first sight.
+// Ineligible schedules cache nil so the structural refinement never reruns.
+func (e *Evaluator) partitionFor(s Schedule) *Partition {
+	if e.collapseOff {
+		return nil
+	}
+	if !reflect.TypeOf(s).Comparable() {
+		return CollapseClasses(e.m, s)
+	}
+	part, ok := e.partCache[s]
+	if !ok {
+		part = CollapseClasses(e.m, s)
+		if e.partCache == nil {
+			e.partCache = make(map[Schedule]*Partition)
+		}
+		e.partCache[s] = part
+	}
+	return part
+}
+
+// classesAligned reports whether the current entry states permit collapsed
+// evaluation: no rank is traced, and within every class each member's
+// (clock, ports, noise position) equals its representative's. Equivalent
+// ranks that start aligned stay aligned, so one check per inline evaluation
+// suffices.
+func (e *Evaluator) classesAligned(part *Partition) bool {
+	for r := range e.states {
+		rs := &e.states[r]
+		if rs.lane != nil {
+			return false
+		}
+		rep := part.Reps[part.ClassOf[r]]
+		if int32(r) == rep {
+			continue
+		}
+		ps := &e.states[rep]
+		if rs.now != ps.now || rs.txFree != ps.txFree || rs.rxFree != ps.rxFree || rs.noiseSeq != ps.noiseSeq {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplicateClasses copies each representative's state across its class —
+// the O(P) result-assembly step after any number of collapsed executions.
+func (e *Evaluator) ReplicateClasses(part *Partition) {
+	for r := range e.states {
+		rep := part.Reps[part.ClassOf[r]]
+		if int32(r) == rep {
+			continue
+		}
+		rs, ps := &e.states[r], &e.states[rep]
+		rs.now, rs.txFree, rs.rxFree, rs.noiseSeq = ps.now, ps.txFree, ps.rxFree, ps.noiseSeq
+	}
+}
+
+// ExecCollapsed evaluates one execution of the schedule over class
+// representatives only (see the collapse preconditions above). Traffic
+// counters account for the whole class: every member performs the
+// representative's sends.
+func (e *Evaluator) ExecCollapsed(s Schedule, part *Partition, tagBase int, computeEmpty bool) {
+	e.execCollapsed(s, part, tagBase, computeEmpty, nil)
+}
+
+// execCollapsed is ExecCollapsed with an optional per-stage cancellation
+// checker (hot at P=1M, where one execution is minutes of wall time under
+// the per-rank sweep and still non-trivial collapsed).
+func (e *Evaluator) execCollapsed(s Schedule, part *Partition, tagBase int, computeEmpty bool, chk *stageChecker) error {
+	if part.NumClasses() == 1 {
+		if cs, ok := s.(CirculantSchedule); ok {
+			return e.execCollapsedCirculant(cs, tagBase, computeEmpty, chk)
+		}
+	}
+	nc := part.NumClasses()
+	if cap(e.classArr) < nc {
+		e.classArr = make([][]float64, nc)
+	}
+	classArr := e.classArr[:nc]
+	for sg := 0; sg < s.NumStages(); sg++ {
+		if chk != nil {
+			if err := chk.tick(); err != nil {
+				return err
+			}
+		}
+		st := s.StageAt(sg)
+		tag := tagBase + sg
+
+		// Phase A over representatives: entry clocks and send injections,
+		// arrivals parked per class by out-edge position.
+		for c := 0; c < nc; c++ {
+			r := int(part.Reps[c])
+			rs := &e.states[r]
+			ins, outs := st.In[r], st.Out[r]
+			if len(ins) == 0 && len(outs) == 0 {
+				if computeEmpty {
+					rs.compute(e.m, r, 0)
+				}
+				continue
+			}
+			e.entry[r] = rs.now
+			if len(outs) > 0 {
+				ca := classArr[c][:0]
+				sc := e.sendComplete[r][:0]
+				var repBytes int64
+				for k, dst := range outs {
+					size := 0
+					if st.OutBytes != nil {
+						size = st.OutBytes[r][k]
+					}
+					arrival, completeAt, _ := e.send(rs, r, dst, tag, size)
+					ca = append(ca, arrival)
+					sc = append(sc, completeAt)
+					repBytes += int64(size)
+				}
+				classArr[c] = ca
+				e.sendComplete[r] = sc
+				if extra := part.Size[c] - 1; extra > 0 {
+					e.messages += extra * int64(len(outs))
+					e.bytes += extra * repBytes
+				}
+			}
+		}
+
+		// Phase B over representatives: waits, receives first then sends, in
+		// edge order. An in-edge from src at out-position k carries the same
+		// arrival src's representative computed at position k (class
+		// equivalence covers pair class, position and size), so the class
+		// queue substitutes for the per-receiver one. Clock advances are
+		// inlined: lanes are nil under collapse, and the inline form carries
+		// no int32 payload casts (count-exchange payloads exceed int32 at
+		// P=1M).
+		for c := 0; c < nc; c++ {
+			r := int(part.Reps[c])
+			rs := &e.states[r]
+			for _, src := range st.In[r] {
+				k := outPosition(st.Out[src], r)
+				arrival := classArr[part.ClassOf[src]][k]
+				completeAt, _ := e.recvComplete(rs, r, src, e.entry[r], arrival)
+				if completeAt > rs.now {
+					rs.now = completeAt
+				}
+			}
+			for k := range st.Out[r] {
+				if completeAt := e.sendComplete[r][k]; completeAt > rs.now {
+					rs.now = completeAt
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// execCollapsedCirculant is the O(1)-per-stage fast path for a single-class
+// partition over a circulant schedule: stage k is one uniform edge
+// i→(i+d) mod P, so evaluating rank 0's send and its receive from P−d
+// evaluates every rank. No stage adjacency is materialized — this is the
+// path that carries P=1M runs.
+func (e *Evaluator) execCollapsedCirculant(cs CirculantSchedule, tagBase int, computeEmpty bool, chk *stageChecker) error {
+	p := len(e.states)
+	rs := &e.states[0]
+	for sg := 0; sg < cs.NumStages(); sg++ {
+		if chk != nil {
+			if err := chk.tick(); err != nil {
+				return err
+			}
+		}
+		off, size := cs.CirculantStage(sg)
+		if off == 0 {
+			if computeEmpty {
+				rs.compute(e.m, 0, 0)
+			}
+			continue
+		}
+		tag := tagBase + sg
+		dst, src := off, p-off
+		entry := rs.now
+		arrival, sendDone, _ := e.send(rs, 0, dst, tag, size)
+		e.messages += int64(p - 1)
+		e.bytes += int64(p-1) * int64(size)
+		// By symmetry the arrival from src equals rank 0's own send arrival.
+		recvDone, _ := e.recvComplete(rs, 0, src, entry, arrival)
+		if recvDone > rs.now {
+			rs.now = recvDone
+		}
+		if sendDone > rs.now {
+			rs.now = sendDone
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/bsp"
+	"hbsp/internal/platform"
+	"hbsp/internal/sched"
+	"hbsp/internal/simnet"
+)
+
+// collapseSchedules builds the diff matrix of schedule shapes at one process
+// count: every streaming generator plus the BSP count-exchange schedule.
+// Expensive shapes (P−1 stages, or P edges per stage) are capped so the
+// per-rank control runs stay affordable.
+func collapseSchedules(t *testing.T, p int) map[string]sched.Schedule {
+	t.Helper()
+	out := map[string]sched.Schedule{}
+	add := func(name string, s sched.Schedule, err error) {
+		if err != nil {
+			t.Fatalf("%s(p=%d): %v", name, p, err)
+		}
+		out[name] = s
+	}
+	s, err := barrier.StreamDissemination(p)
+	add("dissemination", s, err)
+	s, err = barrier.StreamAllReduce(p, 96)
+	add("allreduce", s, err)
+	s, err = barrier.StreamAllGather(p, 96)
+	add("allgather", s, err)
+	s, err = bsp.ExchangeSchedule(p)
+	add("count-exchange", s, err)
+	if p <= 1024 {
+		s, err = barrier.StreamTotalExchange(p, 64)
+		add("total-exchange", s, err)
+		s, err = barrier.StreamAllGatherRing(p, 64)
+		add("allgather-ring", s, err)
+		s, err = barrier.StreamBroadcast(p, 0, 96)
+		add("broadcast", s, err)
+		s, err = barrier.StreamReduce(p, 0, 96)
+		add("reduce", s, err)
+	}
+	return out
+}
+
+// runCollapseDiff runs the schedule once under CollapseAuto and once under
+// CollapseOff and requires bit-identical per-rank times, makespan and traffic
+// counters.
+func runCollapseDiff(t *testing.T, name string, m *platform.Machine, s sched.Schedule, ack bool) {
+	t.Helper()
+	oAuto := simnet.DefaultOptions()
+	oAuto.AckSends = ack
+	resAuto, err := sched.RunSchedule(context.Background(), m, s, 2, oAuto)
+	if err != nil {
+		t.Fatalf("%s ack=%v auto: %v", name, ack, err)
+	}
+	oOff := oAuto
+	oOff.SymmetryCollapse = simnet.CollapseOff
+	resOff, err := sched.RunSchedule(context.Background(), m, s, 2, oOff)
+	if err != nil {
+		t.Fatalf("%s ack=%v off: %v", name, ack, err)
+	}
+	for r := range resOff.Times {
+		if resAuto.Times[r] != resOff.Times[r] {
+			t.Fatalf("%s ack=%v rank %d: collapsed %v, per-rank %v", name, ack, r, resAuto.Times[r], resOff.Times[r])
+		}
+	}
+	if resAuto.MakeSpan != resOff.MakeSpan {
+		t.Errorf("%s ack=%v makespan: collapsed %v, per-rank %v", name, ack, resAuto.MakeSpan, resOff.MakeSpan)
+	}
+	if resAuto.Messages != resOff.Messages || resAuto.Bytes != resOff.Bytes {
+		t.Errorf("%s ack=%v traffic: collapsed %d/%d, per-rank %d/%d",
+			name, ack, resAuto.Messages, resAuto.Bytes, resOff.Messages, resOff.Bytes)
+	}
+}
+
+// TestCollapseGoldensBitIdentical is the correctness bar of the symmetry
+// collapse: on a pairwise-uniform machine, for every schedule shape, acks on
+// and off, P from 16 to 4096, collapsed evaluation must reproduce the
+// per-rank evaluator's virtual times bit for bit, together with makespan and
+// the message/byte counters. The circulant shapes must actually take the
+// collapsed path (a single equivalence class), so the diff is never
+// trivially comparing the fallback against itself.
+func TestCollapseGoldensBitIdentical(t *testing.T) {
+	for _, p := range []int{16, 64, 256, 1024, 4096} {
+		m, err := platform.FlatClusterMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, s := range collapseSchedules(t, p) {
+			switch name {
+			case "dissemination", "allreduce", "allgather", "count-exchange", "total-exchange", "allgather-ring":
+				part := sched.CollapseClasses(m, s)
+				if part == nil || part.NumClasses() != 1 {
+					t.Fatalf("p=%d %s: expected a single equivalence class, got %v", p, name, part)
+				}
+			}
+			for _, ack := range []bool{true, false} {
+				runCollapseDiff(t, name, m, s, ack)
+			}
+		}
+	}
+}
+
+// TestCollapseMultiClassHomogeneous diffs the collapse on a homogeneous but
+// non-uniform machine: eight ranks per node, so intra-socket, intra-node and
+// network pair classes coexist and the structural refinement — not the
+// circulant fast path — has to find the classes. Whatever partition it finds
+// (including none), the results must match per-rank evaluation exactly.
+func TestCollapseMultiClassHomogeneous(t *testing.T) {
+	for _, p := range []int{16, 64, 256, 1024} {
+		m, err := platform.XeonClusterHomogeneousMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.HomogeneousClasses() {
+			t.Fatal("homogeneous Xeon machine reports heterogeneous classes")
+		}
+		for name, s := range collapseSchedules(t, p) {
+			for _, ack := range []bool{true, false} {
+				runCollapseDiff(t, name, m, s, ack)
+			}
+		}
+	}
+}
+
+// permuteSchedule returns the schedule with every rank relabeled by perm:
+// edge i→j becomes perm[i]→perm[j], payload sizes carried over. The result
+// is materialized as StaticStages with no symmetry hint.
+func permuteSchedule(t *testing.T, s sched.Schedule, perm []int) sched.Schedule {
+	t.Helper()
+	p := s.NumProcs()
+	stages := make([]sched.Stage, s.NumStages())
+	for k := range stages {
+		src := s.StageAt(k)
+		st := sched.Stage{Out: make([][]int, p), In: make([][]int, p), OutBytes: make([][]int, p)}
+		for i := 0; i < p; i++ {
+			for n, dst := range src.Out[i] {
+				st.Out[perm[i]] = append(st.Out[perm[i]], perm[dst])
+				size := 0
+				if src.OutBytes != nil && src.OutBytes[i] != nil {
+					size = src.OutBytes[i][n]
+				}
+				st.OutBytes[perm[i]] = append(st.OutBytes[perm[i]], size)
+			}
+		}
+		// Rebuild the in-edges in the evaluator's row-major out-scan order.
+		for i := 0; i < p; i++ {
+			for _, dst := range st.Out[i] {
+				st.In[dst] = append(st.In[dst], i)
+			}
+		}
+		stages[k] = st
+	}
+	return &sched.StaticStages{Procs: p, Stages: stages}
+}
+
+// TestCollapsePermutationProperty is the property behind the collapse: on a
+// pairwise-uniform machine the evaluation is equivariant under rank
+// relabeling, so running a randomly permuted dissemination schedule must
+// yield exactly the original times with the ranks permuted.
+func TestCollapsePermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []int{16, 64, 96} {
+		m, err := platform.FlatClusterMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := barrier.StreamDissemination(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sched.RunSchedule(context.Background(), m, s, 2, simnet.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			perm := rng.Perm(p)
+			permuted := permuteSchedule(t, s, perm)
+			res, err := sched.RunSchedule(context.Background(), m, permuted, 2, simnet.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < p; i++ {
+				if res.Times[perm[i]] != base.Times[i] {
+					t.Fatalf("p=%d trial %d: times[perm[%d]] = %v, want %v", p, trial, i, res.Times[perm[i]], base.Times[i])
+				}
+			}
+			if res.Messages != base.Messages || res.Bytes != base.Bytes {
+				t.Fatalf("p=%d trial %d: traffic %d/%d, want %d/%d", p, trial, res.Messages, res.Bytes, base.Messages, base.Bytes)
+			}
+		}
+	}
+}
+
+// TestCollapseFallbackHeterogeneous pins the silent fallback: per-pair
+// heterogeneity or a live noise model makes the machine ineligible
+// (CollapseClasses returns nil), and evaluation under CollapseAuto is the
+// plain per-rank path — identical results to CollapseOff on the same seed.
+func TestCollapseFallbackHeterogeneous(t *testing.T) {
+	const p = 64
+	hetero, err := platform.XeonClusterMachine(p) // HeteroSpread > 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := platform.Xeon8x2x4().Machine(p) // NoiseRel > 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*platform.Machine{"hetero": hetero, "noisy": noisy.WithRunSeed(11)} {
+		s, err := barrier.StreamDissemination(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part := sched.CollapseClasses(m, s); part != nil {
+			t.Fatalf("%s: CollapseClasses = %v, want nil", name, part)
+		}
+		runCollapseDiff(t, name+"/dissemination", m, s, true)
+	}
+}
+
+// cancelSchedule is a long schedule that cancels its context while the
+// evaluator is walking its stages, so cancellation must be noticed by the
+// per-N-stages check inside one execution, not between executions.
+type cancelSchedule struct {
+	p, stages, cancelAt int
+	cancel              context.CancelFunc
+}
+
+func (c *cancelSchedule) NumProcs() int  { return c.p }
+func (c *cancelSchedule) NumStages() int { return c.stages }
+func (c *cancelSchedule) StageAt(k int) sched.Stage {
+	if k == c.cancelAt {
+		c.cancel()
+	}
+	out := make([][]int, c.p)
+	in := make([][]int, c.p)
+	for i := 0; i < c.p; i++ {
+		out[i] = []int{(i + 1) % c.p}
+		in[i] = []int{(i - 1 + c.p) % c.p}
+	}
+	return sched.Stage{Out: out, In: in}
+}
+
+// TestRunScheduleMidExecutionCancel pins that a single long execution is
+// abortable: the context is cancelled at stage 8 of a 40000-stage schedule,
+// and the run must return the concurrent engine's error shape (wrapping
+// ErrAborted and the cancellation cause) without walking the remaining
+// stages of that same execution.
+func TestRunScheduleMidExecutionCancel(t *testing.T) {
+	const p = 16
+	m, err := platform.FlatClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &cancelSchedule{p: p, stages: 40000, cancelAt: 8, cancel: cancel}
+	o := simnet.DefaultOptions()
+	o.SymmetryCollapse = simnet.CollapseOff // per-rank width, so the stage check fires well inside the execution
+	_, err = sched.RunSchedule(ctx, m, s, 1, o)
+	if !errors.Is(err, simnet.ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want ErrAborted wrapping context.Canceled, got %v", err)
+	}
+
+	// The same schedule against a tiny wall-clock deadline: the in-execution
+	// check must convert it to ErrDeadline.
+	s2 := &cancelSchedule{p: p, stages: 40000, cancelAt: 40001, cancel: func() {}}
+	o2 := simnet.DefaultOptions()
+	o2.SymmetryCollapse = simnet.CollapseOff
+	o2.Deadline = 1 // nanosecond
+	if _, err := sched.RunSchedule(context.Background(), m, s2, 1, o2); !errors.Is(err, simnet.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+// TestRunScheduleSteadyStateAllocs pins the arena reuse: once the evaluator
+// pool is warm, a RunSchedule evaluation allocates O(1) — the result struct
+// and times slice — not O(P) fresh rank states per run.
+func TestRunScheduleSteadyStateAllocs(t *testing.T) {
+	const p = 1024
+	m, err := platform.FlatClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := barrier.StreamDissemination(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := sched.RunSchedule(context.Background(), m, s, 1, simnet.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pools
+	if allocs := testing.AllocsPerRun(20, run); allocs > 32 {
+		t.Errorf("steady-state RunSchedule allocations: %.0f, want <= 32", allocs)
+	}
+}

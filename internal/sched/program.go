@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"hbsp/internal/simnet"
@@ -212,6 +213,67 @@ func (h *rankHeap) pop() int32 {
 // wall-clock deadline and context-cancellation checks.
 const checkEvery = 1 << 13
 
+// runState is Code.Run's per-evaluation state, recycled through a pool so
+// sweeps that evaluate one compiled program many times (experiments series,
+// benchmarks) allocate nothing in steady state.
+type runState struct {
+	pc       []int32
+	reqTime  [][]float64
+	arrivals []float64
+	sendEvs  []int32
+	parked   []int32
+	heap     rankHeap
+}
+
+var runPool sync.Pool
+
+// newRunState returns pooled state sized for the code; only parked and pc
+// need zeroing (arrivals, sendEvs and reqTime are written before read: slot
+// entries at injection, request entries at the producing send/recv).
+func newRunState(c *Code) *runState {
+	st, _ := runPool.Get().(*runState)
+	if st == nil {
+		st = &runState{}
+	}
+	p := c.procs
+	if cap(st.pc) < p {
+		st.pc = make([]int32, p)
+		st.reqTime = make([][]float64, p)
+		st.heap.key = make([]float64, p)
+	} else {
+		st.pc = st.pc[:p]
+		for i := range st.pc {
+			st.pc[i] = 0
+		}
+		st.reqTime = st.reqTime[:p]
+		st.heap.key = st.heap.key[:p]
+	}
+	for r := 0; r < p; r++ {
+		if cap(st.reqTime[r]) < c.nreq[r] {
+			st.reqTime[r] = make([]float64, c.nreq[r])
+		} else {
+			st.reqTime[r] = st.reqTime[r][:c.nreq[r]]
+		}
+	}
+	nslots := len(c.slotRank)
+	if cap(st.arrivals) < nslots {
+		st.arrivals = make([]float64, nslots)
+		st.sendEvs = make([]int32, nslots)
+		st.parked = make([]int32, nslots)
+	} else {
+		st.arrivals = st.arrivals[:nslots]
+		st.sendEvs = st.sendEvs[:nslots]
+		st.parked = st.parked[:nslots]
+		for i := range st.parked {
+			st.parked[i] = 0
+		}
+	}
+	st.heap.ranks = st.heap.ranks[:0]
+	return st
+}
+
+func (st *runState) release() { runPool.Put(st) }
+
 // Run evaluates the compiled program over the event heap: every rank executes
 // its instruction stream until it finishes or blocks on a receive whose
 // matched send has not been injected yet; injecting a send wakes the rank
@@ -237,18 +299,18 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 		o.Deadline = simnet.DefaultOptions().Deadline
 	}
 	e := NewEvaluator(m, o.AckSends)
+	defer e.Release()
 	beginRecording(o.Recorder, m, o.AckSends, e)
 
 	p := c.procs
-	pc := make([]int32, p)
-	reqTime := make([][]float64, p) // per request slot: post time (recv) or completion (send)
-	for r := 0; r < p; r++ {
-		reqTime[r] = make([]float64, c.nreq[r])
-	}
-	arrivals := make([]float64, len(c.slotRank))
-	sendEvs := make([]int32, len(c.slotRank))
-	parked := make([]int32, len(c.slotRank)) // rank+1 parked on this slot
-	heap := &rankHeap{key: make([]float64, p)}
+	st := newRunState(c)
+	defer st.release()
+	pc := st.pc
+	reqTime := st.reqTime // per request slot: post time (recv) or completion (send)
+	arrivals := st.arrivals
+	sendEvs := st.sendEvs
+	parked := st.parked // rank+1 parked on this slot
+	heap := &st.heap
 	for r := p - 1; r >= 0; r-- {
 		heap.push(int32(r), 0)
 	}

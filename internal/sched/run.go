@@ -65,10 +65,16 @@ func (e *Evaluator) result() *simnet.Result {
 //
 // Cancellation mirrors the concurrent engine: a cancelled context returns an
 // error wrapping simnet.ErrAborted, exceeding o.Deadline returns
-// simnet.ErrDeadline. Both are checked between executions — one execution
-// always evaluates to completion, so a deadline can overrun by at most one
-// execution's wall time (the concurrent engine's asynchronous watchdog has
-// finer grain but the same default two-minute budget).
+// simnet.ErrDeadline. Both are checked between executions and — because one
+// P=1M execution is no longer negligible wall time — every few stages inside
+// an execution (the stride shrinks as P grows, so the check stays off the
+// hot path at small P and responsive at large P).
+//
+// When the machine and schedule admit it (see CollapseClasses) and no
+// recorder is attached, executions are symmetry-collapsed: one
+// representative rank per equivalence class is evaluated and the class
+// states assembled at the end, bit-identical to the per-rank sweep. Set
+// o.SymmetryCollapse = simnet.CollapseOff to force per-rank evaluation.
 func RunSchedule(ctx context.Context, m simnet.Machine, s Schedule, execs int, o simnet.Options) (*simnet.Result, error) {
 	if m == nil || m.Procs() < 1 {
 		return nil, errors.New("sched: machine with at least one rank required")
@@ -89,24 +95,92 @@ func RunSchedule(ctx context.Context, m simnet.Machine, s Schedule, execs int, o
 		o.Deadline = simnet.DefaultOptions().Deadline
 	}
 	e := NewEvaluator(m, o.AckSends)
+	defer e.Release()
+	e.collapseOff = o.SymmetryCollapse == simnet.CollapseOff
 	beginRecording(o.Recorder, m, o.AckSends, e)
-	start := time.Now()
+
+	// Partition once per run: fresh states are class-aligned (all zero) and
+	// collapsed executions preserve alignment, so eligibility never changes
+	// mid-run. Recording forces the per-rank path (per-rank trace lanes).
+	var part *Partition
+	if !e.collapseOff && !o.Recorder.Enabled() {
+		part = CollapseClasses(m, s)
+	}
+	perStage := m.Procs()
+	if part != nil {
+		perStage = part.NumClasses()
+	}
+	chk := newStageChecker(ctx, o.Deadline, perStage)
 	for x := 0; x < execs; x++ {
-		if err := ctx.Err(); err != nil {
-			err = fmt.Errorf("%w: %w", simnet.ErrAborted, context.Cause(ctx))
+		err := chk.check()
+		if err == nil {
+			if part != nil {
+				err = e.execCollapsed(s, part, ScheduleTagBase, true, chk)
+			} else {
+				err = e.execSchedule(s, ScheduleTagBase, true, chk)
+			}
+		}
+		if err != nil {
 			endRecording(o.Recorder, nil, e.messages, e.bytes, err)
 			return nil, err
 		}
-		if time.Since(start) > o.Deadline {
-			endRecording(o.Recorder, nil, e.messages, e.bytes, simnet.ErrDeadline)
-			return nil, simnet.ErrDeadline
-		}
-		e.ExecSchedule(s, ScheduleTagBase, true)
+	}
+	if part != nil {
+		e.ReplicateClasses(part)
 	}
 	res := e.result()
 	res.Messages, res.Bytes = e.messages, e.bytes
 	endRecording(o.Recorder, res, res.Messages, res.Bytes, nil)
 	return res, nil
+}
+
+// stageCheckBudget is the amount of per-rank (or per-class) stage work a
+// stageChecker lets pass between context/deadline checks: the stride is
+// stageCheckBudget/width stages, at least 1 — so a P=1M execution checks
+// every stage while a P=16 sweep checks every few thousand.
+const stageCheckBudget = 1 << 17
+
+// stageChecker polls cancellation and the wall-clock deadline every stride
+// stages, amortizing the check cost against the evaluation work it guards.
+type stageChecker struct {
+	ctx      context.Context
+	start    time.Time
+	deadline time.Duration
+	stride   int
+	left     int
+}
+
+// newStageChecker sizes a checker for stages of the given width (ranks or
+// classes evaluated per stage).
+func newStageChecker(ctx context.Context, deadline time.Duration, width int) *stageChecker {
+	if width < 1 {
+		width = 1
+	}
+	stride := stageCheckBudget / width
+	if stride < 1 {
+		stride = 1
+	}
+	return &stageChecker{ctx: ctx, start: time.Now(), deadline: deadline, stride: stride, left: stride}
+}
+
+// tick counts one stage and polls every stride stages.
+func (c *stageChecker) tick() error {
+	if c.left--; c.left > 0 {
+		return nil
+	}
+	c.left = c.stride
+	return c.check()
+}
+
+// check polls immediately.
+func (c *stageChecker) check() error {
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", simnet.ErrAborted, context.Cause(c.ctx))
+	}
+	if time.Since(c.start) > c.deadline {
+		return simnet.ErrDeadline
+	}
+	return nil
 }
 
 // ScheduleTagBase is the tag space RunSchedule labels stage s's messages

@@ -30,6 +30,8 @@
 package sched
 
 import (
+	"sync"
+
 	"hbsp/internal/simnet"
 	"hbsp/internal/trace"
 )
@@ -66,6 +68,10 @@ type Schedule interface {
 type StaticStages struct {
 	Procs  int
 	Stages []Stage
+	// Sym optionally declares the stage graph's rank symmetry (the
+	// symmetry-collapse eligibility hint; see Symmetry). Only set it for
+	// stage graphs that actually have the declared shape.
+	Sym Symmetry
 }
 
 // NumProcs returns the number of participating ranks.
@@ -76,6 +82,9 @@ func (s *StaticStages) NumStages() int { return len(s.Stages) }
 
 // StageAt returns stage i.
 func (s *StaticStages) StageAt(i int) Stage { return s.Stages[i] }
+
+// Symmetry returns the declared rank symmetry.
+func (s *StaticStages) Symmetry() Symmetry { return s.Sym }
 
 // rankState is one rank's LogGP evolution state: its clock, the free times of
 // its injection and extraction ports, its position in the machine's noise
@@ -98,6 +107,10 @@ type Evaluator struct {
 	m   simnet.Machine
 	ack bool
 
+	// collapseOff disables symmetry-collapsed evaluation for this evaluator
+	// (the runtime wires it from Options.SymmetryCollapse).
+	collapseOff bool
+
 	states []rankState
 
 	// Per-stage scratch, reset between stages: entry clocks (the post time
@@ -110,24 +123,65 @@ type Evaluator struct {
 	inEv         [][]int32
 	sendComplete [][]float64
 
+	// Collapsed-evaluation scratch: per class, the arrivals of the
+	// representative's sends by out-edge position; and the cached
+	// rank-equivalence partitions of schedules evaluated inline (nil value =
+	// ineligible, cached too so the refinement never reruns).
+	classArr  [][]float64
+	partCache map[Schedule]*Partition
+
 	messages int64
 	bytes    int64
 }
 
+// evalPool recycles evaluators (and with them every per-rank state and
+// scratch slice) across runs and sweep points: steady-state RunSchedule and
+// gate evaluations reallocate nothing but the result.
+var evalPool sync.Pool
+
 // NewEvaluator returns an evaluator for the given machine and ack mode with
-// all rank states zeroed.
+// all rank states zeroed. Evaluators come from a shared pool; Release
+// returns one when the caller is done.
 func NewEvaluator(m simnet.Machine, ack bool) *Evaluator {
 	p := m.Procs()
-	return &Evaluator{
-		m:            m,
-		ack:          ack,
-		states:       make([]rankState, p),
-		entry:        make([]float64, p),
-		inArr:        make([][]float64, p),
-		inSize:       make([][]int32, p),
-		inEv:         make([][]int32, p),
-		sendComplete: make([][]float64, p),
+	e, _ := evalPool.Get().(*Evaluator)
+	if e == nil {
+		e = &Evaluator{}
 	}
+	e.m, e.ack = m, ack
+	e.collapseOff = false
+	e.messages, e.bytes = 0, 0
+	e.partCache = nil
+	if cap(e.states) < p {
+		e.states = make([]rankState, p)
+		e.entry = make([]float64, p)
+		e.inArr = make([][]float64, p)
+		e.inSize = make([][]int32, p)
+		e.inEv = make([][]int32, p)
+		e.sendComplete = make([][]float64, p)
+	} else {
+		e.states = e.states[:p]
+		for i := range e.states {
+			e.states[i] = rankState{}
+		}
+		e.entry = e.entry[:p]
+		e.inArr = e.inArr[:p]
+		e.inSize = e.inSize[:p]
+		e.inEv = e.inEv[:p]
+		e.sendComplete = e.sendComplete[:p]
+	}
+	return e
+}
+
+// Release returns the evaluator to the shared pool. The caller must not use
+// it afterwards; lane attachments and cached partitions are dropped.
+func (e *Evaluator) Release() {
+	for i := range e.states {
+		e.states[i] = rankState{}
+	}
+	e.m = nil
+	e.partCache = nil
+	evalPool.Put(e)
 }
 
 // Procs returns the evaluator's rank count.
@@ -191,6 +245,7 @@ func EvaluatorAt(g *simnet.Gate, p *simnet.Proc) *Evaluator {
 		return ev
 	}
 	ev := NewEvaluator(p.MachineOf(), p.AckSends())
+	ev.collapseOff = p.CollapseMode() == simnet.CollapseOff
 	g.Scratch = ev
 	return ev
 }
@@ -344,8 +399,19 @@ func (st *rankState) stageMark(stage int32) {
 // sends of a stage can be evaluated before all waits without changing any
 // virtual time the concurrent engine would produce.
 func (e *Evaluator) ExecSchedule(s Schedule, tagBase int, computeEmpty bool) {
+	e.execSchedule(s, tagBase, computeEmpty, nil)
+}
+
+// execSchedule is ExecSchedule with an optional per-stage cancellation
+// checker (see stageChecker).
+func (e *Evaluator) execSchedule(s Schedule, tagBase int, computeEmpty bool, chk *stageChecker) error {
 	p := len(e.states)
 	for sg := 0; sg < s.NumStages(); sg++ {
+		if chk != nil {
+			if err := chk.tick(); err != nil {
+				return err
+			}
+		}
 		st := s.StageAt(sg)
 		stage := int32(sg)
 		tag := tagBase + sg
@@ -400,6 +466,7 @@ func (e *Evaluator) ExecSchedule(s Schedule, tagBase int, computeEmpty bool) {
 			e.inEv[r] = e.inEv[r][:0]
 		}
 	}
+	return nil
 }
 
 // superstepMark mirrors Proc.TraceSuperstep: record the boundary of the

@@ -75,6 +75,23 @@ const (
 	EngineConcurrent
 )
 
+// CollapseMode selects whether the direct evaluator may collapse
+// rank-equivalence classes (see sched.CollapseClasses): evaluate one
+// representative rank per class and replicate the class states at result
+// assembly, bit-identical to per-rank evaluation wherever it applies.
+type CollapseMode int
+
+const (
+	// CollapseAuto (the default) collapses whenever the machine is
+	// homogeneous (no pair spread, no noise), the schedule is symmetric, and
+	// no trace recorder is attached; evaluation silently falls back to the
+	// per-rank sweep otherwise.
+	CollapseAuto CollapseMode = iota
+	// CollapseOff forces per-rank evaluation everywhere. It exists as an
+	// escape hatch and for engine diffing; results are identical either way.
+	CollapseOff
+)
+
 // Options configure a simulation run.
 type Options struct {
 	// AckSends makes send requests complete only when an acknowledgement
@@ -93,6 +110,9 @@ type Options struct {
 	// per-rank lock-free lanes for post-run analysis and export. nil — the
 	// trace.Disabled fast path — costs one pointer test per event.
 	Recorder *trace.Recorder
+	// SymmetryCollapse controls symmetry-collapsed direct evaluation; the
+	// zero value (CollapseAuto) collapses wherever it provably applies.
+	SymmetryCollapse CollapseMode
 }
 
 // DefaultOptions returns the options used when none are supplied.
@@ -560,6 +580,10 @@ func (p *Proc) MachineOf() Machine { return p.w.machine }
 // AckSends reports whether the run acknowledges sends (Options.AckSends).
 func (p *Proc) AckSends() bool { return p.w.opts.AckSends }
 
+// CollapseMode returns the run's symmetry-collapse setting
+// (Options.SymmetryCollapse).
+func (p *Proc) CollapseMode() CollapseMode { return p.w.opts.SymmetryCollapse }
+
 // AddTraffic adds to the run's delivered message and byte counters on behalf
 // of a direct evaluation.
 func (p *Proc) AddTraffic(messages, bytes int64) {
@@ -868,6 +892,14 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	// finish seals the recording with the outcome; clean=false means rank
 	// goroutines may still be running (their lanes are unreadable).
 	finish := func(res *Result, err error, clean bool) (*Result, error) {
+		if clean && w.gate != nil {
+			// Return the gate-parked evaluator (if any layer created one) to
+			// its pool; on unclean teardown a leader may still hold it.
+			if rel, ok := w.gate.Scratch.(interface{ Release() }); ok {
+				w.gate.Scratch = nil
+				rel.Release()
+			}
+		}
 		if rec.Enabled() {
 			var times []float64
 			var makespan float64

@@ -30,6 +30,31 @@ type Schedule = sched.Schedule
 // StaticStages wraps a materialized stage slice as a Schedule.
 type StaticStages = sched.StaticStages
 
+// Symmetry is the rank-symmetry hint a schedule may declare; see SymNone and
+// SymCirculant.
+type Symmetry = sched.Symmetry
+
+const (
+	// SymNone declares nothing; the evaluator falls back to structural
+	// equivalence-class refinement (or per-rank evaluation).
+	SymNone = sched.SymNone
+	// SymCirculant asserts every stage is a circulant: each rank sends to
+	// rank+offset (mod P) with a rank-invariant payload. On machines whose
+	// pairs are uniform, all ranks collapse into one equivalence class.
+	SymCirculant = sched.SymCirculant
+)
+
+// Circulant is a streaming circulant schedule — one offset and payload size
+// per stage, generated into O(1) reused buffers. It is the representation
+// that takes symmetry-collapsed sweeps to P=1M.
+type Circulant = sched.Circulant
+
+// NewCirculant returns the circulant schedule with the given per-stage
+// offsets (taken mod p) and payload sizes (nil for signal-only stages).
+func NewCirculant(p int, offsets, sizes []int) (*Circulant, error) {
+	return sched.NewCirculant(p, offsets, sizes)
+}
+
 // Code is a compiled sim.Program, reusable across evaluations.
 type Code = sched.Code
 

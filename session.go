@@ -165,6 +165,26 @@ func WithConcurrentEngine() Option {
 	}
 }
 
+// WithSymmetryCollapse controls symmetry-collapsed direct evaluation. With
+// enabled=true — the default, so the option exists to spell the default out
+// — the direct evaluator detects rank-equivalence classes (homogeneous
+// machine, symmetric schedule, no trace recorder) and evaluates one
+// representative rank per class, replicating the class states at result
+// assembly; virtual times, makespan and traffic counters are bit-identical
+// to per-rank evaluation wherever the collapse applies, and evaluation falls
+// back silently where it does not. enabled=false forces per-rank evaluation
+// everywhere (the escape hatch, and the engine-diffing control).
+func WithSymmetryCollapse(enabled bool) Option {
+	return func(s *Session) error {
+		if enabled {
+			s.options.SymmetryCollapse = sim.CollapseAuto
+		} else {
+			s.options.SymmetryCollapse = sim.CollapseOff
+		}
+		return nil
+	}
+}
+
 // WithSynchronizer installs the synchronizer that performs the count total
 // exchange ending every BSP superstep (bsp.DefaultSynchronizer, a
 // bsp.NewScheduleSynchronizer schedule, or any custom implementation).

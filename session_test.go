@@ -50,6 +50,8 @@ func TestNewOptionMatrix(t *testing.T) {
 		{"seed", []hbsp.Option{hbsp.WithSeed(7)}, nil},
 		{"deadline", []hbsp.Option{hbsp.WithDeadline(time.Minute)}, nil},
 		{"acks off", []hbsp.Option{hbsp.WithAckSends(false)}, nil},
+		{"collapse off", []hbsp.Option{hbsp.WithSymmetryCollapse(false)}, nil},
+		{"collapse auto", []hbsp.Option{hbsp.WithSymmetryCollapse(true)}, nil},
 		{"trace", []hbsp.Option{hbsp.WithTrace(func(hbsp.TraceEvent) {})}, nil},
 		{"synchronizer", []hbsp.Option{hbsp.WithSynchronizer(bsp.DefaultSynchronizer())}, nil},
 		{"schedule synchronizer", []hbsp.Option{hbsp.WithScheduleSynchronizer(diss)}, nil},

@@ -48,6 +48,20 @@ const (
 	EngineConcurrent = simnet.EngineConcurrent
 )
 
+// CollapseMode selects whether the direct evaluator may collapse
+// rank-equivalence classes; see CollapseAuto and CollapseOff.
+type CollapseMode = simnet.CollapseMode
+
+const (
+	// CollapseAuto (the default) evaluates one representative rank per
+	// equivalence class whenever the machine is homogeneous, the schedule is
+	// symmetric and no recorder is attached — bit-identical to per-rank
+	// evaluation, falling back silently where the collapse does not apply.
+	CollapseAuto = simnet.CollapseAuto
+	// CollapseOff forces per-rank evaluation everywhere.
+	CollapseOff = simnet.CollapseOff
+)
+
 // Program is a per-rank straight-line op-stream: the schedule-expressible
 // timing skeleton of a workload, executable by both engines with
 // bit-identical virtual times. Build one with NewProgram.
