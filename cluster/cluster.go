@@ -43,12 +43,17 @@ const (
 // Distance classifies the topological distance between two placed ranks.
 type Distance = topology.Distance
 
-// Distance classes, from a process to itself out to the network.
+// Distance classes, from a process to itself out to the network and across
+// switch groups.
 const (
 	DistanceSelf    = topology.DistanceSelf
 	DistanceSocket  = topology.DistanceSocket
 	DistanceNode    = topology.DistanceNode
 	DistanceNetwork = topology.DistanceNetwork
+	// DistanceGroup is communication between nodes of different switch
+	// groups (fat-tree pods, dragonfly groups); it only occurs on topologies
+	// with NodesPerGroup set.
+	DistanceGroup = topology.DistanceGroup
 )
 
 // Core is a per-node core design; Hierarchy and Level describe its memory
@@ -90,6 +95,21 @@ func FlatCluster(nodes int) *Profile { return platform.FlatCluster(nodes) }
 
 // FlatClusterMachine instantiates FlatCluster with one rank per node.
 func FlatClusterMachine(procs int) (*Machine, error) { return platform.FlatClusterMachine(procs) }
+
+// FatTreeCluster models a two-tier fat-tree of single-core nodes: pods of
+// nodesPerPod nodes behind edge switches, with cross-pod traffic paying an
+// extra core-switch hop (DistanceGroup link class). Collapse-eligible: zero
+// heterogeneity spread and zero noise.
+func FatTreeCluster(pods, nodesPerPod int) *Profile {
+	return platform.FatTreeCluster(pods, nodesPerPod)
+}
+
+// DragonflyCluster models a dragonfly of single-core nodes: groups with
+// all-to-all local links, cross-group traffic over long global links
+// (DistanceGroup link class). Collapse-eligible like FatTreeCluster.
+func DragonflyCluster(groups, nodesPerGroup int) *Profile {
+	return platform.DragonflyCluster(groups, nodesPerGroup)
+}
 
 // Opteron12x2x6 is the synthetic stand-in for the 12-node dual hexa-core
 // Opteron cluster (144 cores).

@@ -52,6 +52,7 @@ import (
 	"hbsp/cluster"
 	"hbsp/collective"
 	"hbsp/experiments"
+	"hbsp/fault"
 	"hbsp/sched"
 	"hbsp/sim"
 	"hbsp/trace"
@@ -122,6 +123,7 @@ func main() {
 	for _, p := range deSweep {
 		m := benchMachine(p)
 		emit(benchSyncDE(m, *quick))
+		emit(benchSyncFault(m, *quick))
 		emit(benchTotalExchangeDE(m, *quick))
 	}
 	symSweep := []int{65536, 262144}
@@ -332,6 +334,27 @@ func benchSync(m *cluster.Machine, quick bool) Entry {
 func benchSyncDE(m *cluster.Machine, quick bool) Entry {
 	return run("sync_dissemination_de", m.Procs(), quick, func() (int64, error) {
 		res, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{}, experiments.SyncExchangeProgram)
+		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
+}
+
+// benchSyncFault is benchSyncDE with a fault plan attached — one persistent
+// straggler plus a windowed wildcard link degradation — tracking the cost of
+// the fault-injection hot path. The fault-free entries (sync_dissemination,
+// sync_dissemination_de) double as the control: a plan-less run costs the
+// engines a single nil pointer test, so their allocs/op must not move when
+// the fault subsystem changes.
+func benchSyncFault(m *cluster.Machine, quick bool) Entry {
+	o := sim.DefaultOptions()
+	o.Faults = &fault.Plan{
+		Slowdowns: []fault.Slowdown{{Rank: 0, Factor: 1.5}},
+		Links:     []fault.LinkRule{{Src: -1, Dst: -1, Class: -1, LatencyFactor: 2, BetaFactor: 2, Start: 0, End: 1e-3}},
+	}
+	return run("sync_dissemination_fault", m.Procs(), quick, func() (int64, error) {
+		res, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{Options: &o}, experiments.SyncExchangeProgram)
 		if err != nil {
 			return 0, err
 		}

@@ -102,13 +102,40 @@
 // generators, the dissemination count exchange) — and evaluates one
 // representative rank per class, replicating the class results at assembly.
 // Times, makespan and traffic counters stay bit-identical to per-rank
-// evaluation; where the collapse does not apply (per-pair heterogeneity, a
-// live noise model, an attached trace recorder, an asymmetric schedule) the
-// evaluator falls back to per-rank silently. The collapse is what takes
+// evaluation. Where the collapse does not apply the evaluator falls back to
+// per-rank evaluation and reports the decision in Result.Collapse: whether
+// it was applied, how many equivalence classes it used, and on fallback the
+// reason — one of the sim.CollapseReason* constants ("off", "hetero",
+// "noise", "trace", "asymmetric", "fault"). The collapse is what takes
 // direct sweeps from P = 4096 to P = 1M. It is on by default;
 // WithSymmetryCollapse(false) (or sim.CollapseOff) forces per-rank
 // evaluation everywhere — the escape hatch, and the control column when
 // diffing the two paths.
+//
+// # Fault injection
+//
+// WithFaults attaches a fault.Plan — deterministic, seeded, validated
+// against the machine at New time (ErrInvalidFault) — and both engines
+// honor it bit-identically. The scenarios a plan expresses:
+//
+//   - Stragglers: fault.Slowdown multiplies one rank's compute/noise draws
+//     by a factor, optionally jittered and confined to a virtual-time
+//     window.
+//   - Link degradation: fault.LinkRule multiplies latency and transfer time
+//     of messages matched by source, destination and/or distance class
+//     (wildcards with -1; class rules target e.g. every cross-group cable
+//     of a cluster.FatTreeCluster or cluster.DragonflyCluster machine).
+//   - Fail-stop crashes: fault.FailStop kills a rank at a virtual time and
+//     charges restart plus recomputation back to the last checkpoint;
+//     surviving ranks stall at their next rendezvous with the failed rank,
+//     and the recovery is recorded as a "fault" trace event.
+//
+// A nil plan costs the hot paths a single pointer test. Under symmetry
+// collapse, fault-touched ranks split into their own equivalence classes
+// while the untouched rest keeps collapsing; fully asymmetric plans fall
+// back to per-rank evaluation with Result.Collapse.Reason == "fault".
+// See the experiments package (StragglerSeries, RecoverySeries) for
+// predicted-vs-simulated validation of the injections.
 //
 // The public packages layer as follows: cluster (platform profiles,
 // topologies, machines) feeds sim (the virtual-time simulator), on which bsp
@@ -118,7 +145,8 @@
 // schedule engine (patterns, verification, cost model, model-driven
 // adaptation), bench the measurement procedures, kernels and matrix the
 // modeling vocabulary, stencil Case Study II, trace the recording and
-// analysis subsystem, and experiments the evaluation driver. See README.md
+// analysis subsystem, fault the deterministic fault/straggler injection
+// plans, and experiments the evaluation driver. See README.md
 // for the package map and a migration table from the pre-facade internal
 // API.
 package hbsp

@@ -34,6 +34,8 @@ type (
 	HybridPoint           = iexp.HybridPoint
 	CollectivePoint       = iexp.CollectivePoint
 	CollapsePoint         = iexp.CollapsePoint
+	StragglerPoint        = iexp.StragglerPoint
+	RecoveryPoint         = iexp.RecoveryPoint
 	AdaptedSyncPoint      = iexp.AdaptedSyncPoint
 	StencilConfigRow      = iexp.StencilConfigRow
 	WallTimeRow           = iexp.WallTimeRow
@@ -111,6 +113,26 @@ func CollapseScalingTable(title string, points []CollapsePoint) *Table {
 }
 func AdaptedSyncTable(title string, points []AdaptedSyncPoint) *Table {
 	return iexp.AdaptedSyncTable(title, points)
+}
+
+// StragglerSeries sweeps the slowdown factor of a single straggling rank
+// across repeated count exchanges on the flat homogeneous cluster, comparing
+// the simulated makespan inflation against the first-order LogGP prediction.
+func StragglerSeries(procs, execs int, factors []float64) ([]StragglerPoint, error) {
+	return iexp.StragglerSeries(procs, execs, factors)
+}
+func StragglerTable(title string, points []StragglerPoint) *Table {
+	return iexp.StragglerTable(title, points)
+}
+
+// RecoverySeries crashes one rank halfway through the run and sweeps the
+// checkpoint interval, comparing the simulated makespan inflation against
+// the checkpoint/restart accounting model.
+func RecoverySeries(procs, execs int, fractions []float64) ([]RecoveryPoint, error) {
+	return iexp.RecoverySeries(procs, execs, fractions)
+}
+func RecoveryTable(title string, points []RecoveryPoint) *Table {
+	return iexp.RecoveryTable(title, points)
 }
 
 // SyncExchangeProgram is the shared BSP workload of the synchronizer

@@ -1,0 +1,42 @@
+// Package fault is the public surface for deterministic fault and straggler
+// injection: a Plan describes per-rank slowdowns (stragglers), per-link or
+// per-distance-class degradations, and fail-stop crashes with
+// checkpoint/restart cost accounting. Both execution engines honor a plan
+// bit-identically — the concurrent goroutine engine and the goroutine-free
+// direct evaluator produce the same virtual times, counters and traces under
+// the same plan — and a nil or empty plan costs the hot paths a single
+// pointer test.
+//
+// Attach a plan to a session with hbsp.WithFaults, or set sim.Options.Faults
+// directly. Plans are validated against the machine at hbsp.New time; a
+// malformed plan surfaces as an error wrapping ErrInvalid.
+package fault
+
+import (
+	"hbsp/internal/fault"
+)
+
+// Plan is a complete fault scenario: slowdowns, link degradations and
+// fail-stops, plus the seed of the plan's own jitter streams. The zero Plan
+// is valid and injects nothing.
+type Plan = fault.Plan
+
+// Slowdown multiplies one rank's noise draws by a factor (optionally
+// jittered) inside a virtual-time window — the straggler model.
+type Slowdown = fault.Slowdown
+
+// LinkRule degrades the latency and transfer time of matching messages
+// inside a virtual-time window. Src, Dst and Class of -1 match anything;
+// Class matches the machine's distance classes (cluster.DistanceNetwork,
+// cluster.DistanceGroup, ...).
+type LinkRule = fault.LinkRule
+
+// FailStop crashes a rank at a virtual time: the next clock advance crossing
+// FailAt additionally pays Restart plus the recompute time back to the last
+// checkpoint (FailAt mod Checkpoint; the whole prefix when Checkpoint is
+// zero). Surviving ranks stall at their next rendezvous with the failed rank
+// exactly as the LogGP recurrence dictates.
+type FailStop = fault.FailStop
+
+// ErrInvalid is wrapped by every plan-validation error.
+var ErrInvalid = fault.ErrInvalid

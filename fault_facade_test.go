@@ -1,0 +1,149 @@
+package hbsp_test
+
+// Facade tests of the fault-injection surface: hbsp.WithFaults validation,
+// the fault.Plan alias types, and end-to-end fault effects through a Session.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hbsp"
+	"hbsp/bsp"
+	"hbsp/cluster"
+	"hbsp/fault"
+	"hbsp/sim"
+)
+
+func TestWithFaultsValidation(t *testing.T) {
+	m := testMachine(t, 8)
+	if _, err := hbsp.New(m, hbsp.WithFaults(nil)); !errors.Is(err, hbsp.ErrOption) {
+		t.Errorf("nil plan: err = %v, want ErrOption", err)
+	}
+	bad := &fault.Plan{Slowdowns: []fault.Slowdown{{Rank: 99, Factor: 2}}}
+	if _, err := hbsp.New(m, hbsp.WithFaults(bad)); !errors.Is(err, hbsp.ErrInvalidFault) {
+		t.Errorf("out-of-range rank: err = %v, want ErrInvalidFault", err)
+	}
+	neg := &fault.Plan{Slowdowns: []fault.Slowdown{{Rank: 0, Factor: -1}}}
+	if _, err := hbsp.New(m, hbsp.WithFaults(neg)); !errors.Is(err, hbsp.ErrInvalidFault) {
+		t.Errorf("negative factor: err = %v, want ErrInvalidFault", err)
+	}
+	// Class-matched link rules need a machine exposing pair classes; the
+	// cluster machines do, a bare sim.Machine does not.
+	classRule := &fault.Plan{Links: []fault.LinkRule{
+		{Src: -1, Dst: -1, Class: int(cluster.DistanceNetwork), LatencyFactor: 2, BetaFactor: 2},
+	}}
+	if _, err := hbsp.New(fakeMachine{procs: 4}, hbsp.WithFaults(classRule)); !errors.Is(err, hbsp.ErrInvalidFault) {
+		t.Errorf("class rule on a classless machine: err = %v, want ErrInvalidFault", err)
+	}
+	if _, err := hbsp.New(m, hbsp.WithFaults(classRule)); err != nil {
+		t.Errorf("class rule on a cluster machine: %v", err)
+	}
+	ok := &fault.Plan{
+		Slowdowns: []fault.Slowdown{{Rank: 1, Factor: 2, Jitter: 0.1}},
+		FailStops: []fault.FailStop{{Rank: 0, FailAt: 1e-4, Restart: 1e-5}},
+	}
+	if _, err := hbsp.New(m, hbsp.WithFaults(ok)); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestSessionFaultsEndToEnd runs the same BSP program with and without a
+// straggler plan on the same seed: the fault run must be strictly slower,
+// deterministic across repetitions, and report its collapse decision.
+func TestSessionFaultsEndToEnd(t *testing.T) {
+	program := func(c *bsp.Ctx) error {
+		for s := 0; s < 3; s++ {
+			c.Compute(2e-6)
+			if err := c.Sync(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	run := func(opts ...hbsp.Option) *sim.Result {
+		t.Helper()
+		sess, err := hbsp.New(testMachine(t, 8), append([]hbsp.Option{hbsp.WithSeed(5)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.RunBSP(context.Background(), program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run()
+	plan := &fault.Plan{Slowdowns: []fault.Slowdown{{Rank: 2, Factor: 4}}}
+	faulted := run(hbsp.WithFaults(plan))
+	if !(faulted.MakeSpan > base.MakeSpan) {
+		t.Errorf("straggler makespan %v not above baseline %v", faulted.MakeSpan, base.MakeSpan)
+	}
+	again := run(hbsp.WithFaults(plan))
+	for r := range faulted.Times {
+		if faulted.Times[r] != again.Times[r] {
+			t.Errorf("rank %d: %v != %v across identical fault runs", r, faulted.Times[r], again.Times[r])
+		}
+	}
+
+	// The collapse diagnostics surface through the facade: the Xeon machine
+	// has a per-pair heterogeneity spread, so the gate reports the hetero
+	// fallback.
+	if faulted.Collapse.Applied || faulted.Collapse.Reason != sim.CollapseReasonHetero {
+		t.Errorf("collapse = %+v, want hetero fallback", faulted.Collapse)
+	}
+
+	// On a collapse-eligible flat machine, the fault fallback reason flows
+	// through instead.
+	flat, err := cluster.FlatClusterMachine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := hbsp.New(flat, hbsp.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunBSP(context.Background(), program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collapse.Applied || res.Collapse.Reason != sim.CollapseReasonFault {
+		t.Errorf("flat-machine collapse = %+v, want fault fallback", res.Collapse)
+	}
+}
+
+// TestFatTreeDragonflyFacade instantiates the grouped presets through the
+// cluster facade and runs a class-targeted degradation on the group links.
+func TestFatTreeDragonflyFacade(t *testing.T) {
+	for name, prof := range map[string]*cluster.Profile{
+		"fattree":   cluster.FatTreeCluster(4, 4),
+		"dragonfly": cluster.DragonflyCluster(4, 4),
+	} {
+		m, err := prof.Machine(16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		plan := &fault.Plan{Links: []fault.LinkRule{
+			{Src: -1, Dst: -1, Class: int(cluster.DistanceGroup), LatencyFactor: 8, BetaFactor: 8},
+		}}
+		program := func(c *bsp.Ctx) error {
+			c.Compute(1e-6)
+			return c.Sync()
+		}
+		run := func(opts ...hbsp.Option) float64 {
+			t.Helper()
+			sess, err := hbsp.New(m, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sess.RunBSP(context.Background(), program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.MakeSpan
+		}
+		if base, degraded := run(), run(hbsp.WithFaults(plan)); !(degraded > base) {
+			t.Errorf("%s: degrading group links left the makespan at %v (baseline %v)", name, degraded, base)
+		}
+	}
+}

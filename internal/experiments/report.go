@@ -154,6 +154,20 @@ func RunAll(w io.Writer, opts Options) error {
 	}
 	fmt.Fprint(w, CollapseScalingTable("Symmetry-collapsed sync scaling (flat homogeneous cluster)", collapse).String(), "\n")
 
+	// Fault injection: predicted vs simulated makespan inflation under a
+	// single straggler, and fail-stop recovery cost vs checkpoint interval.
+	straggler, err := StragglerSeries(16, 8, []float64{1, 1.5, 2, 4, 8})
+	if err != nil {
+		return fmt.Errorf("straggler sweep: %w", err)
+	}
+	fmt.Fprint(w, StragglerTable("Straggler inflation: predicted vs simulated (flat cluster, P=16)", straggler).String(), "\n")
+
+	recovery, err := RecoverySeries(16, 8, []float64{0, 0.7, 0.4, 0.15, 0.06})
+	if err != nil {
+		return fmt.Errorf("recovery sweep: %w", err)
+	}
+	fmt.Fprint(w, RecoveryTable("Fail-stop recovery cost vs checkpoint interval (flat cluster, P=16)", recovery).String(), "\n")
+
 	adaptedSync, err := AdaptedSyncSeries(xeon, opts.MaxProcsXeon, opts)
 	if err != nil {
 		return fmt.Errorf("adapted synchronizer: %w", err)

@@ -147,6 +147,20 @@ func (m *Machine) HomogeneousClasses() bool {
 	return m.profile.HeteroSpread == 0 && m.profile.NoiseRel <= 0
 }
 
+// InhomogeneityReason names what breaks HomogeneousClasses — "hetero" for a
+// per-pair heterogeneity spread, "noise" for run-to-run jitter — or "" when
+// the machine is homogeneous. Collapse diagnostics (simnet.Collapse) surface
+// it as the fallback reason.
+func (m *Machine) InhomogeneityReason() string {
+	if m.profile.HeteroSpread != 0 {
+		return "hetero"
+	}
+	if m.profile.NoiseRel > 0 {
+		return "noise"
+	}
+	return ""
+}
+
 // PairClass returns the distance class of the pair (i, j); under
 // HomogeneousClasses, pairs of equal class have identical parameters.
 func (m *Machine) PairClass(i, j int) uint8 {
@@ -162,6 +176,11 @@ func (m *Machine) UniformPairs() bool {
 		return false
 	}
 	t := m.placement.Topology
+	if t.NodesPerGroup > 0 && t.Nodes > t.NodesPerGroup {
+		// A grouped network has both intra- and cross-group pairs, so
+		// off-diagonal classes differ even one rank per node.
+		return false
+	}
 	if t.CoresPerNode() == 1 {
 		return true
 	}

@@ -86,7 +86,18 @@ func (p *Profile) Validate() error {
 			return fmt.Errorf("platform: core %q has non-positive peak", c.Name)
 		}
 	}
-	for _, d := range []topology.Distance{topology.DistanceSocket, topology.DistanceNode, topology.DistanceNetwork} {
+	required := []topology.Distance{topology.DistanceSocket, topology.DistanceNode, topology.DistanceNetwork}
+	if t := p.Topology; t.NodesPerGroup > 0 && t.Nodes > t.NodesPerGroup {
+		// A grouped topology with more than one group produces DistanceGroup
+		// pairs, so the class must be parameterized.
+		required = append(required, topology.DistanceGroup)
+	} else if _, ok := p.Links[topology.DistanceGroup]; ok {
+		// Conversely, on a topology that never produces DistanceGroup pairs
+		// the class would be dead configuration — reject it rather than let a
+		// misconfigured group link silently never apply.
+		return fmt.Errorf("platform: DistanceGroup link parameters on an ungrouped topology")
+	}
+	for _, d := range required {
 		l, ok := p.Links[d]
 		if !ok {
 			return fmt.Errorf("platform: missing link parameters for distance %v", d)

@@ -15,8 +15,8 @@ func TestPresetsValidate(t *testing.T) {
 			t.Errorf("preset %q invalid: %v", name, err)
 		}
 	}
-	if len(Presets()) != 5 {
-		t.Fatalf("expected 5 presets, got %d", len(Presets()))
+	if len(Presets()) != 7 {
+		t.Fatalf("expected 7 presets, got %d", len(Presets()))
 	}
 }
 

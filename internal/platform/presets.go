@@ -146,6 +146,68 @@ func FlatClusterMachine(procs int) (*Machine, error) {
 	return FlatCluster(nodes).Machine(procs)
 }
 
+// FatTreeCluster models a two-tier fat-tree of single-core nodes: pods of
+// nodesPerPod nodes behind edge switches, cross-pod traffic through the core
+// tier. Intra-pod pairs keep the gigabit network-class parameters; cross-pod
+// pairs pay an extra core-switch hop and share uplink bandwidth (synthetic
+// values in commodity orders of magnitude, like the rest of the presets).
+// Heterogeneity spread and noise are zero, so the profile is
+// collapse-eligible: symmetric schedules refine to a few classes split along
+// the pod structure rather than one per rank.
+func FatTreeCluster(pods, nodesPerPod int) *Profile {
+	links := gigabitLinks()
+	links[topology.DistanceGroup] = Link{
+		Latency:  42e-6,
+		Gap:      12e-6,
+		Beta:     1 / 95.0e6,
+		Overhead: 1.2e-6,
+	}
+	return &Profile{
+		Name: fmt.Sprintf("fattree-%dp%d", pods, nodesPerPod),
+		Topology: topology.Topology{
+			Nodes: pods * nodesPerPod, SocketsPerNode: 1, CoresPerSocket: 1,
+			NodesPerGroup: nodesPerPod,
+		},
+		Policy:       topology.Block,
+		Cores:        []memmodel.Core{xeonCore()},
+		Links:        links,
+		SelfOverhead: 0.12e-6,
+		HeteroSpread: 0,
+		NoiseRel:     0,
+		Seed:         6,
+	}
+}
+
+// DragonflyCluster models a dragonfly of single-core nodes: groups of
+// nodesPerGroup nodes with all-to-all local links, connected by long global
+// links. Intra-group pairs keep the gigabit network-class parameters;
+// cross-group pairs pay the global-link latency and its narrower bandwidth
+// (synthetic values, as above). Zero spread and noise keep it
+// collapse-eligible.
+func DragonflyCluster(groups, nodesPerGroup int) *Profile {
+	links := gigabitLinks()
+	links[topology.DistanceGroup] = Link{
+		Latency:  55e-6,
+		Gap:      13e-6,
+		Beta:     1 / 85.0e6,
+		Overhead: 1.2e-6,
+	}
+	return &Profile{
+		Name: fmt.Sprintf("dragonfly-%dg%d", groups, nodesPerGroup),
+		Topology: topology.Topology{
+			Nodes: groups * nodesPerGroup, SocketsPerNode: 1, CoresPerSocket: 1,
+			NodesPerGroup: nodesPerGroup,
+		},
+		Policy:       topology.Block,
+		Cores:        []memmodel.Core{xeonCore()},
+		Links:        links,
+		SelfOverhead: 0.12e-6,
+		HeteroSpread: 0,
+		NoiseRel:     0,
+		Seed:         7,
+	}
+}
+
 // XeonClusterHomogeneousMachine is XeonClusterMachine with the heterogeneity
 // spread also zeroed: multiple ranks per node, so distance classes still
 // differ pair to pair, but parameters are a pure function of the class. On
@@ -235,7 +297,8 @@ func HeteroDemo() *Profile {
 // Presets returns every built-in profile, keyed by name.
 func Presets() map[string]*Profile {
 	out := map[string]*Profile{}
-	for _, p := range []*Profile{Xeon8x2x4(), Opteron12x2x6(), Opteron10x2x6(), AthlonX2(), HeteroDemo()} {
+	for _, p := range []*Profile{Xeon8x2x4(), Opteron12x2x6(), Opteron10x2x6(), AthlonX2(), HeteroDemo(),
+		FatTreeCluster(4, 4), DragonflyCluster(4, 4)} {
 		out[p.Name] = p
 	}
 	return out

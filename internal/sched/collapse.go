@@ -2,6 +2,8 @@ package sched
 
 import (
 	"reflect"
+
+	"hbsp/internal/simnet"
 )
 
 // Collapsed execution: ExecCollapsed evaluates one representative rankState
@@ -15,15 +17,31 @@ import (
 // callers): the partition came from CollapseClasses on this machine and
 // schedule, no trace lanes are attached, and entry states are class-aligned.
 
+// partEntry is one cached collapse decision: the partition (nil = collapse
+// does not apply) together with its diagnostic.
+type partEntry struct {
+	part *Partition
+	info simnet.Collapse
+}
+
 // ExecScheduleAuto evaluates one execution of the schedule, collapsing
 // symmetric stages onto class representatives when the machine, schedule and
 // current entry states allow it, and falling back to the per-rank
 // ExecSchedule sweep otherwise. Results — clocks, port states, noise
 // positions, traffic counters — are bit-identical either way; the inline
-// gate paths (the BSP count exchange, the mpi schedule flood) call this.
+// gate paths (the BSP count exchange, the mpi schedule flood) call this. The
+// decision (and, on fallback, its reason) is retained for CollapseInfo.
 func (e *Evaluator) ExecScheduleAuto(s Schedule, tagBase int, computeEmpty bool) {
-	part := e.partitionFor(s)
-	if part == nil || !e.classesAligned(part) {
+	part, info := e.partitionFor(s)
+	if part != nil && !e.classesAligned(part) {
+		part = nil
+		info = simnet.Collapse{Reason: simnet.CollapseReasonAsymmetric}
+		if e.tracing() {
+			info.Reason = simnet.CollapseReasonTrace
+		}
+	}
+	e.lastCollapse = info
+	if part == nil {
 		e.ExecSchedule(s, tagBase, computeEmpty)
 		return
 	}
@@ -32,24 +50,37 @@ func (e *Evaluator) ExecScheduleAuto(s Schedule, tagBase int, computeEmpty bool)
 }
 
 // partitionFor returns the cached rank-equivalence partition of the schedule
-// (nil = collapse does not apply), computing and caching it on first sight.
-// Ineligible schedules cache nil so the structural refinement never reruns.
-func (e *Evaluator) partitionFor(s Schedule) *Partition {
+// (nil = collapse does not apply) and its diagnostic, computing and caching
+// both on first sight. Ineligible schedules cache the nil partition with its
+// reason so the structural refinement never reruns. The cache is valid for
+// the evaluator's current run: it is dropped on Release, and the fault plan
+// the decision depends on is fixed per run.
+func (e *Evaluator) partitionFor(s Schedule) (*Partition, simnet.Collapse) {
 	if e.collapseOff {
-		return nil
+		return nil, simnet.Collapse{Reason: simnet.CollapseReasonOff}
 	}
 	if !reflect.TypeOf(s).Comparable() {
-		return CollapseClasses(e.m, s)
+		return CollapseClassesWith(e.m, s, e.ft)
 	}
-	part, ok := e.partCache[s]
+	ent, ok := e.partCache[s]
 	if !ok {
-		part = CollapseClasses(e.m, s)
+		ent.part, ent.info = CollapseClassesWith(e.m, s, e.ft)
 		if e.partCache == nil {
-			e.partCache = make(map[Schedule]*Partition)
+			e.partCache = make(map[Schedule]partEntry)
 		}
-		e.partCache[s] = part
+		e.partCache[s] = ent
 	}
-	return part
+	return ent.part, ent.info
+}
+
+// tracing reports whether any rank currently has a trace lane attached.
+func (e *Evaluator) tracing() bool {
+	for r := range e.states {
+		if e.states[r].lane != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // classesAligned reports whether the current entry states permit collapsed
@@ -127,7 +158,7 @@ func (e *Evaluator) execCollapsed(s Schedule, part *Partition, tagBase int, comp
 			ins, outs := st.In[r], st.Out[r]
 			if len(ins) == 0 && len(outs) == 0 {
 				if computeEmpty {
-					rs.compute(e.m, r, 0)
+					rs.compute(e.m, e.ft, r, 0)
 				}
 				continue
 			}
@@ -160,9 +191,10 @@ func (e *Evaluator) execCollapsed(s Schedule, part *Partition, tagBase int, comp
 		// arrival src's representative computed at position k (class
 		// equivalence covers pair class, position and size), so the class
 		// queue substitutes for the per-receiver one. Clock advances are
-		// inlined: lanes are nil under collapse, and the inline form carries
-		// no int32 payload casts (count-exchange payloads exceed int32 at
-		// P=1M).
+		// inlined through setNow: lanes are nil under collapse, and the inline
+		// form carries no int32 payload casts (count-exchange payloads exceed
+		// int32 at P=1M); fail-stop crossings still apply — a class whose
+		// members all fail identically collapses like any other.
 		for c := 0; c < nc; c++ {
 			r := int(part.Reps[c])
 			rs := &e.states[r]
@@ -171,12 +203,12 @@ func (e *Evaluator) execCollapsed(s Schedule, part *Partition, tagBase int, comp
 				arrival := classArr[part.ClassOf[src]][k]
 				completeAt, _ := e.recvComplete(rs, r, src, e.entry[r], arrival)
 				if completeAt > rs.now {
-					rs.now = completeAt
+					rs.setNow(e.ft, r, completeAt)
 				}
 			}
 			for k := range st.Out[r] {
 				if completeAt := e.sendComplete[r][k]; completeAt > rs.now {
-					rs.now = completeAt
+					rs.setNow(e.ft, r, completeAt)
 				}
 			}
 		}
@@ -201,7 +233,7 @@ func (e *Evaluator) execCollapsedCirculant(cs CirculantSchedule, tagBase int, co
 		off, size := cs.CirculantStage(sg)
 		if off == 0 {
 			if computeEmpty {
-				rs.compute(e.m, 0, 0)
+				rs.compute(e.m, e.ft, 0, 0)
 			}
 			continue
 		}
@@ -214,10 +246,10 @@ func (e *Evaluator) execCollapsedCirculant(cs CirculantSchedule, tagBase int, co
 		// By symmetry the arrival from src equals rank 0's own send arrival.
 		recvDone, _ := e.recvComplete(rs, 0, src, entry, arrival)
 		if recvDone > rs.now {
-			rs.now = recvDone
+			rs.setNow(e.ft, 0, recvDone)
 		}
 		if sendDone > rs.now {
-			rs.now = sendDone
+			rs.setNow(e.ft, 0, sendDone)
 		}
 	}
 	return nil

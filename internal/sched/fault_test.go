@@ -1,0 +1,358 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"hbsp/internal/bsp"
+	"hbsp/internal/fault"
+	"hbsp/internal/platform"
+	"hbsp/internal/sched"
+	"hbsp/internal/simnet"
+	"hbsp/internal/topology"
+	"hbsp/internal/trace"
+)
+
+// faultScenarios builds the fault plans of the cross-engine diff matrix,
+// windowed relative to the fault-free makespan so every rule activates
+// mid-run at any rank count.
+func faultScenarios(p int, base float64) []struct {
+	name string
+	plan *fault.Plan
+} {
+	return []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"straggler", &fault.Plan{
+			Seed: 11,
+			Slowdowns: []fault.Slowdown{
+				{Rank: 3 % p, Factor: 2},
+				{Rank: 1 % p, Factor: 1.5, Jitter: 0.25, Start: base * 0.2, End: base * 0.6},
+			},
+		}},
+		{"links", &fault.Plan{
+			Links: []fault.LinkRule{
+				{Src: -1, Dst: -1, Class: -1, LatencyFactor: 2, BetaFactor: 3, Start: 0, End: base * 0.5},
+				{Src: 0, Dst: -1, Class: -1, LatencyFactor: 1.5, BetaFactor: 1},
+				{Src: -1, Dst: p - 1, Class: -1, LatencyFactor: 1, BetaFactor: 4},
+			},
+		}},
+		{"failstop", &fault.Plan{
+			FailStops: []fault.FailStop{
+				{Rank: 0, FailAt: base * 0.4, Restart: base * 0.1, Checkpoint: base * 0.15},
+				{Rank: p - 1, FailAt: base * 0.7, Restart: base * 0.05},
+			},
+		}},
+		{"mixed", &fault.Plan{
+			Seed:      3,
+			Slowdowns: []fault.Slowdown{{Rank: 2 % p, Factor: 3, Start: base * 0.1}},
+			Links:     []fault.LinkRule{{Src: -1, Dst: -1, Class: -1, LatencyFactor: 1.5, BetaFactor: 2, Start: base * 0.3}},
+			FailStops: []fault.FailStop{{Rank: 0, FailAt: base * 0.5, Restart: base * 0.2}},
+		}},
+	}
+}
+
+func diffResults(t *testing.T, tag string, resC, resD *simnet.Result) {
+	t.Helper()
+	for r := range resC.Times {
+		if resC.Times[r] != resD.Times[r] {
+			t.Errorf("%s rank %d: concurrent %v, direct %v", tag, r, resC.Times[r], resD.Times[r])
+		}
+	}
+	if resC.MakeSpan != resD.MakeSpan {
+		t.Errorf("%s makespan: %v vs %v", tag, resC.MakeSpan, resD.MakeSpan)
+	}
+	if resC.Messages != resD.Messages || resC.Bytes != resD.Bytes {
+		t.Errorf("%s traffic: %d/%d vs %d/%d", tag, resC.Messages, resC.Bytes, resD.Messages, resD.Bytes)
+	}
+}
+
+// TestFaultEnginesBitIdentical diffs the engines under every fault scenario:
+// virtual times, counters and recorded trace streams (including the fault
+// event lane) must be bit-identical at P in {16, 64, 256}, acks on and off.
+func TestFaultEnginesBitIdentical(t *testing.T) {
+	for _, p := range []int{16, 64, 256} {
+		if testing.Short() && p > 64 {
+			continue
+		}
+		m := machines(t, p, 42, false)
+		pr := ringProgram(p)
+		for _, ack := range []bool{true, false} {
+			oB := simnet.DefaultOptions()
+			oB.AckSends = ack
+			baseRes, err := sched.RunProgram(context.Background(), m, pr, oB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sc := range faultScenarios(p, baseRes.MakeSpan) {
+				recC := trace.NewRecorder()
+				oC := simnet.DefaultOptions()
+				oC.AckSends = ack
+				oC.Engine = simnet.EngineConcurrent
+				oC.Recorder = recC
+				oC.Faults = sc.plan
+				resC, err := simnet.RunProgram(context.Background(), m, pr, oC)
+				if err != nil {
+					t.Fatalf("p=%d %s ack=%v concurrent: %v", p, sc.name, ack, err)
+				}
+
+				recD := trace.NewRecorder()
+				oD := simnet.DefaultOptions()
+				oD.AckSends = ack
+				oD.Recorder = recD
+				oD.Faults = sc.plan
+				resD, err := sched.RunProgram(context.Background(), m, pr, oD)
+				if err != nil {
+					t.Fatalf("p=%d %s ack=%v direct: %v", p, sc.name, ack, err)
+				}
+
+				tag := sc.name
+				diffResults(t, tag, resC, resD)
+				// The plan must actually perturb the run: the straggler's own
+				// draws change and the fail-stop on rank p-1 (whose finish is
+				// the makespan, past FailAt = 0.7·makespan) always fires.
+				if sc.name == "straggler" || sc.name == "failstop" {
+					changed := false
+					for r := range resD.Times {
+						if resD.Times[r] != baseRes.Times[r] {
+							changed = true
+							break
+						}
+					}
+					if !changed {
+						t.Errorf("p=%d %s ack=%v: fault plan left every virtual time unchanged", p, sc.name, ack)
+					}
+				}
+				if sc, sd := eventStream(t, recC), eventStream(t, recD); sc != sd {
+					t.Errorf("p=%d %s ack=%v: traced event streams differ", p, tag, ack)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultEnginesNoisyMachine repeats the engine diff on a noisy machine:
+// slowdown factors multiply into live noise draws at the same sequence
+// numbers on both engines.
+func TestFaultEnginesNoisyMachine(t *testing.T) {
+	p := 16
+	m := machines(t, p, 7, true)
+	pr := ringProgram(p)
+	plan := &fault.Plan{
+		Seed:      5,
+		Slowdowns: []fault.Slowdown{{Rank: 0, Factor: 2, Jitter: 0.5}},
+	}
+	oC := simnet.DefaultOptions()
+	oC.Engine = simnet.EngineConcurrent
+	oC.Faults = plan
+	resC, err := simnet.RunProgram(context.Background(), m, pr, oC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oD := simnet.DefaultOptions()
+	oD.Faults = plan
+	resD, err := sched.RunProgram(context.Background(), m, pr, oD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, "noisy", resC, resD)
+}
+
+// TestFaultClassRuleFatTree pins distance-class-matched link rules: on a
+// fat-tree, a DistanceGroup rule degrades only cross-pod edges, and the
+// engines agree bit for bit.
+func TestFaultClassRuleFatTree(t *testing.T) {
+	for _, tc := range []struct{ pods, per int }{{4, 4}, {8, 8}} {
+		p := tc.pods * tc.per
+		m, err := platform.FatTreeCluster(tc.pods, tc.per).Machine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := ringProgram(p)
+		plan := &fault.Plan{Links: []fault.LinkRule{
+			{Src: -1, Dst: -1, Class: int(topology.DistanceGroup), LatencyFactor: 4, BetaFactor: 2},
+		}}
+		base, err := sched.RunProgram(context.Background(), m, pr, simnet.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oC := simnet.DefaultOptions()
+		oC.Engine = simnet.EngineConcurrent
+		oC.Faults = plan
+		resC, err := simnet.RunProgram(context.Background(), m, pr, oC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oD := simnet.DefaultOptions()
+		oD.Faults = plan
+		resD, err := sched.RunProgram(context.Background(), m, pr, oD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, "fattree", resC, resD)
+		if resD.MakeSpan <= base.MakeSpan {
+			t.Errorf("P=%d: degrading cross-pod links did not inflate the makespan", p)
+		}
+
+		// An intra-pod-only ring (all ranks in pod 0 would need p <= per);
+		// instead pin that a rule on a class the traffic never uses is free:
+		// DistanceSocket never occurs on a one-core-per-node fat-tree.
+		planIdle := &fault.Plan{Links: []fault.LinkRule{
+			{Src: -1, Dst: -1, Class: int(topology.DistanceSocket), LatencyFactor: 64, BetaFactor: 64},
+		}}
+		oI := simnet.DefaultOptions()
+		oI.Faults = planIdle
+		resI, err := sched.RunProgram(context.Background(), m, pr, oI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resI.MakeSpan != base.MakeSpan {
+			t.Errorf("P=%d: rule on an unused distance class changed the makespan", p)
+		}
+	}
+}
+
+// TestFaultGateEngineBitIdentical runs the BSP count exchange — whose Sync is
+// routed through the in-proc gate to the direct evaluator under EngineAuto —
+// under a fault plan on both engines.
+func TestFaultGateEngineBitIdentical(t *testing.T) {
+	for _, p := range []int{16, 64} {
+		m := machines(t, p, 13, false)
+		program := func(c *bsp.Ctx) error {
+			for s := 0; s < 4; s++ {
+				c.Compute(1e-6 * float64(c.Pid()+1))
+				if err := c.Sync(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		base, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{}, program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range faultScenarios(p, base.MakeSpan) {
+			oC := simnet.DefaultOptions()
+			oC.Engine = simnet.EngineConcurrent
+			oC.Faults = sc.plan
+			resC, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{Options: &oC}, program)
+			if err != nil {
+				t.Fatalf("p=%d %s concurrent: %v", p, sc.name, err)
+			}
+			oA := simnet.DefaultOptions()
+			oA.Faults = sc.plan
+			resA, err := bsp.RunContext(context.Background(), m, bsp.RunConfig{Options: &oA}, program)
+			if err != nil {
+				t.Fatalf("p=%d %s auto: %v", p, sc.name, err)
+			}
+			diffResults(t, sc.name, resC, resA)
+		}
+	}
+}
+
+// TestFaultTraceEvents pins the fault event lane: a fail-stop crossing is
+// recorded as a KindFault event on the failed rank whose T0/T1 bracket the
+// crash penalty, and the trace metadata carries the plan description.
+func TestFaultTraceEvents(t *testing.T) {
+	p := 8
+	m := machines(t, p, 3, false)
+	pr := ringProgram(p)
+	base, err := sched.RunProgram(context.Background(), m, pr, simnet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fault.FailStop{Rank: 2, FailAt: base.MakeSpan * 0.5, Restart: base.MakeSpan * 0.25}
+	plan := &fault.Plan{FailStops: []fault.FailStop{fs}}
+	rec := trace.NewRecorder()
+	o := simnet.DefaultOptions()
+	o.Recorder = rec
+	o.Faults = plan
+	if _, err := sched.RunProgram(context.Background(), m, pr, o); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind != trace.KindFault {
+			continue
+		}
+		found++
+		if ev.Rank != 2 {
+			t.Errorf("fault event on rank %d, want 2", ev.Rank)
+		}
+		if got, want := ev.T1-ev.T0, fs.Penalty(); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("fault event spans %v, want penalty %v", got, want)
+		}
+		if ev.T0 < fs.FailAt {
+			t.Errorf("fault event at %v precedes the fail time %v", ev.T0, fs.FailAt)
+		}
+	}
+	if found != 1 {
+		t.Fatalf("found %d fault events, want 1", found)
+	}
+	want := fmt.Sprintf("fail-stop rank 2 at %g penalty %g", fs.FailAt, fs.Penalty())
+	if len(tr.Meta.Faults) != 1 || tr.Meta.Faults[0] != want {
+		t.Errorf("trace metadata: %v, want [%s]", tr.Meta.Faults, want)
+	}
+}
+
+// TestFaultTeardown pins teardown under faults on both engines: cancellation
+// and deadline expiry mid-fail-stop-recovery unwind every rank and return the
+// engine-shaped errors.
+func TestFaultTeardown(t *testing.T) {
+	p := 8
+	m := machines(t, p, 3, false)
+	plan := &fault.Plan{FailStops: []fault.FailStop{{Rank: 0, FailAt: 1e-7, Restart: 1e-3}}}
+
+	// Direct evaluator: a long program so the periodic cancellation check
+	// fires after the crash penalty was consumed.
+	pr := simnet.NewProgram(p)
+	for r := 0; r < p; r++ {
+		b := pr.Rank(r)
+		for k := 0; k < 200000; k++ {
+			b.ComputeExact(1e-9)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	oD := simnet.DefaultOptions()
+	oD.Faults = plan
+	if _, err := sched.RunProgram(ctx, m, pr, oD); !errors.Is(err, simnet.ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("direct cancel: want ErrAborted wrapping context.Canceled, got %v", err)
+	}
+	oD.Deadline = time.Nanosecond
+	if _, err := sched.RunProgram(context.Background(), m, pr, oD); !errors.Is(err, simnet.ErrDeadline) {
+		t.Fatalf("direct deadline: want ErrDeadline, got %v", err)
+	}
+
+	// Concurrent engine: ranks block in receives that never resolve once the
+	// context is cancelled; every goroutine must unwind.
+	body := func(pc *simnet.Proc) error {
+		pc.Compute(1e-6)               // crosses rank 0's fail time, consuming the penalty
+		pc.Recv((pc.Rank()+p-1)%p, 77) // never sent; cancellation unwinds it
+		return nil
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	oC := simnet.DefaultOptions()
+	oC.Engine = simnet.EngineConcurrent
+	oC.Faults = plan
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel2()
+	}()
+	if _, err := simnet.RunContext(ctx2, m, body, oC); !errors.Is(err, simnet.ErrAborted) {
+		t.Fatalf("concurrent cancel: want ErrAborted, got %v", err)
+	}
+	oC.Deadline = 10 * time.Millisecond
+	if _, err := simnet.RunContext(context.Background(), m, body, oC); !errors.Is(err, simnet.ErrDeadline) {
+		t.Fatalf("concurrent deadline: want ErrDeadline, got %v", err)
+	}
+}

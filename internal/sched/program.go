@@ -300,6 +300,11 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 	}
 	e := NewEvaluator(m, o.AckSends)
 	defer e.Release()
+	ft, err := compileFaults(o.Faults, m)
+	if err != nil {
+		return nil, err
+	}
+	e.ft = ft
 	beginRecording(o.Recorder, m, o.AckSends, e)
 
 	p := c.procs
@@ -339,9 +344,9 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 			in := &ops[pc[r]]
 			switch in.kind {
 			case iCompute:
-				rs.compute(e.m, int(r), in.sec)
+				rs.compute(e.m, e.ft, int(r), in.sec)
 			case iComputeExact:
-				rs.computeExact(int(r), in.sec)
+				rs.computeExact(e.ft, int(r), in.sec)
 			case iSend, iPost:
 				arrival, completeAt, sendEv := e.send(rs, int(r), int(in.peer), int(in.tag), int(in.size))
 				arrivals[in.slot] = arrival
@@ -356,7 +361,7 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 			case iRecv:
 				reqTime[r][in.req] = rs.now
 			case iWaitSend:
-				rs.waitSendAdvance(reqTime[r][in.req], int(in.peer), int(in.tag), int(in.size))
+				rs.waitSendAdvance(e.ft, int(r), reqTime[r][in.req], int(in.peer), int(in.tag), int(in.size))
 			case iWaitRecv:
 				if in.slot < 0 {
 					// Statically unmatched: this rank can never proceed.
@@ -369,7 +374,7 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 				}
 				arrival := arrivals[in.slot]
 				completeAt, gated := e.recvComplete(rs, int(r), int(in.peer), reqTime[r][in.req], arrival)
-				rs.waitRecvAdvance(completeAt, int(in.peer), int(in.tag), in.size, sendEvs[in.slot], gated, arrival)
+				rs.waitRecvAdvance(e.ft, int(r), completeAt, int(in.peer), int(in.tag), in.size, sendEvs[in.slot], gated, arrival)
 			case iSuperstep:
 				rs.superstepMark(in.mark)
 			case iStage:

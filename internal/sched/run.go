@@ -7,12 +7,25 @@ import (
 	"math/bits"
 	"time"
 
+	"hbsp/internal/fault"
 	"hbsp/internal/simnet"
 	"hbsp/internal/trace"
 )
 
+// compileFaults compiles the run's fault plan against the machine, resolving
+// distance classes through the machine's PairClass when it has one. A nil or
+// empty plan compiles to a nil runtime (the fault-free hot path).
+func compileFaults(p *fault.Plan, m simnet.Machine) (*fault.Runtime, error) {
+	var pc func(i, j int) uint8
+	if sm, ok := m.(interface{ PairClass(i, j int) uint8 }); ok {
+		pc = sm.PairClass
+	}
+	return fault.Compile(p, m.Procs(), pc)
+}
+
 // beginRecording mirrors simnet.RunContext's recorder attachment: label the
-// run with the machine's identity and exact seed, and hand out lanes.
+// run with the machine's identity, exact seed and fault scenario, and hand
+// out lanes.
 func beginRecording(rec *trace.Recorder, m simnet.Machine, ack bool, e *Evaluator) {
 	if !rec.Enabled() {
 		return
@@ -24,6 +37,7 @@ func beginRecording(rec *trace.Recorder, m simnet.Machine, ack bool, e *Evaluato
 	if st, ok := m.(fmt.Stringer); ok {
 		meta.Machine = st.String()
 	}
+	meta.Faults = e.ft.Describe()
 	rec.BeginRun(meta)
 	for r := 0; r < m.Procs(); r++ {
 		e.AttachLane(r, rec.LaneOf(r), 0)
@@ -97,14 +111,25 @@ func RunSchedule(ctx context.Context, m simnet.Machine, s Schedule, execs int, o
 	e := NewEvaluator(m, o.AckSends)
 	defer e.Release()
 	e.collapseOff = o.SymmetryCollapse == simnet.CollapseOff
+	ft, err := compileFaults(o.Faults, m)
+	if err != nil {
+		return nil, err
+	}
+	e.ft = ft
 	beginRecording(o.Recorder, m, o.AckSends, e)
 
 	// Partition once per run: fresh states are class-aligned (all zero) and
 	// collapsed executions preserve alignment, so eligibility never changes
 	// mid-run. Recording forces the per-rank path (per-rank trace lanes).
 	var part *Partition
-	if !e.collapseOff && !o.Recorder.Enabled() {
-		part = CollapseClasses(m, s)
+	var collapse simnet.Collapse
+	switch {
+	case e.collapseOff:
+		collapse = simnet.Collapse{Reason: simnet.CollapseReasonOff}
+	case o.Recorder.Enabled():
+		collapse = simnet.Collapse{Reason: simnet.CollapseReasonTrace}
+	default:
+		part, collapse = CollapseClassesWith(m, s, e.ft)
 	}
 	perStage := m.Procs()
 	if part != nil {
@@ -130,6 +155,7 @@ func RunSchedule(ctx context.Context, m simnet.Machine, s Schedule, execs int, o
 	}
 	res := e.result()
 	res.Messages, res.Bytes = e.messages, e.bytes
+	res.Collapse = collapse
 	endRecording(o.Recorder, res, res.Messages, res.Bytes, nil)
 	return res, nil
 }

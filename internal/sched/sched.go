@@ -32,6 +32,7 @@ package sched
 import (
 	"sync"
 
+	"hbsp/internal/fault"
 	"hbsp/internal/simnet"
 	"hbsp/internal/trace"
 )
@@ -111,6 +112,15 @@ type Evaluator struct {
 	// (the runtime wires it from Options.SymmetryCollapse).
 	collapseOff bool
 
+	// ft is the compiled fault plan of the run, nil when fault-free — the
+	// mirror of Proc.ft, wired from Options.Faults (whole-run evaluation) or
+	// Proc.Faults (gate rendezvous).
+	ft *fault.Runtime
+
+	// lastCollapse is the diagnostic of the most recent collapse decision
+	// (ExecScheduleAuto); runs surface it as Result.Collapse.
+	lastCollapse simnet.Collapse
+
 	states []rankState
 
 	// Per-stage scratch, reset between stages: entry clocks (the post time
@@ -125,10 +135,11 @@ type Evaluator struct {
 
 	// Collapsed-evaluation scratch: per class, the arrivals of the
 	// representative's sends by out-edge position; and the cached
-	// rank-equivalence partitions of schedules evaluated inline (nil value =
-	// ineligible, cached too so the refinement never reruns).
+	// rank-equivalence partitions of schedules evaluated inline (a nil
+	// partition = ineligible, cached with its reason so the refinement never
+	// reruns).
 	classArr  [][]float64
-	partCache map[Schedule]*Partition
+	partCache map[Schedule]partEntry
 
 	messages int64
 	bytes    int64
@@ -150,6 +161,8 @@ func NewEvaluator(m simnet.Machine, ack bool) *Evaluator {
 	}
 	e.m, e.ack = m, ack
 	e.collapseOff = false
+	e.ft = nil
+	e.lastCollapse = simnet.Collapse{}
 	e.messages, e.bytes = 0, 0
 	e.partCache = nil
 	if cap(e.states) < p {
@@ -180,9 +193,15 @@ func (e *Evaluator) Release() {
 		e.states[i] = rankState{}
 	}
 	e.m = nil
+	e.ft = nil
 	e.partCache = nil
 	evalPool.Put(e)
 }
+
+// CollapseInfo returns the diagnostic of the evaluator's most recent
+// symmetry-collapse decision; simnet.RunContext reads it off the gate-parked
+// evaluator into Result.Collapse.
+func (e *Evaluator) CollapseInfo() simnet.Collapse { return e.lastCollapse }
 
 // Procs returns the evaluator's rank count.
 func (e *Evaluator) Procs() int { return len(e.states) }
@@ -246,33 +265,55 @@ func EvaluatorAt(g *simnet.Gate, p *simnet.Proc) *Evaluator {
 	}
 	ev := NewEvaluator(p.MachineOf(), p.AckSends())
 	ev.collapseOff = p.CollapseMode() == simnet.CollapseOff
+	ev.ft = p.Faults()
 	g.Scratch = ev
 	return ev
 }
 
-// noise draws the next jitter factor for the rank, mirroring Proc.noise.
-func (st *rankState) noise(m simnet.Machine, rank int) float64 {
+// noise draws the next jitter factor for the rank, mirroring Proc.noise
+// (including the fault-plan slowdown multiplier).
+func (st *rankState) noise(m simnet.Machine, ft *fault.Runtime, rank int) float64 {
 	f := m.Noise(rank, st.noiseSeq)
+	if ft != nil {
+		f *= ft.Slow(rank, st.noiseSeq, st.now)
+	}
 	st.noiseSeq++
 	return f
 }
 
+// setNow mirrors Proc.setNow: move the clock to t, paying the fail-stop
+// crossing penalty (and recording the KindFault interval) when the advance
+// crosses the rank's fail time.
+func (st *rankState) setNow(ft *fault.Runtime, rank int, t float64) {
+	if ft != nil {
+		if adj, pen := ft.Cross(rank, st.now, t); pen > 0 {
+			if st.lane != nil {
+				st.lane.Append(trace.Event{Kind: trace.KindFault, Peer: -1, SendSeq: -1,
+					Step: st.step, Stage: st.stage, T0: t, T1: adj})
+			}
+			st.now = adj
+			return
+		}
+	}
+	st.now = t
+}
+
 // compute mirrors Proc.Compute: advance the clock by noisy work, recording a
 // compute interval on traced runs.
-func (st *rankState) compute(m simnet.Machine, rank int, seconds float64) {
+func (st *rankState) compute(m simnet.Machine, ft *fault.Runtime, rank int, seconds float64) {
 	if seconds < 0 {
 		seconds = 0
 	}
-	d := seconds * st.noise(m, rank)
+	d := seconds * st.noise(m, ft, rank)
 	if st.lane != nil && d > 0 {
 		st.lane.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
 			Step: st.step, Stage: st.stage, T0: st.now, T1: st.now + d})
 	}
-	st.now += d
+	st.setNow(ft, rank, st.now+d)
 }
 
 // computeExact mirrors Proc.ComputeExact.
-func (st *rankState) computeExact(rank int, seconds float64) {
+func (st *rankState) computeExact(ft *fault.Runtime, rank int, seconds float64) {
 	if seconds < 0 {
 		seconds = 0
 	}
@@ -280,7 +321,7 @@ func (st *rankState) computeExact(rank int, seconds float64) {
 		st.lane.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
 			Step: st.step, Stage: st.stage, T0: st.now, T1: st.now + seconds})
 	}
-	st.now += seconds
+	st.setNow(ft, rank, st.now+seconds)
 }
 
 // send mirrors Proc.sendCore: pay the sender-side costs of one eager send and
@@ -290,10 +331,14 @@ func (st *rankState) computeExact(rank int, seconds float64) {
 func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, completeAt float64, sendEv int32) {
 	m := e.m
 	t0 := st.now
-	st.now += m.Overhead(rank, dst) * st.noise(m, rank)
+	latMul, betaMul := 1.0, 1.0
+	if e.ft != nil && e.ft.HasLinks() {
+		latMul, betaMul = e.ft.Link(rank, dst, t0)
+	}
+	st.setNow(e.ft, rank, st.now+m.Overhead(rank, dst)*st.noise(m, e.ft, rank))
 
 	sameNIC := m.NIC(rank) == m.NIC(dst)
-	transfer := float64(size) * m.Beta(rank, dst)
+	transfer := float64(size) * m.Beta(rank, dst) * betaMul
 	var txStart float64
 	if sameNIC && rank != dst {
 		txStart = st.now
@@ -304,7 +349,7 @@ func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, comp
 		}
 		st.txFree = txStart + m.Gap(rank, dst) + transfer
 	}
-	arrival = txStart + (m.Latency(rank, dst)+transfer)*st.noise(m, rank)
+	arrival = txStart + (m.Latency(rank, dst)*latMul+transfer)*st.noise(m, e.ft, rank)
 
 	sendEv = -1
 	if st.lane != nil {
@@ -321,7 +366,7 @@ func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, comp
 		completeAt = arrival
 	}
 	if e.ack && rank != dst {
-		completeAt = arrival + m.Latency(dst, rank)
+		completeAt = arrival + m.Latency(dst, rank)*latMul
 	}
 	return arrival, completeAt, sendEv
 }
@@ -348,26 +393,26 @@ func (e *Evaluator) recvComplete(st *rankState, rank, src int, postTime, arrival
 
 // waitRecvAdvance mirrors Proc.Wait for a resolved receive: advance the clock
 // to the completion time, recording the wait interval on traced runs.
-func (st *rankState) waitRecvAdvance(completeAt float64, src, tag int, size, sendEv int32, gated bool, arrival float64) {
+func (st *rankState) waitRecvAdvance(ft *fault.Runtime, rank int, completeAt float64, src, tag int, size, sendEv int32, gated bool, arrival float64) {
 	if completeAt > st.now {
 		if st.lane != nil {
 			st.lane.Append(trace.Event{Kind: trace.KindRecvWait, Gated: gated,
 				Peer: int32(src), Tag: int32(tag), Size: size, SendSeq: sendEv,
 				Step: st.step, Stage: st.stage, T0: st.now, T1: completeAt, Arrival: arrival})
 		}
-		st.now = completeAt
+		st.setNow(ft, rank, completeAt)
 	}
 }
 
 // waitSendAdvance mirrors Proc.Wait for a send request.
-func (st *rankState) waitSendAdvance(completeAt float64, dst, tag, size int) {
+func (st *rankState) waitSendAdvance(ft *fault.Runtime, rank int, completeAt float64, dst, tag, size int) {
 	if completeAt > st.now {
 		if st.lane != nil {
 			st.lane.Append(trace.Event{Kind: trace.KindSendWait,
 				Peer: int32(dst), Tag: int32(tag), Size: int32(size), SendSeq: -1,
 				Step: st.step, Stage: st.stage, T0: st.now, T1: completeAt})
 		}
-		st.now = completeAt
+		st.setNow(ft, rank, completeAt)
 	}
 }
 
@@ -423,7 +468,7 @@ func (e *Evaluator) execSchedule(s Schedule, tagBase int, computeEmpty bool, chk
 			ins, outs := st.In[r], st.Out[r]
 			if len(ins) == 0 && len(outs) == 0 {
 				if computeEmpty {
-					rs.compute(e.m, r, 0)
+					rs.compute(e.m, e.ft, r, 0)
 				}
 				continue
 			}
@@ -452,14 +497,14 @@ func (e *Evaluator) execSchedule(s Schedule, tagBase int, computeEmpty bool, chk
 			for q, src := range ins {
 				arrival := e.inArr[r][q]
 				completeAt, gated := e.recvComplete(rs, r, src, e.entry[r], arrival)
-				rs.waitRecvAdvance(completeAt, src, tag, e.inSize[r][q], e.inEv[r][q], gated, arrival)
+				rs.waitRecvAdvance(e.ft, r, completeAt, src, tag, e.inSize[r][q], e.inEv[r][q], gated, arrival)
 			}
 			for k, dst := range outs {
 				size := 0
 				if st.OutBytes != nil {
 					size = st.OutBytes[r][k]
 				}
-				rs.waitSendAdvance(e.sendComplete[r][k], dst, tag, size)
+				rs.waitSendAdvance(e.ft, r, e.sendComplete[r][k], dst, tag, size)
 			}
 			e.inArr[r] = e.inArr[r][:0]
 			e.inSize[r] = e.inSize[r][:0]

@@ -3,6 +3,7 @@ package sched
 import (
 	"encoding/binary"
 
+	"hbsp/internal/fault"
 	"hbsp/internal/simnet"
 )
 
@@ -17,8 +18,9 @@ import (
 // positions and traffic across the class only at result-assembly time.
 // Virtual times, makespan and traffic counters are bit-identical to per-rank
 // evaluation (pinned by the cross-engine golden tests); where heterogeneity,
-// noise or trace recording breaks the argument, evaluation silently falls
-// back to the per-rank sweep.
+// noise, trace recording or a rank-targeted fault plan breaks the argument,
+// evaluation falls back to the per-rank sweep and reports why in
+// simnet.Result.Collapse.
 
 // Symmetry is a schedule's declared rank symmetry, the hint streaming
 // generators emit for free.
@@ -103,21 +105,50 @@ const (
 // within each class): the fingerprint guarantees equivalent ranks perform
 // equivalent operation sequences, so alignment is preserved inductively.
 func CollapseClasses(m simnet.Machine, s Schedule) *Partition {
+	part, _ := CollapseClassesWith(m, s, nil)
+	return part
+}
+
+// CollapseClassesWith is CollapseClasses under a compiled fault plan, and
+// additionally reports the decision as a simnet.Collapse diagnostic. A
+// rank-uniform plan (class- or wildcard-matched link degradations only)
+// preserves the hint tier; any rank-targeted treatment — stragglers,
+// fail-stops, per-rank link rules — seeds the structural refinement with
+// per-rank fault fingerprints and folds per-edge degradation masks into the
+// edge signatures, so degraded ranks split into their own (often singleton)
+// classes and everything else still collapses. When refinement fails under a
+// rank-targeted plan the reported reason is CollapseReasonFault.
+func CollapseClassesWith(m simnet.Machine, s Schedule, rt *fault.Runtime) (*Partition, simnet.Collapse) {
 	if m == nil || s == nil {
-		return nil
+		return nil, simnet.Collapse{Reason: simnet.CollapseReasonAsymmetric}
 	}
 	p := s.NumProcs()
 	if p < 2 {
-		return nil
+		return nil, simnet.Collapse{Reason: simnet.CollapseReasonAsymmetric}
 	}
 	sm, ok := m.(SymmetricMachine)
 	if !ok || !sm.HomogeneousClasses() {
-		return nil
+		reason := simnet.CollapseReasonHetero
+		if ir, ok := m.(interface{ InhomogeneityReason() string }); ok {
+			if r := ir.InhomogeneityReason(); r != "" {
+				reason = r
+			}
+		}
+		return nil, simnet.Collapse{Reason: reason}
 	}
-	if ss, ok := s.(SymmetricSchedule); ok && ss.Symmetry() == SymCirculant && sm.UniformPairs() {
-		return uniformPartition(p)
+	uniformFaults := rt == nil || rt.Uniform()
+	if ss, ok := s.(SymmetricSchedule); ok && ss.Symmetry() == SymCirculant && sm.UniformPairs() && uniformFaults {
+		return uniformPartition(p), simnet.Collapse{Applied: true, Classes: 1}
 	}
-	return refineClasses(sm, s)
+	part := refineClasses(sm, s, rt)
+	if part == nil {
+		reason := simnet.CollapseReasonAsymmetric
+		if !uniformFaults {
+			reason = simnet.CollapseReasonFault
+		}
+		return nil, simnet.Collapse{Reason: reason}
+	}
+	return part, simnet.Collapse{Applied: true, Classes: part.NumClasses()}
 }
 
 // uniformPartition is the single-class partition of the hint tier.
@@ -130,13 +161,19 @@ func uniformPartition(p int) *Partition {
 }
 
 // refineClasses runs the structural fixpoint refinement. Starting from one
-// class, every pass re-signs each rank per stage against the current
-// partition and splits classes whose members disagree; refinement never
-// merges, so a pass with no splits is a fixpoint and the partition is
-// returned. Schedules that refine to all-singleton classes (trees, rings,
-// token patterns — anything whose ranks genuinely evolve differently), or
-// that are too large to fingerprint cheaply, return nil.
-func refineClasses(sm SymmetricMachine, s Schedule) *Partition {
+// class — or, under a fault plan, from the partition induced by per-rank
+// fault fingerprints, so a straggling or failing rank can never share a class
+// with a healthy one — every pass re-signs each rank per stage against the
+// current partition and splits classes whose members disagree; refinement
+// never merges, so a pass with no splits is a fixpoint and the partition is
+// returned. Rank-targeted link degradations refine per edge: each edge's
+// signature carries the bitmask of matching link rules, which separates ranks
+// whose corresponding edges are treated differently even when the ranks
+// themselves carry identical fault fingerprints. Schedules that refine to
+// all-singleton classes (trees, rings, token patterns — anything whose ranks
+// genuinely evolve differently), or that are too large to fingerprint
+// cheaply, return nil.
+func refineClasses(sm SymmetricMachine, s Schedule, rt *fault.Runtime) *Partition {
 	p := s.NumProcs()
 	stages := s.NumStages()
 	if p > maxRefineProcs || stages <= 0 || stages*p > maxRefineWork {
@@ -147,6 +184,24 @@ func refineClasses(sm SymmetricMachine, s Schedule) *Partition {
 	nclasses := 1
 	ids := make(map[string]int32, p)
 	var sig []byte
+	edgeSigs := rt != nil && rt.HasLinks()
+	if rt != nil {
+		// Seed from fault fingerprints, numbered in first-seen rank order so
+		// buildPartition's lowest-rank-representative invariant holds.
+		for r := 0; r < p; r++ {
+			sig = rt.AppendFingerprint(sig[:0], r)
+			id, ok := ids[string(sig)]
+			if !ok {
+				id = int32(len(ids))
+				ids[string(sig)] = id
+			}
+			classOf[r] = id
+		}
+		nclasses = len(ids)
+		if nclasses == p {
+			return nil
+		}
+	}
 	for pass := 0; pass < maxRefinePasses; pass++ {
 		split := false
 		for sg := 0; sg < stages; sg++ {
@@ -165,6 +220,9 @@ func refineClasses(sm SymmetricMachine, s Schedule) *Partition {
 					sig = binary.AppendUvarint(sig, uint64(sm.PairClass(r, dst)))
 					sig = binary.AppendUvarint(sig, uint64(classOf[dst]))
 					sig = binary.AppendUvarint(sig, uint64(size))
+					if edgeSigs {
+						sig = binary.AppendUvarint(sig, rt.EdgeSig(r, dst))
+					}
 				}
 				sig = append(sig, 0xff)
 				for _, src := range st.In[r] {
@@ -177,6 +235,9 @@ func refineClasses(sm SymmetricMachine, s Schedule) *Partition {
 					sig = binary.AppendUvarint(sig, uint64(k))
 					sig = binary.AppendUvarint(sig, uint64(sm.PairClass(src, r)))
 					sig = binary.AppendUvarint(sig, uint64(size))
+					if edgeSigs {
+						sig = binary.AppendUvarint(sig, rt.EdgeSig(src, r))
+					}
 				}
 				id, ok := ids[string(sig)]
 				if !ok {

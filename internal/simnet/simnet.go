@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hbsp/internal/fault"
 	"hbsp/internal/trace"
 )
 
@@ -113,6 +114,11 @@ type Options struct {
 	// SymmetryCollapse controls symmetry-collapsed direct evaluation; the
 	// zero value (CollapseAuto) collapses wherever it provably applies.
 	SymmetryCollapse CollapseMode
+	// Faults, when non-nil, injects the deterministic fault scenario the plan
+	// describes: per-rank slowdowns, link degradation windows and fail-stop
+	// crashes with checkpoint/restart accounting. Both engines honor the plan
+	// bit-identically; nil costs one pointer test on the hot paths.
+	Faults *fault.Plan
 }
 
 // DefaultOptions returns the options used when none are supplied.
@@ -130,7 +136,50 @@ type Result struct {
 	Messages int64
 	// Bytes is the total number of payload bytes delivered.
 	Bytes int64
+	// Collapse reports whether the run's direct evaluations were
+	// symmetry-collapsed, and if not, why (the fallback used to be silent).
+	Collapse Collapse
 }
+
+// Collapse diagnoses the symmetry-collapse decision of a run's direct
+// evaluations (sched.RunSchedule, or the collectives routed through the
+// gate rendezvous under EngineAuto).
+type Collapse struct {
+	// Applied is true when collapsed evaluation was used.
+	Applied bool
+	// Classes is the number of rank-equivalence classes evaluated when
+	// Applied.
+	Classes int
+	// Reason, when Applied is false, names what forced per-rank evaluation —
+	// one of the CollapseReason* constants. It stays empty when Applied is
+	// true, and also when the run performed no direct evaluation at all
+	// (EngineConcurrent, or a run without schedule-expressible collectives).
+	Reason string
+}
+
+// The collapse fallback reasons Result.Collapse.Reason reports.
+const (
+	// CollapseReasonOff: the run opted out via CollapseOff.
+	CollapseReasonOff = "off"
+	// CollapseReasonHetero: the machine has per-pair heterogeneity
+	// (HeteroSpread > 0) or does not expose homogeneity at all, so ranks of
+	// equal class cannot be proven interchangeable.
+	CollapseReasonHetero = "hetero"
+	// CollapseReasonNoise: the machine has a live noise model (NoiseRel > 0),
+	// whose draws are rank-dependent.
+	CollapseReasonNoise = "noise"
+	// CollapseReasonTrace: a trace recorder is attached; recording demands
+	// per-rank event streams.
+	CollapseReasonTrace = "trace"
+	// CollapseReasonAsymmetric: the schedule's stage graph (or the ranks'
+	// entry states at a rendezvous) is not rank-symmetric, or exceeds the
+	// refinement size guards.
+	CollapseReasonAsymmetric = "asymmetric"
+	// CollapseReasonFault: the fault plan degrades ranks asymmetrically and
+	// the refinement could not isolate the degraded ranks into their own
+	// classes.
+	CollapseReasonFault = "fault"
+)
 
 // ErrDeadline is returned when the simulated program does not finish within
 // the wall-clock deadline (usually a deadlocked communication pattern).
@@ -445,6 +494,7 @@ type world struct {
 	mailboxes []*mailbox
 	procs     []*Proc
 	gate      *Gate
+	faults    *fault.Runtime
 	cancelled atomic.Bool
 	messages  atomic.Int64
 	bytes     atomic.Int64
@@ -460,6 +510,12 @@ type Proc struct {
 	txFree   float64
 	rxFree   float64
 	noiseSeq uint64
+
+	// ft is the run's compiled fault plan, nil on fault-free runs (one
+	// pointer test per hot-path event, like tr). Fail-stop state is derived
+	// from the clock itself (fault.Runtime.Cross), so the EvalState seam the
+	// direct evaluator uses needs no extra fields.
+	ft *fault.Runtime
 
 	// tr is the rank's trace lane, nil unless a recorder is attached; the
 	// hot paths test it once per event. curStep and curStage label recorded
@@ -500,11 +556,34 @@ func (p *Proc) Size() int { return p.w.machine.Procs() }
 // Now returns the process' current virtual time in seconds.
 func (p *Proc) Now() float64 { return p.now }
 
-// noise draws the next jitter factor for this rank.
+// noise draws the next jitter factor for this rank. An active fault-plan
+// slowdown multiplies into the draw — the injection point for straggler
+// scenarios, mirrored by sched.rankState.noise.
 func (p *Proc) noise() float64 {
 	f := p.w.machine.Noise(p.rank, p.noiseSeq)
+	if p.ft != nil {
+		f *= p.ft.Slow(p.rank, p.noiseSeq, p.now)
+	}
 	p.noiseSeq++
 	return f
+}
+
+// setNow moves the clock forward to t, applying the fail-stop crossing
+// transform: an advance across the rank's fail time pays the crash penalty
+// (restart + recompute from the last checkpoint) immediately, recorded as a
+// KindFault event on traced runs. Mirrored by sched.rankState.setNow.
+func (p *Proc) setNow(t float64) {
+	if p.ft != nil {
+		if adj, pen := p.ft.Cross(p.rank, p.now, t); pen > 0 {
+			if p.tr != nil {
+				p.tr.Append(trace.Event{Kind: trace.KindFault, Peer: -1, SendSeq: -1,
+					Step: p.curStep, Stage: p.curStage, T0: t, T1: adj})
+			}
+			p.now = adj
+			return
+		}
+	}
+	p.now = t
 }
 
 // Compute advances the process' clock by the given number of seconds of work,
@@ -518,7 +597,7 @@ func (p *Proc) Compute(seconds float64) {
 		p.tr.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
 			Step: p.curStep, Stage: p.curStage, T0: p.now, T1: p.now + d})
 	}
-	p.now += d
+	p.setNow(p.now + d)
 }
 
 // ComputeExact advances the clock without noise; benchmark inner loops use it
@@ -531,7 +610,7 @@ func (p *Proc) ComputeExact(seconds float64) {
 		p.tr.Append(trace.Event{Kind: trace.KindCompute, Peer: -1, SendSeq: -1,
 			Step: p.curStep, Stage: p.curStage, T0: p.now, T1: p.now + seconds})
 	}
-	p.now += seconds
+	p.setNow(p.now + seconds)
 }
 
 // AdvanceTo moves the clock forward to at least t (no-op if already past).
@@ -541,7 +620,7 @@ func (p *Proc) AdvanceTo(t float64) {
 			p.tr.Append(trace.Event{Kind: trace.KindAdvance, Peer: -1, SendSeq: -1,
 				Step: p.curStep, Stage: p.curStage, T0: p.now, T1: t})
 		}
-		p.now = t
+		p.setNow(t)
 	}
 }
 
@@ -583,6 +662,11 @@ func (p *Proc) AckSends() bool { return p.w.opts.AckSends }
 // CollapseMode returns the run's symmetry-collapse setting
 // (Options.SymmetryCollapse).
 func (p *Proc) CollapseMode() CollapseMode { return p.w.opts.SymmetryCollapse }
+
+// Faults returns the run's compiled fault plan (nil on fault-free runs); the
+// direct evaluator imports it at the gate rendezvous so both engines inject
+// the identical scenario.
+func (p *Proc) Faults() *fault.Runtime { return p.ft }
 
 // AddTraffic adds to the run's delivered message and byte counters on behalf
 // of a direct evaluation.
@@ -663,13 +747,19 @@ func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 		panic(fmt.Sprintf("simnet: send to invalid rank %d", dst))
 	}
 	m := p.w.machine
-	// Per-request software overhead on the sender's CPU.
+	// Per-request software overhead on the sender's CPU. Link degradation is
+	// sampled once at the injection clock t0 and governs the whole exchange
+	// (transfer, latency, and the ack's return latency).
 	t0 := p.now
-	p.now += m.Overhead(p.rank, dst) * p.noise()
+	latMul, betaMul := 1.0, 1.0
+	if p.ft != nil && p.ft.HasLinks() {
+		latMul, betaMul = p.ft.Link(p.rank, dst, t0)
+	}
+	p.setNow(p.now + m.Overhead(p.rank, dst)*p.noise())
 
 	var txStart, transfer float64
 	sameNIC := m.NIC(p.rank) == m.NIC(dst)
-	transfer = float64(size) * m.Beta(p.rank, dst)
+	transfer = float64(size) * m.Beta(p.rank, dst) * betaMul
 	if sameNIC && p.rank != dst {
 		// Intra-node transfers bypass the injection port.
 		txStart = p.now
@@ -680,7 +770,7 @@ func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 		}
 		p.txFree = txStart + m.Gap(p.rank, dst) + transfer
 	}
-	arrival := txStart + (m.Latency(p.rank, dst)+transfer)*p.noise()
+	arrival := txStart + (m.Latency(p.rank, dst)*latMul+transfer)*p.noise()
 
 	msg := msgPool.Get().(*message)
 	*msg = message{src: p.rank, dst: dst, tag: tag, size: size, payload: payload, arrival: arrival}
@@ -699,7 +789,7 @@ func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 		completeAt = arrival
 	}
 	if p.w.opts.AckSends && p.rank != dst {
-		completeAt = arrival + m.Latency(dst, p.rank)
+		completeAt = arrival + m.Latency(dst, p.rank)*latMul
 	}
 	return completeAt
 }
@@ -803,7 +893,7 @@ func (p *Proc) Wait(r *Request) any {
 			}
 			p.tr.Append(ev)
 		}
-		p.now = r.completeAt
+		p.setNow(r.completeAt)
 	}
 	var out any
 	if !r.isSend {
@@ -868,6 +958,17 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 		o.Deadline = DefaultOptions().Deadline
 	}
 	w := &world{machine: m, opts: o, mailboxes: make([]*mailbox, m.Procs())}
+	if o.Faults != nil {
+		var pc func(i, j int) uint8
+		if cm, ok := m.(interface{ PairClass(i, j int) uint8 }); ok {
+			pc = cm.PairClass
+		}
+		rt, err := fault.Compile(o.Faults, m.Procs(), pc)
+		if err != nil {
+			return nil, err
+		}
+		w.faults = rt
+	}
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox(m.Procs(), &w.cancelled)
 	}
@@ -887,6 +988,7 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 		if st, ok := m.(fmt.Stringer); ok {
 			meta.Machine = st.String()
 		}
+		meta.Faults = w.faults.Describe()
 		rec.BeginRun(meta)
 	}
 	// finish seals the recording with the outcome; clean=false means rank
@@ -894,7 +996,11 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	finish := func(res *Result, err error, clean bool) (*Result, error) {
 		if clean && w.gate != nil {
 			// Return the gate-parked evaluator (if any layer created one) to
-			// its pool; on unclean teardown a leader may still hold it.
+			// its pool; on unclean teardown a leader may still hold it. Its
+			// collapse diagnostics are read off first.
+			if ci, ok := w.gate.Scratch.(interface{ CollapseInfo() Collapse }); ok && res != nil {
+				res.Collapse = ci.CollapseInfo()
+			}
 			if rel, ok := w.gate.Scratch.(interface{ Release() }); ok {
 				w.gate.Scratch = nil
 				rel.Release()
@@ -916,7 +1022,7 @@ func RunContext(ctx context.Context, m Machine, body func(p *Proc) error, o Opti
 	errs := make([]error, m.Procs())
 	var wg sync.WaitGroup
 	for rank := 0; rank < m.Procs(); rank++ {
-		p := &Proc{w: w, rank: rank, curStage: -1}
+		p := &Proc{w: w, rank: rank, curStage: -1, ft: w.faults}
 		if rec.Enabled() {
 			p.tr = rec.LaneOf(rank)
 		}

@@ -13,6 +13,9 @@ import (
 )
 
 // Topology is a three-level cluster description: nodes × sockets × cores.
+// Setting NodesPerGroup adds an optional fourth level above the nodes — the
+// pods of a fat-tree or the groups of a dragonfly — whose cross-group traffic
+// forms its own distance class (DistanceGroup).
 type Topology struct {
 	// Nodes is the number of compute nodes in the cluster.
 	Nodes int
@@ -20,6 +23,11 @@ type Topology struct {
 	SocketsPerNode int
 	// CoresPerSocket is the number of cores per socket.
 	CoresPerSocket int
+	// NodesPerGroup partitions consecutive nodes into switch groups (fat-tree
+	// pods, dragonfly groups): nodes n and m share a group iff
+	// n/NodesPerGroup == m/NodesPerGroup. Zero means a flat network — every
+	// inter-node pair is DistanceNetwork and no DistanceGroup class exists.
+	NodesPerGroup int
 }
 
 // New returns a validated topology.
@@ -37,7 +45,26 @@ func (t Topology) Validate() error {
 		return fmt.Errorf("topology: all levels must be >= 1, got %dx%dx%d",
 			t.Nodes, t.SocketsPerNode, t.CoresPerSocket)
 	}
+	if t.NodesPerGroup < 0 {
+		return fmt.Errorf("topology: NodesPerGroup must be >= 0, got %d", t.NodesPerGroup)
+	}
 	return nil
+}
+
+// Groups returns the number of switch groups (1 when the network is flat).
+func (t Topology) Groups() int {
+	if t.NodesPerGroup <= 0 {
+		return 1
+	}
+	return (t.Nodes + t.NodesPerGroup - 1) / t.NodesPerGroup
+}
+
+// GroupOf returns the switch group of a node (0 when the network is flat).
+func (t Topology) GroupOf(node int) int {
+	if t.NodesPerGroup <= 0 {
+		return 0
+	}
+	return node / t.NodesPerGroup
 }
 
 // CoresPerNode returns the number of cores in one node.
@@ -46,8 +73,12 @@ func (t Topology) CoresPerNode() int { return t.SocketsPerNode * t.CoresPerSocke
 // TotalCores returns the number of cores in the whole cluster.
 func (t Topology) TotalCores() int { return t.Nodes * t.CoresPerNode() }
 
-// String renders the topology in the thesis' NxSxC shorthand (e.g. "8x2x4").
+// String renders the topology in the thesis' NxSxC shorthand (e.g. "8x2x4"),
+// with a "/gG" group suffix when the network is grouped.
 func (t Topology) String() string {
+	if t.NodesPerGroup > 0 {
+		return fmt.Sprintf("%dx%dx%d/g%d", t.Nodes, t.SocketsPerNode, t.CoresPerSocket, t.NodesPerGroup)
+	}
 	return fmt.Sprintf("%dx%dx%d", t.Nodes, t.SocketsPerNode, t.CoresPerSocket)
 }
 
@@ -71,8 +102,13 @@ const (
 	DistanceSocket
 	// DistanceNode is communication between sockets of the same node.
 	DistanceNode
-	// DistanceNetwork is communication between different nodes.
+	// DistanceNetwork is communication between different nodes of the same
+	// switch group (or any two nodes of a flat network).
 	DistanceNetwork
+	// DistanceGroup is communication between nodes of different switch groups
+	// — across fat-tree core switches or dragonfly global links. It only
+	// occurs on topologies with NodesPerGroup set.
+	DistanceGroup
 )
 
 // String names the distance class.
@@ -86,6 +122,8 @@ func (d Distance) String() string {
 		return "node"
 	case DistanceNetwork:
 		return "network"
+	case DistanceGroup:
+		return "group"
 	default:
 		return fmt.Sprintf("Distance(%d)", int(d))
 	}
@@ -200,9 +238,18 @@ func (pl *Placement) Core(rank int) CoreID {
 	return pl.cores[rank]
 }
 
-// Distance returns the distance class between two ranks.
+// Distance returns the distance class between two ranks: the core-level
+// distance, promoted to DistanceGroup when the ranks' nodes sit in different
+// switch groups of a grouped topology.
 func (pl *Placement) Distance(a, b int) Distance {
-	return DistanceBetween(pl.Core(a), pl.Core(b))
+	d := DistanceBetween(pl.Core(a), pl.Core(b))
+	if d == DistanceNetwork {
+		t := pl.Topology
+		if t.GroupOf(pl.Core(a).Node) != t.GroupOf(pl.Core(b).Node) {
+			return DistanceGroup
+		}
+	}
+	return d
 }
 
 // SameNode reports whether two ranks share a node.

@@ -29,6 +29,9 @@ func WriteChrome(w io.Writer, t *Trace) error {
 	if t.Meta.Label != "" {
 		fmt.Fprintf(bw, ",\"workload\":%s", strconv.Quote(t.Meta.Label))
 	}
+	for i, f := range t.Meta.Faults {
+		fmt.Fprintf(bw, ",\"fault%d\":%s", i, strconv.Quote(f))
+	}
 	fmt.Fprintf(bw, ",\"makespan_s\":\"%s\"", formatSeconds(t.MakeSpan))
 	fmt.Fprintf(bw, "},\"traceEvents\":[\n")
 

@@ -51,6 +51,11 @@ const (
 	// KindStage is a zero-length collective-schedule stage mark emitted by
 	// the pattern executor; Stage is the stage about to run.
 	KindStage
+	// KindFault is a fail-stop recovery interval injected by a fault plan:
+	// the rank's clock crossed its fail time and [T0, T1] is the restart
+	// penalty plus the recompute time back to the last checkpoint. Both
+	// engines record it at the clock advance that crossed the fail time.
+	KindFault
 )
 
 // String returns the compact name used by the exporters.
@@ -70,6 +75,8 @@ func (k Kind) String() string {
 		return "superstep"
 	case KindStage:
 		return "stage"
+	case KindFault:
+		return "fault"
 	}
 	return "unknown"
 }
@@ -126,6 +133,11 @@ type Meta struct {
 	Label string
 	// AckSends records the simulator option the run used.
 	AckSends bool
+	// Faults describes the run's fault plan, one deterministic line per
+	// injected rule (fault.Runtime.Describe); empty on fault-free runs. The
+	// exporters stamp it into their metadata so a degraded timeline names the
+	// scenario that produced it.
+	Faults []string
 }
 
 // Lane is one rank's append-only event stream. A lane is written by exactly

@@ -12,6 +12,7 @@ import (
 	"hbsp/bsp"
 	"hbsp/cluster"
 	"hbsp/collective"
+	"hbsp/fault"
 	"hbsp/mpi"
 	"hbsp/sim"
 	"hbsp/trace"
@@ -32,6 +33,9 @@ var (
 	// ErrAborted is wrapped by the error of a run cancelled through its
 	// context.
 	ErrAborted = sim.ErrAborted
+	// ErrInvalidFault is wrapped by New when a WithFaults plan fails
+	// validation against the session's machine.
+	ErrInvalidFault = fault.ErrInvalid
 )
 
 // TraceEvent is one observation delivered to a WithTrace callback.
@@ -181,6 +185,34 @@ func WithSymmetryCollapse(enabled bool) Option {
 		} else {
 			s.options.SymmetryCollapse = sim.CollapseOff
 		}
+		return nil
+	}
+}
+
+// WithFaults injects a deterministic fault scenario into every run of the
+// session: per-rank slowdowns (stragglers), link-degradation windows, and
+// fail-stop crashes with checkpoint/restart cost accounting (package fault).
+// Both engines honor the plan bit-identically, and the same seed plus the
+// same plan reproduces the same virtual times and traces. The plan is
+// validated against the machine here; a malformed plan surfaces as an error
+// wrapping ErrInvalidFault.
+func WithFaults(plan *fault.Plan) Option {
+	return func(s *Session) error {
+		if plan == nil {
+			return fmt.Errorf("%w: nil fault plan (omit WithFaults instead)", ErrOption)
+		}
+		if err := plan.Validate(s.machine.Procs()); err != nil {
+			return fmt.Errorf("hbsp: %w", err)
+		}
+		if _, ok := s.machine.(interface{ PairClass(i, j int) uint8 }); !ok {
+			for _, l := range plan.Links {
+				if l.Class >= 0 {
+					return fmt.Errorf("hbsp: %w: link rule matches distance class %d but machine %T does not expose pair classes",
+						ErrInvalidFault, l.Class, s.machine)
+				}
+			}
+		}
+		s.options.Faults = plan
 		return nil
 	}
 }

@@ -56,10 +56,35 @@ const (
 	// CollapseAuto (the default) evaluates one representative rank per
 	// equivalence class whenever the machine is homogeneous, the schedule is
 	// symmetric and no recorder is attached — bit-identical to per-rank
-	// evaluation, falling back silently where the collapse does not apply.
+	// evaluation, falling back where the collapse does not apply (the
+	// decision and fallback reason are reported in Result.Collapse).
 	CollapseAuto = simnet.CollapseAuto
 	// CollapseOff forces per-rank evaluation everywhere.
 	CollapseOff = simnet.CollapseOff
+)
+
+// Collapse diagnoses the symmetry-collapse decision of a run's direct
+// evaluations: whether collapsed evaluation was applied, over how many
+// classes, and — on fallback — why (one of the CollapseReason constants).
+type Collapse = simnet.Collapse
+
+// The fallback reasons Result.Collapse.Reason reports.
+const (
+	// CollapseReasonOff: the run opted out via CollapseOff.
+	CollapseReasonOff = simnet.CollapseReasonOff
+	// CollapseReasonHetero: per-pair heterogeneity (HeteroSpread > 0), or a
+	// machine that does not expose homogeneity at all.
+	CollapseReasonHetero = simnet.CollapseReasonHetero
+	// CollapseReasonNoise: a live noise model (NoiseRel > 0).
+	CollapseReasonNoise = simnet.CollapseReasonNoise
+	// CollapseReasonTrace: a trace recorder is attached.
+	CollapseReasonTrace = simnet.CollapseReasonTrace
+	// CollapseReasonAsymmetric: the schedule's stage graph (or the ranks'
+	// entry states at a rendezvous) is not rank-symmetric.
+	CollapseReasonAsymmetric = simnet.CollapseReasonAsymmetric
+	// CollapseReasonFault: the fault plan degrades ranks asymmetrically and
+	// refinement could not isolate the degraded ranks into their own classes.
+	CollapseReasonFault = simnet.CollapseReasonFault
 )
 
 // Program is a per-rank straight-line op-stream: the schedule-expressible

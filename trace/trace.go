@@ -54,6 +54,8 @@ const (
 	KindAdvance   = itrace.KindAdvance
 	KindSuperstep = itrace.KindSuperstep
 	KindStage     = itrace.KindStage
+	// KindFault is a fail-stop recovery interval injected by a fault.Plan.
+	KindFault = itrace.KindFault
 )
 
 // Meta labels a recorded run (procs, seed, machine, workload).
