@@ -1,0 +1,17 @@
+package main
+
+import (
+	"net"
+	"sort"
+)
+
+// listenLoopback opens an ephemeral loopback listener for the loadgen
+// harness.
+func listenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// sortInt64s sorts in place.
+func sortInt64s(v []int64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

@@ -137,6 +137,27 @@
 // See the experiments package (StragglerSeries, RecoverySeries) for
 // predicted-vs-simulated validation of the injections.
 //
+// # Server mode
+//
+// The server package (daemon: cmd/hbspd) exposes the stack over HTTP for
+// non-Go clients: POST a profile (cluster preset, custom profile, or raw
+// pairwise matrices), a workload (collectives, barriers, BSP supersteps,
+// the stencil, or a sim.Program op-stream), an optional fault.Plan and
+// optional sweep axes to /v1/predict; single points return one JSON object
+// and sweeps stream NDJSON in deterministic row-major order. Because
+// virtual times are deterministic, responses are cached as rendered bytes
+// in a bounded LRU keyed by the semantic tuple (profile fingerprint,
+// workload, P, bytes, seed, engine, collapse mode, fault fingerprint,
+// parameter scale, per-rank/trace flags) — cluster.Profile.Fingerprint and
+// fault.Plan.Fingerprint are the stable content hashes behind the key, so
+// any parameter change is automatically a new cache entry and identical
+// bodies are answered byte-identically (cache status travels in the
+// X-Hbspd-Cache header). Identical concurrent misses coalesce into a
+// single evaluation; a global concurrency limiter sheds excess load with
+// 429; per-request budgets map to WithDeadline (408); client disconnects
+// tear the evaluation down via the request context (499). See the server
+// package documentation for the wire format.
+//
 // The public packages layer as follows: cluster (platform profiles,
 // topologies, machines) feeds sim (the virtual-time simulator), on which bsp
 // (the BSPlib run-time with user collectives and the pluggable superstep
@@ -146,7 +167,8 @@
 // adaptation), bench the measurement procedures, kernels and matrix the
 // modeling vocabulary, stencil Case Study II, trace the recording and
 // analysis subsystem, fault the deterministic fault/straggler injection
-// plans, and experiments the evaluation driver. See README.md
+// plans, server the prediction service, and experiments the evaluation
+// driver. See README.md
 // for the package map and a migration table from the pre-facade internal
 // API.
 package hbsp

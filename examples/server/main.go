@@ -1,0 +1,120 @@
+// Server: the prediction service end to end. The example starts an
+// in-process hbspd server on a loopback socket, posts a single-point
+// prediction (watching the result cache turn a repeat into a byte-identical
+// hit), streams a P × bytes sweep as NDJSON the way a client would read it,
+// uploads raw pairwise matrices, and shows the documented JSON error shape
+// for an invalid fault plan. Virtual times are deterministic, so the output
+// is golden-checked by the examples-smoke CI job.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"hbsp/server"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// An in-process server on a loopback socket — the same handler cmd/hbspd
+	// serves, minus the daemon scaffolding.
+	srv := server.New(server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A single-point prediction: the dissemination barrier on the Xeon
+	// preset. The same body again is answered from the result cache,
+	// byte-identically.
+	body := `{"profile":{"preset":"xeon-8x2x4"},"workload":{"kind":"barrier"},"procs":16}`
+	first, hdr1 := post(base, body)
+	second, hdr2 := post(base, body)
+	var pt server.PredictPoint
+	if err := json.Unmarshal(first, &pt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("barrier P=%d: makespan %.4e s, %d messages (cache %s)\n", pt.Procs, pt.MakeSpan, pt.Messages, hdr1)
+	fmt.Printf("repeat: cache %s, byte-identical %v\n", hdr2, bytes.Equal(first, second))
+
+	// A sweep streams NDJSON: one PredictPoint per line, row-major over the
+	// axes, each line readable as soon as it arrives.
+	sweep := `{"profile":{"preset":"xeon-8x2x4"},"workload":{"kind":"allreduce"},"sweep":{"procs":[4,8],"bytes":[8,256]}}`
+	resp, err := http.Post(base+"/v1/predict", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p server.PredictPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("allreduce P=%-2d %4dB: makespan %.4e s, %d bytes moved\n", p.Procs, p.Bytes, p.MakeSpan, p.BytesMoved)
+	}
+	resp.Body.Close()
+
+	// Uploaded matrices: a 4-rank machine given directly as pairwise LogGP
+	// parameters, validated server-side.
+	matrix := `{"profile":{"matrices":{
+		"latency":[[0,1e-6,2e-6,2e-6],[1e-6,0,2e-6,2e-6],[2e-6,2e-6,0,1e-6],[2e-6,2e-6,1e-6,0]],
+		"beta":[[0,1e-9,2e-9,2e-9],[1e-9,0,2e-9,2e-9],[2e-9,2e-9,0,1e-9],[2e-9,2e-9,1e-9,0]],
+		"selfOverhead":1e-7}},
+		"workload":{"kind":"totalexchange","bytes":64},"procs":4}`
+	mp, _ := post(base, matrix)
+	var mpt server.PredictPoint
+	if err := json.Unmarshal(mp, &mpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded 4x4 matrices, totalexchange: makespan %.4e s, fingerprint %s...\n",
+		mpt.MakeSpan, mpt.ProfileFingerprint[:12])
+
+	// Errors are a documented JSON shape; an out-of-range fault plan maps to
+	// invalid_fault with HTTP 400.
+	bad := `{"profile":{"preset":"xeon-8x2x4"},"workload":{"kind":"barrier"},"procs":8,
+		"faults":{"Slowdowns":[{"Rank":64,"Factor":2}]}}`
+	req, err := http.Post(base+"/v1/predict", "application/json", strings.NewReader(bad))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var apiErr struct {
+		Err struct {
+			Code   string `json:"code"`
+			Status int    `json:"status"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&apiErr); err != nil {
+		log.Fatal(err)
+	}
+	req.Body.Close()
+	fmt.Printf("invalid fault plan: HTTP %d, code %s\n", req.StatusCode, apiErr.Err.Code)
+}
+
+// post sends one prediction request and returns the body plus the cache
+// header.
+func post(base, body string) ([]byte, string) {
+	resp, err := http.Post(base+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != 200 && resp.StatusCode != 400 {
+		log.Fatalf("status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes(), resp.Header.Get("X-Hbspd-Cache")
+}

@@ -1,0 +1,80 @@
+package platform
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"hbsp/internal/topology"
+)
+
+// Fingerprint returns a stable content hash of the profile: every field that
+// influences the derived pairwise parameter matrices, the kernel rate model
+// or the noise stream is folded into a SHA-256 over a canonical byte
+// serialization. The rendering is independent of Go's map iteration order
+// (link classes are hashed in sorted distance order) and of the order fields
+// were assigned in, so two structurally equal profiles — built in different
+// processes, sessions or field orders — hash identically. This is the cache
+// key half the prediction service (internal/server) relies on: a result
+// computed for one fingerprint is valid for every profile with that
+// fingerprint, and any mutation of a profile field changes the fingerprint
+// and therefore misses the cache.
+//
+// The hash covers: Name, Topology (including NodesPerGroup), Policy, every
+// core design (clock, flops/cycle, memory hierarchy), the link parameters of
+// every distance class, SelfOverhead, HeteroSpread, NoiseRel and Seed.
+func (p *Profile) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str("hbsp/platform.Profile/v1")
+	str(p.Name)
+	u64(uint64(p.Topology.Nodes))
+	u64(uint64(p.Topology.SocketsPerNode))
+	u64(uint64(p.Topology.CoresPerSocket))
+	u64(uint64(p.Topology.NodesPerGroup))
+	u64(uint64(p.Policy))
+	u64(uint64(len(p.Cores)))
+	for _, c := range p.Cores {
+		str(c.Name)
+		f64(c.ClockGHz)
+		f64(c.FlopsPerCycle)
+		u64(uint64(len(c.Memory.Levels)))
+		for _, l := range c.Memory.Levels {
+			str(l.Name)
+			f64(l.CapacityBytes)
+			f64(l.BandwidthBytesPerSec)
+		}
+	}
+	classes := make([]int, 0, len(p.Links))
+	for d := range p.Links {
+		classes = append(classes, int(d))
+	}
+	sort.Ints(classes)
+	u64(uint64(len(classes)))
+	for _, d := range classes {
+		l := p.Links[topology.Distance(d)]
+		u64(uint64(d))
+		f64(l.Latency)
+		f64(l.Gap)
+		f64(l.Beta)
+		f64(l.Overhead)
+	}
+	f64(p.SelfOverhead)
+	f64(p.HeteroSpread)
+	f64(p.NoiseRel)
+	u64(uint64(p.Seed))
+
+	return hex.EncodeToString(h.Sum(nil))
+}

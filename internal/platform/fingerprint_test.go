@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"hbsp/internal/memmodel"
+	"hbsp/internal/topology"
+)
+
+// TestFingerprintStability pins the properties the prediction-service cache
+// key depends on: equal profiles hash equal regardless of how their Links map
+// was populated, and every parameter field perturbs the hash.
+func TestFingerprintStability(t *testing.T) {
+	base := Xeon8x2x4()
+	fp := base.Fingerprint()
+	if len(fp) != 64 || strings.Trim(fp, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint %q is not 64 hex chars", fp)
+	}
+
+	// Rebuild the profile from scratch with the Links map populated in a
+	// different insertion order (map iteration order is randomized per map
+	// instance, so identical hashes across many rebuilds also exercise the
+	// sorted-class rendering).
+	for i := 0; i < 16; i++ {
+		c := *Xeon8x2x4()
+		links := map[topology.Distance]Link{}
+		order := []topology.Distance{topology.DistanceNetwork, topology.DistanceSocket, topology.DistanceNode}
+		if i%2 == 0 {
+			order = []topology.Distance{topology.DistanceSocket, topology.DistanceNode, topology.DistanceNetwork}
+		}
+		for _, d := range order {
+			links[d] = c.Links[d]
+		}
+		c.Links = links
+		if got := c.Fingerprint(); got != fp {
+			t.Fatalf("rebuild %d: fingerprint %s, want %s", i, got, fp)
+		}
+	}
+}
+
+// TestFingerprintSensitivity checks that each field class changes the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	fresh := func() *Profile { return Xeon8x2x4() }
+	fp := fresh().Fingerprint()
+	mutations := map[string]func(*Profile){
+		"name":          func(p *Profile) { p.Name = "other" },
+		"nodes":         func(p *Profile) { p.Topology.Nodes++ },
+		"nodesPerGroup": func(p *Profile) { p.Topology.NodesPerGroup = 4 },
+		"policy":        func(p *Profile) { p.Policy = topology.Block },
+		"coreClock":     func(p *Profile) { p.Cores[0].ClockGHz *= 2 },
+		"coreLevel": func(p *Profile) {
+			p.Cores[0].Memory.Levels = append([]memmodel.Level(nil), p.Cores[0].Memory.Levels...)
+			p.Cores[0].Memory.Levels[0].BandwidthBytesPerSec *= 2
+		},
+		"linkLatency": func(p *Profile) {
+			l := p.Links[topology.DistanceNetwork]
+			l.Latency *= 2
+			p.Links[topology.DistanceNetwork] = l
+		},
+		"linkBeta": func(p *Profile) {
+			l := p.Links[topology.DistanceNetwork]
+			l.Beta *= 2
+			p.Links[topology.DistanceNetwork] = l
+		},
+		"selfOverhead": func(p *Profile) { p.SelfOverhead *= 2 },
+		"heteroSpread": func(p *Profile) { p.HeteroSpread += 0.01 },
+		"noiseRel":     func(p *Profile) { p.NoiseRel += 0.01 },
+		"seed":         func(p *Profile) { p.Seed++ },
+	}
+	for name, mutate := range mutations {
+		p := fresh()
+		// Deep-enough copy: mutate replaces map values / slices it touches,
+		// but give each case its own map so cases stay independent.
+		links := map[topology.Distance]Link{}
+		for d, l := range p.Links {
+			links[d] = l
+		}
+		p.Links = links
+		cores := append([]memmodel.Core(nil), p.Cores...)
+		p.Cores = cores
+		mutate(p)
+		if got := p.Fingerprint(); got == fp {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesPresets ensures no two built-in presets
+// collide.
+func TestFingerprintDistinguishesPresets(t *testing.T) {
+	seen := map[string]string{}
+	for name, p := range Presets() {
+		fp := p.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("presets %q and %q share fingerprint %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	if XeonCluster(8).Fingerprint() == XeonCluster(16).Fingerprint() {
+		t.Fatal("scaled presets with different node counts collide")
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hbsp"
+)
+
+// errBadRequest is the sentinel behind badRequestf: a malformed request body
+// (unknown kind, out-of-range parameter, contradictory fields).
+var errBadRequest = errors.New("server: invalid request")
+
+// badRequestf formats an invalid_request error.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// classify maps an evaluation error onto the documented error code, its HTTP
+// status, and the metrics counter to bump. The mapping is the satellite
+// contract of the API:
+//
+//	invalid_request  400  malformed body, unknown kind/variant, bad sweep axes
+//	invalid_machine  400  profile rejected by Profile.Validate / matrix checks
+//	invalid_fault    400  fault plan rejected by Plan.Validate
+//	deadline         408  the request's evaluation budget expired
+//	shed             429  load shedder rejected the request (Retry-After set)
+//	aborted          499  client disconnected mid-request
+//	internal         500  anything else
+func classify(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, errBadRequest), errors.Is(err, hbsp.ErrOption):
+		return "invalid_request", http.StatusBadRequest
+	case errors.Is(err, hbsp.ErrInvalidFault):
+		return "invalid_fault", http.StatusBadRequest
+	case errors.Is(err, hbsp.ErrInvalidMachine):
+		return "invalid_machine", http.StatusBadRequest
+	case errors.Is(err, hbsp.ErrDeadline):
+		return "deadline", http.StatusRequestTimeout
+	case errors.Is(err, errShed):
+		return "shed", http.StatusTooManyRequests
+	case errors.Is(err, hbsp.ErrAborted), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499 is the de-facto "client closed request" status (nginx).
+		return "aborted", 499
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+// countError bumps the per-code error counter.
+func (m *metrics) countError(code string) {
+	switch code {
+	case "invalid_request":
+		m.errInvalidRequest.Add(1)
+	case "invalid_machine":
+		m.errInvalidMachine.Add(1)
+	case "invalid_fault":
+		m.errInvalidFault.Add(1)
+	case "deadline":
+		m.errDeadline.Add(1)
+	case "aborted":
+		m.errAborted.Add(1)
+	case "shed":
+		m.shed.Add(1)
+	default:
+		m.errInternal.Add(1)
+	}
+}
+
+// renderError builds the JSON error body for an evaluation error.
+func renderError(err error) (body []byte, status int) {
+	code, status := classify(err)
+	e := apiError{}
+	e.Err.Code = code
+	e.Err.Status = status
+	e.Err.Message = err.Error()
+	body, mErr := json.Marshal(e)
+	if mErr != nil { // cannot happen: the shape is three scalar fields
+		body = []byte(`{"error":{"code":"internal","status":500,"message":"error rendering failed"}}`)
+	}
+	return body, status
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"hbsp"
+	"hbsp/fault"
+	"hbsp/sim"
+	"hbsp/trace"
+)
+
+// point is one fully resolved sweep point: the rank count, the payload
+// override (0 = use the workload's own), and the link-parameter scaling.
+type point struct {
+	procs int
+	bytes int
+	scale ScaleSpec
+}
+
+// expandPoints builds the row-major cross product of a request's sweep axes
+// (procs outermost, then bytes, then scale); a request without a sweep is a
+// single point.
+func expandPoints(req *PredictRequest) ([]point, error) {
+	if req.Sweep == nil {
+		if req.Procs < 1 {
+			return nil, badRequestf("procs must be >= 1, got %d", req.Procs)
+		}
+		return []point{{procs: req.Procs}}, nil
+	}
+	procsAxis := req.Sweep.Procs
+	if len(procsAxis) == 0 {
+		if req.Procs < 1 {
+			return nil, badRequestf("sweep without a procs axis needs top-level procs")
+		}
+		procsAxis = []int{req.Procs}
+	}
+	bytesAxis := req.Sweep.Bytes
+	if len(bytesAxis) == 0 {
+		bytesAxis = []int{0}
+	}
+	scaleAxis := req.Sweep.Scale
+	if len(scaleAxis) == 0 {
+		scaleAxis = []ScaleSpec{{}}
+	}
+	var pts []point
+	for _, p := range procsAxis {
+		if p < 1 {
+			return nil, badRequestf("sweep.procs entries must be >= 1, got %d", p)
+		}
+		for _, b := range bytesAxis {
+			if b < 0 {
+				return nil, badRequestf("sweep.bytes entries must be >= 0, got %d", b)
+			}
+			for _, sc := range scaleAxis {
+				pts = append(pts, point{procs: p, bytes: b, scale: sc})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// normalizeOptions validates the request options.
+func normalizeOptions(o *OptionsSpec) error {
+	switch o.Engine {
+	case "":
+		o.Engine = "auto"
+	case "auto", "concurrent":
+	default:
+		return badRequestf("unknown engine %q (auto, concurrent)", o.Engine)
+	}
+	switch o.Collapse {
+	case "":
+		o.Collapse = "auto"
+	case "auto", "off":
+	default:
+		return badRequestf("unknown collapse mode %q (auto, off)", o.Collapse)
+	}
+	if o.BudgetMs < 0 {
+		return badRequestf("budgetMs must be >= 0, got %d", o.BudgetMs)
+	}
+	return nil
+}
+
+// pointKey is the canonical cache key of one point: everything a prediction
+// depends on. The profile enters through its content fingerprint (so two
+// spellings of the same machine share an entry), the fault plan through its
+// fingerprint, the workload through its normalized field key.
+func pointKey(profileFP string, plan *fault.Plan, w *WorkloadSpec, pt point, seed int64, o *OptionsSpec) string {
+	ack := true
+	if o.AckSends != nil {
+		ack = *o.AckSends
+	}
+	return fmt.Sprintf("point/%s/%s/%s/p%d/seed%d/ack%t/%s/%s/pr%t/tr%t",
+		profileFP, plan.Fingerprint(), w.cacheKey(), pt.procs, seed, ack,
+		o.Engine, o.Collapse, o.PerRank, o.Trace)
+}
+
+// evalPoint evaluates one point to its rendered NDJSON line (JSON object plus
+// trailing newline), going through the result cache and the singleflight
+// group. admit is invoked before an actual evaluation runs (the handler
+// passes the limiter for single-point requests and a no-op for sweeps, which
+// are admitted once as a whole).
+func (s *Server) evalPoint(ctx context.Context, req *PredictRequest, pt point, deadline time.Time, admit func(context.Context) (func(), error)) ([]byte, string, error) {
+	w := req.Workload // copy: normalization and byte overrides are per-point
+	if pt.bytes != 0 {
+		switch w.Kind {
+		case "broadcast", "reduce", "allreduce", "allgather", "totalexchange":
+			w.Bytes = pt.bytes
+		default:
+			return nil, "", badRequestf("sweep.bytes applies to the data collectives, not %q", w.Kind)
+		}
+	}
+	if err := normalizeWorkload(&w, pt.procs); err != nil {
+		return nil, "", err
+	}
+
+	rp, err := s.resolveProfile(&req.Profile, pt.scale, pt.procs)
+	if err != nil {
+		return nil, "", err
+	}
+
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if rp.cluster == nil && req.Seed != nil {
+		return nil, "", badRequestf("seed applies to profile-backed machines; uploaded matrices carry no noise model")
+	}
+
+	key := pointKey(rp.fingerprint, req.Faults, &w, pt, seed, &req.Options)
+	s.m.points.Add(1)
+	if body, ok := s.results.Get(key); ok {
+		s.m.cacheHits.Add(1)
+		return body.([]byte), "hit", nil
+	}
+
+	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
+		release, err := admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		start := time.Now()
+		body, err := s.evaluate(ctx, req, rp, &w, pt, seed, deadline)
+		if err != nil {
+			return nil, err
+		}
+		s.m.observeEval(time.Since(start).Nanoseconds())
+		s.results.Put(key, body)
+		return body, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	how := "miss"
+	if shared {
+		how = "coalesced"
+		s.m.coalesced.Add(1)
+	} else {
+		s.m.cacheMisses.Add(1)
+	}
+	return body, how, nil
+}
+
+// evaluate runs one cache-missed point: build the session, run the workload,
+// render the PredictPoint. The rendered bytes are what the cache stores, so
+// hits are byte-identical to the miss that filled them.
+func (s *Server) evaluate(ctx context.Context, req *PredictRequest, rp *resolvedProfile, w *WorkloadSpec, pt point, seed int64, deadline time.Time) ([]byte, error) {
+	opts := []hbsp.Option{}
+	if rp.cluster != nil {
+		opts = append(opts, hbsp.WithSeed(seed))
+	}
+	if req.Options.AckSends != nil {
+		opts = append(opts, hbsp.WithAckSends(*req.Options.AckSends))
+	}
+	if req.Options.Engine == "concurrent" {
+		opts = append(opts, hbsp.WithConcurrentEngine())
+	}
+	if req.Options.Collapse == "off" {
+		opts = append(opts, hbsp.WithSymmetryCollapse(false))
+	}
+	if req.Faults != nil && !req.Faults.Empty() {
+		opts = append(opts, hbsp.WithFaults(req.Faults))
+	}
+	if !deadline.IsZero() {
+		left := time.Until(deadline)
+		if left <= 0 {
+			return nil, fmt.Errorf("%w: request budget exhausted before evaluation", hbsp.ErrDeadline)
+		}
+		opts = append(opts, hbsp.WithDeadline(left))
+	}
+	var rec *trace.Recorder
+	if req.Options.Trace {
+		rec = trace.NewRecorder()
+		rec.SetLabel(fmt.Sprintf("%s, P=%d", w.Kind, pt.procs))
+		opts = append(opts, hbsp.WithRecorder(rec))
+	}
+	if w.Kind == "sync" && w.Variant == "schedule" {
+		pat, err := s.barrierPattern("dissemination", pt.procs)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, hbsp.WithScheduleSynchronizer(pat))
+	}
+
+	sess, err := hbsp.New(rp.machine, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res, perIter, err := s.runWorkload(ctx, sess, w, pt.procs)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &PredictPoint{
+		Workload:           w.Kind,
+		Variant:            w.Variant,
+		Procs:              pt.procs,
+		Bytes:              w.Bytes,
+		Seed:               seed,
+		Engine:             req.Options.Engine,
+		ProfileFingerprint: rp.fingerprint,
+		FaultFingerprint:   faultFP(req.Faults),
+		MakeSpan:           res.MakeSpan,
+		Times:              summarizeTimes(res.Times),
+		Messages:           res.Messages,
+		BytesMoved:         res.Bytes,
+		PerIteration:       perIter,
+		Collapse: CollapseInfo{
+			Applied: res.Collapse.Applied,
+			Classes: res.Collapse.Classes,
+			Reason:  res.Collapse.Reason,
+		},
+	}
+	if !pt.scale.identity() {
+		sc := pt.scale.normalized()
+		p.Scale = &sc
+	}
+	if req.Options.PerRank {
+		p.PerRank = res.Times
+	}
+	if rec != nil {
+		tr, err := rec.Trace()
+		if err != nil {
+			return nil, fmt.Errorf("server: trace assembly: %v", err)
+		}
+		p.CriticalPath = renderPath(tr)
+		p.Breakdown = renderBreakdown(tr)
+	}
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("server: rendering: %v", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// faultFP returns the plan fingerprint for non-empty plans only, so the
+// field stays absent from fault-free responses.
+func faultFP(p *fault.Plan) string {
+	if p.Empty() {
+		return ""
+	}
+	return p.Fingerprint()
+}
+
+// summarizeTimes computes the deterministic order statistics of the per-rank
+// times (nearest-rank quantiles over the sorted copy).
+func summarizeTimes(times []float64) TimesSummary {
+	if len(times) == 0 {
+		return TimesSummary{}
+	}
+	sorted := sim.SortedCopy(times)
+	sum := 0.0
+	for _, t := range sorted {
+		sum += t
+	}
+	q := func(f float64) float64 {
+		i := int(math.Ceil(f*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return TimesSummary{
+		Min:  sorted[0],
+		Mean: sum / float64(len(sorted)),
+		P50:  q(0.50),
+		P95:  q(0.95),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// renderPath converts a trace's critical path to the wire shape.
+func renderPath(tr *trace.Trace) *PathInfo {
+	cp := tr.CriticalPath()
+	pi := &PathInfo{
+		End:      cp.End,
+		Rank:     cp.Rank,
+		Hops:     len(cp.Hops),
+		Compute:  cp.Compute,
+		Send:     cp.Send,
+		Wait:     cp.Wait,
+		InFlight: cp.InFlight,
+	}
+	for _, hop := range cp.Hops {
+		hi := HopInfo{Rank: hop.Rank, From: hop.From, To: hop.To, ViaPeer: -1}
+		if hop.ViaPeer >= 0 {
+			hi.ViaPeer = hop.ViaPeer
+			hi.ViaSize = hop.ViaSize
+		}
+		pi.Path = append(pi.Path, hi)
+	}
+	return pi
+}
+
+// renderBreakdown converts a trace's per-category totals to the wire shape,
+// in the report order of trace.Categories.
+func renderBreakdown(tr *trace.Trace) *BreakdownInfo {
+	bd := tr.Breakdown()
+	bi := &BreakdownInfo{MakeSpan: bd.MakeSpan}
+	for _, cat := range trace.Categories {
+		bi.Categories = append(bi.Categories, CategoryTotal{
+			Category: cat.String(),
+			Seconds:  bd.TotalByCategory(cat),
+		})
+	}
+	return bi
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errShed is returned by acquire when the evaluation queue is saturated; the
+// handler maps it to 429 with a Retry-After header.
+var errShed = errors.New("server: overloaded, request shed")
+
+// limiter is the global evaluation admission control: at most maxConcurrent
+// evaluations run at once, at most maxQueue more may wait for a slot, and
+// everything beyond that is shed immediately — queue-depth-based load
+// shedding keeps the tail latency of admitted requests bounded instead of
+// letting the queue grow without limit.
+type limiter struct {
+	slots    chan struct{}
+	queue    chan struct{}
+	inFlight *metrics
+}
+
+// newLimiter builds a limiter over the shared metrics (for the inFlight and
+// queued gauges).
+func newLimiter(maxConcurrent, maxQueue int, m *metrics) *limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		slots:    make(chan struct{}, maxConcurrent),
+		queue:    make(chan struct{}, maxConcurrent+maxQueue),
+		inFlight: m,
+	}
+}
+
+// acquire admits one evaluation. It returns errShed without blocking when
+// the queue is full, ctx.Err() if the caller's budget expires while queued,
+// and nil once a slot is held (release it with release).
+func (l *limiter) acquire(ctx context.Context) error {
+	// The queue channel bounds slot-holders plus waiters; failing to enter
+	// it means maxConcurrent evaluations are running AND maxQueue callers
+	// are already waiting — the shed condition.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return errShed
+	}
+	l.inFlight.queued.Add(1)
+	defer l.inFlight.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		l.inFlight.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		<-l.queue
+		return ctx.Err()
+	}
+}
+
+// release returns a slot.
+func (l *limiter) release() {
+	l.inFlight.inFlight.Add(-1)
+	<-l.slots
+	<-l.queue
+}

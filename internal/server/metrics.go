@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync/atomic"
+)
+
+// evalBuckets are the upper bounds, in nanoseconds, of the evaluation-latency
+// histogram: powers of four from 1 µs to ~17 s plus a catch-all. Fixed
+// buckets keep /metrics rendering allocation-free and deterministic.
+var evalBuckets = [...]int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000,
+	1_000_000_000, 4_000_000_000, 16_000_000_000,
+}
+
+// metrics holds the server's counters. All fields are updated with atomics;
+// Snapshot renders a consistent-enough point-in-time view (counters are
+// monotonic, so slight skew between fields is acceptable for an operational
+// endpoint).
+type metrics struct {
+	requests    atomic.Int64 // HTTP requests accepted on /v1/predict
+	points      atomic.Int64 // prediction points served (1 per single request, N per sweep)
+	cacheHits   atomic.Int64 // points answered from the result cache
+	cacheMisses atomic.Int64 // points that had to be evaluated
+	coalesced   atomic.Int64 // points that piggybacked on an identical in-flight evaluation
+	shed        atomic.Int64 // requests rejected by the load shedder (429)
+	inFlight    atomic.Int64 // currently admitted evaluations (gauge)
+	queued      atomic.Int64 // evaluations waiting for a slot (gauge)
+
+	errInvalidRequest atomic.Int64
+	errInvalidMachine atomic.Int64
+	errInvalidFault   atomic.Int64
+	errDeadline       atomic.Int64
+	errAborted        atomic.Int64
+	errInternal       atomic.Int64
+
+	evalCount  atomic.Int64
+	evalSumNs  atomic.Int64
+	evalBucket [len(evalBuckets) + 1]atomic.Int64
+}
+
+// observeEval records one evaluation's wall time in the histogram.
+func (m *metrics) observeEval(ns int64) {
+	m.evalCount.Add(1)
+	m.evalSumNs.Add(ns)
+	for i, ub := range evalBuckets {
+		if ns <= ub {
+			m.evalBucket[i].Add(1)
+			return
+		}
+	}
+	m.evalBucket[len(evalBuckets)].Add(1)
+}
+
+// MetricsSnapshot is the JSON shape of /metrics. Field order (struct order)
+// is the rendering order.
+type MetricsSnapshot struct {
+	Requests    int64 `json:"requests"`
+	Points      int64 `json:"points"`
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Coalesced   int64 `json:"coalesced"`
+	Shed        int64 `json:"shed"`
+	InFlight    int64 `json:"inFlight"`
+	Queued      int64 `json:"queued"`
+
+	Errors struct {
+		InvalidRequest int64 `json:"invalidRequest"`
+		InvalidMachine int64 `json:"invalidMachine"`
+		InvalidFault   int64 `json:"invalidFault"`
+		Deadline       int64 `json:"deadline"`
+		Aborted        int64 `json:"aborted"`
+		Internal       int64 `json:"internal"`
+	} `json:"errors"`
+
+	Eval struct {
+		Count int64 `json:"count"`
+		SumNs int64 `json:"sumNs"`
+		// Buckets[i] counts evaluations with wall time <= BucketNs[i];
+		// the final entry (paired with bucketNs +Inf) is the overflow.
+		BucketNs []int64 `json:"bucketNs"`
+		Buckets  []int64 `json:"buckets"`
+	} `json:"evalNs"`
+}
+
+// snapshot renders the counters.
+func (m *metrics) snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Requests = m.requests.Load()
+	s.Points = m.points.Load()
+	s.CacheHits = m.cacheHits.Load()
+	s.CacheMisses = m.cacheMisses.Load()
+	s.Coalesced = m.coalesced.Load()
+	s.Shed = m.shed.Load()
+	s.InFlight = m.inFlight.Load()
+	s.Queued = m.queued.Load()
+	s.Errors.InvalidRequest = m.errInvalidRequest.Load()
+	s.Errors.InvalidMachine = m.errInvalidMachine.Load()
+	s.Errors.InvalidFault = m.errInvalidFault.Load()
+	s.Errors.Deadline = m.errDeadline.Load()
+	s.Errors.Aborted = m.errAborted.Load()
+	s.Errors.Internal = m.errInternal.Load()
+	s.Eval.Count = m.evalCount.Load()
+	s.Eval.SumNs = m.evalSumNs.Load()
+	s.Eval.BucketNs = append([]int64(nil), evalBuckets[:]...)
+	s.Eval.Buckets = make([]int64, len(evalBuckets)+1)
+	for i := range s.Eval.Buckets {
+		s.Eval.Buckets[i] = m.evalBucket[i].Load()
+	}
+	return s
+}

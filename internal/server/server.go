@@ -1,0 +1,286 @@
+// Package server is the hbspd prediction service: an HTTP/JSON API that
+// evaluates LogGP predictions for named machine profiles (or uploaded
+// pairwise matrices), collective/BSP/stencil/op-stream workloads and
+// optional fault plans, streaming sweep results as NDJSON.
+//
+// Production concerns handled here, not in the prediction engines:
+//
+//   - a bounded LRU result cache keyed by content fingerprints (profile,
+//     fault plan) plus the normalized workload and options — identical
+//     requests are answered byte-identically without re-evaluation;
+//   - singleflight coalescing of concurrent identical evaluations;
+//   - a global concurrency limiter with queue-depth load shedding (429 +
+//     Retry-After) and per-request evaluation budgets (408 on expiry);
+//   - graceful drain: Shutdown stops admitting (/healthz turns 503) and
+//     lets in-flight evaluations finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hbsp/bsp"
+	iexp "hbsp/internal/experiments"
+)
+
+// Config tunes a Server. The zero value of each field selects its default.
+type Config struct {
+	// MaxConcurrent bounds evaluations running at once (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds evaluations waiting for a slot; beyond it requests are
+	// shed with 429 (default 2×MaxConcurrent).
+	MaxQueue int
+	// CacheEntries bounds the result cache (default 4096; negative disables).
+	CacheEntries int
+	// MachineEntries bounds the machine cache (default 32; negative
+	// disables). Machines dominate memory — each holds four P×P matrices —
+	// so this knob is much smaller than CacheEntries.
+	MachineEntries int
+	// RetryAfter is the Retry-After value sent with shed responses, in
+	// seconds (default 1).
+	RetryAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MachineEntries == 0 {
+		c.MachineEntries = 32
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// Server is the prediction service. Create one with New, mount it as an
+// http.Handler, and call Shutdown to drain.
+type Server struct {
+	cfg       Config
+	m         *metrics
+	results   *lruCache // pointKey -> rendered response bytes
+	machines  *lruCache // (profile fingerprint, procs) -> *resolvedProfile
+	patterns  *lruCache // barrier variants by (variant, procs)
+	schedules bsp.ScheduleSource
+	flights   *flightGroup
+	limit     *limiter
+	mux       *http.ServeMux
+	draining  atomic.Bool
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := &metrics{}
+	s := &Server{
+		cfg:       cfg,
+		m:         m,
+		results:   newLRU(cfg.CacheEntries),
+		machines:  newLRU(cfg.MachineEntries),
+		patterns:  newLRU(256),
+		schedules: bsp.NewScheduleCache(),
+		flights:   newFlightGroup(),
+		limit:     newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, m),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/presets", s.handlePresets)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips the server into draining mode: /healthz turns 503 (so load
+// balancers stop routing here) and new predictions are refused with the shed
+// error; in-flight requests finish normally. The http.Server owning the
+// listener performs the actual connection teardown via its own Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Metrics returns a point-in-time counter snapshot.
+func (s *Server) Metrics() MetricsSnapshot { return s.m.snapshot() }
+
+// handleHealthz reports liveness — 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"status":"draining"}`+"\n")
+		return
+	}
+	io.WriteString(w, `{"status":"ok"}`+"\n")
+}
+
+// handleMetrics renders the counters as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.m.snapshot())
+}
+
+// handlePresets lists the profile presets.
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Presets []string `json:"presets"`
+	}{Presets: presetNames()})
+}
+
+// maxBodyBytes bounds request bodies (uploaded matrices are the big case:
+// 64 MB holds ~1000×1000 matrices with slack).
+const maxBodyBytes = 64 << 20
+
+// handlePredict serves POST /v1/predict.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, badRequestf("use POST"))
+		return
+	}
+	s.m.requests.Add(1)
+	if s.draining.Load() {
+		s.fail(w, fmt.Errorf("%w: draining", errShed))
+		return
+	}
+
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, badRequestf("decoding body: %v", err))
+		return
+	}
+	if err := normalizeOptions(&req.Options); err != nil {
+		s.fail(w, err)
+		return
+	}
+	pts, err := expandPoints(&req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	// The request budget maps onto both teardown paths: the context (so
+	// running evaluations abort) and the per-point session deadline (so the
+	// overrun is reported as ErrDeadline → 408 rather than a bare abort).
+	// The context gets a grace margin so the deadline classification wins.
+	ctx := r.Context()
+	var deadline time.Time
+	if req.Options.BudgetMs > 0 {
+		budget := time.Duration(req.Options.BudgetMs) * time.Millisecond
+		deadline = time.Now().Add(budget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget+250*time.Millisecond)
+		defer cancel()
+	}
+
+	if req.Sweep == nil {
+		s.servePoint(w, ctx, &req, pts[0], deadline)
+		return
+	}
+	s.serveSweep(w, ctx, &req, pts, deadline)
+}
+
+// servePoint answers a single-point request with one JSON object. Cache hits
+// bypass the limiter entirely — the hot path of repeated queries.
+func (s *Server) servePoint(w http.ResponseWriter, ctx context.Context, req *PredictRequest, pt point, deadline time.Time) {
+	body, how, err := s.evalPoint(ctx, req, pt, deadline, func(ctx context.Context) (func(), error) {
+		if err := s.limit.acquire(ctx); err != nil {
+			return nil, err
+		}
+		return s.limit.release, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hbspd-Cache", how)
+	w.Write(body)
+}
+
+// serveSweep streams a sweep as NDJSON, one PredictPoint per line in
+// row-major axis order, each line flushed as soon as its point (and all
+// points before it) finished. The whole sweep is admitted as one unit of
+// load; its points then fan out over the experiments worker pool. A point
+// error ends the stream with a final error line carrying the documented
+// error shape.
+func (s *Server) serveSweep(w http.ResponseWriter, ctx context.Context, req *PredictRequest, pts []point, deadline time.Time) {
+	if err := s.limit.acquire(ctx); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.limit.release()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type lineRes struct {
+		body []byte
+		err  error
+	}
+	lines := make([]chan lineRes, len(pts))
+	for i := range lines {
+		lines[i] = make(chan lineRes, 1)
+	}
+	noAdmit := func(context.Context) (func(), error) { return func() {}, nil }
+	go iexp.RunPoints(len(pts), func(i int) (struct{}, error) {
+		body, _, err := s.evalPoint(ctx, req, pts[i], deadline, noAdmit)
+		lines[i] <- lineRes{body: body, err: err}
+		return struct{}{}, nil
+	})
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Hbspd-Points", fmt.Sprint(len(pts)))
+	flusher, _ := w.(http.Flusher)
+	for i := range lines {
+		res := <-lines[i]
+		if res.err != nil {
+			// Headers are long gone; the error rides as the final line.
+			code, status := classify(res.err)
+			s.m.countError(code)
+			e := apiError{}
+			e.Err.Code = code
+			e.Err.Status = status
+			e.Err.Message = res.err.Error()
+			line, _ := json.Marshal(e)
+			w.Write(append(line, '\n'))
+			cancel() // stop evaluating the remaining points
+			return
+		}
+		w.Write(res.body)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// fail writes the documented JSON error shape with its HTTP status.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	body, status := renderError(err)
+	code, _ := classify(err)
+	s.m.countError(code)
+	w.Header().Set("Content-Type", "application/json")
+	if errors.Is(err, errShed) {
+		w.Header().Set("Retry-After", fmt.Sprint(s.cfg.RetryAfter))
+	}
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}

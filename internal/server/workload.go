@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"hbsp"
+	"hbsp/bsp"
+	"hbsp/collective"
+	"hbsp/mpi"
+	"hbsp/sim"
+	"hbsp/stencil"
+)
+
+// Workload defaults.
+const (
+	defaultBytes          = 8
+	defaultSupersteps     = 3
+	defaultComputeSeconds = 5e-6
+	defaultGrid           = 128
+	defaultIterations     = 2
+)
+
+// normalizeWorkload validates a WorkloadSpec against the point's rank count
+// and fills the defaults in place (the filled spec is what cache keys are
+// computed from, so "bytes omitted" and "bytes: 8" share an entry).
+func normalizeWorkload(w *WorkloadSpec, procs int) error {
+	switch w.Kind {
+	case "barrier":
+		switch w.Variant {
+		case "":
+			w.Variant = "dissemination"
+		case "dissemination", "tree", "linear":
+		default:
+			return badRequestf("unknown barrier variant %q (dissemination, tree, linear)", w.Variant)
+		}
+	case "broadcast", "reduce", "allreduce", "allgather", "totalexchange":
+		if w.Variant != "" {
+			return badRequestf("workload %q has no variants", w.Kind)
+		}
+		if w.Bytes == 0 {
+			w.Bytes = defaultBytes
+		}
+		if w.Bytes < 0 {
+			return badRequestf("bytes must be >= 0, got %d", w.Bytes)
+		}
+		if w.Kind == "broadcast" || w.Kind == "reduce" {
+			if w.Root < 0 || w.Root >= procs {
+				return badRequestf("root %d out of range [0,%d)", w.Root, procs)
+			}
+		} else if w.Root != 0 {
+			return badRequestf("workload %q has no root", w.Kind)
+		}
+	case "sync":
+		switch w.Variant {
+		case "":
+			w.Variant = "dissemination"
+		case "dissemination", "schedule":
+		default:
+			return badRequestf("unknown sync variant %q (dissemination, schedule)", w.Variant)
+		}
+		if w.Supersteps == 0 {
+			w.Supersteps = defaultSupersteps
+		}
+		if w.Supersteps < 1 {
+			return badRequestf("supersteps must be >= 1, got %d", w.Supersteps)
+		}
+		if w.ComputeSeconds == 0 {
+			w.ComputeSeconds = defaultComputeSeconds
+		}
+		if w.ComputeSeconds < 0 {
+			return badRequestf("computeSeconds must be >= 0, got %g", w.ComputeSeconds)
+		}
+		if procs < 2 {
+			return badRequestf("the sync workload needs at least 2 ranks")
+		}
+	case "stencil":
+		if w.Variant != "" {
+			return badRequestf("workload %q has no variants", w.Kind)
+		}
+		if w.Grid == 0 {
+			w.Grid = defaultGrid
+		}
+		if w.Iterations == 0 {
+			w.Iterations = defaultIterations
+		}
+		if w.Grid < 3 {
+			return badRequestf("grid must be >= 3, got %d", w.Grid)
+		}
+		if w.Iterations < 1 {
+			return badRequestf("iterations must be >= 1, got %d", w.Iterations)
+		}
+	case "program":
+		if w.Variant != "" {
+			return badRequestf("workload %q has no variants", w.Kind)
+		}
+		if len(w.Ranks) == 0 {
+			return badRequestf("program workload needs ranks")
+		}
+		if len(w.Ranks) != procs {
+			return badRequestf("program has %d rank streams, point has procs=%d", len(w.Ranks), procs)
+		}
+		if err := validateOps(w.Ranks); err != nil {
+			return err
+		}
+	case "":
+		return badRequestf("workload.kind is required")
+	default:
+		return badRequestf("unknown workload kind %q", w.Kind)
+	}
+	return nil
+}
+
+// validateOps checks a program workload's op-streams: known ops, peers in
+// range, request slots produced in isend/irecv order and consumed by "wait"
+// exactly once.
+func validateOps(ranks [][]OpSpec) error {
+	p := len(ranks)
+	for rank, ops := range ranks {
+		next := 0
+		waited := map[int]bool{}
+		for i, op := range ops {
+			switch op.Op {
+			case "compute":
+				if op.Seconds < 0 {
+					return badRequestf("rank %d op %d: compute seconds must be >= 0", rank, i)
+				}
+			case "isend", "post":
+				if op.To < 0 || op.To >= p {
+					return badRequestf("rank %d op %d: to=%d out of range [0,%d)", rank, i, op.To, p)
+				}
+				if op.Bytes < 0 {
+					return badRequestf("rank %d op %d: bytes must be >= 0", rank, i)
+				}
+				if op.Op == "isend" {
+					next++
+				}
+			case "irecv":
+				if op.From < 0 || op.From >= p {
+					return badRequestf("rank %d op %d: from=%d out of range [0,%d)", rank, i, op.From, p)
+				}
+				next++
+			case "wait":
+				if op.Req < 0 || op.Req >= next {
+					return badRequestf("rank %d op %d: wait names request slot %d, only %d allocated so far", rank, i, op.Req, next)
+				}
+				if waited[op.Req] {
+					return badRequestf("rank %d op %d: request slot %d waited twice", rank, i, op.Req)
+				}
+				waited[op.Req] = true
+			default:
+				return badRequestf("rank %d op %d: unknown op %q (compute, isend, irecv, post, wait)", rank, i, op.Op)
+			}
+		}
+		if len(waited) != next {
+			return badRequestf("rank %d leaves %d request slots unwaited", rank, next-len(waited))
+		}
+	}
+	return nil
+}
+
+// buildProgram compiles a validated program workload into a sim.Program.
+func buildProgram(ranks [][]OpSpec) *sim.Program {
+	pr := sim.NewProgram(len(ranks))
+	for rank, ops := range ranks {
+		b := pr.Rank(rank)
+		for _, op := range ops {
+			switch op.Op {
+			case "compute":
+				b.Compute(op.Seconds)
+			case "isend":
+				b.Isend(op.To, op.Tag, op.Bytes)
+			case "post":
+				b.Post(op.To, op.Tag, op.Bytes)
+			case "irecv":
+				b.Irecv(op.From, op.Tag)
+			case "wait":
+				b.Wait(sim.Req(op.Req))
+			}
+		}
+	}
+	return pr
+}
+
+// runWorkload executes one normalized workload on a session and returns the
+// run result (plus the per-iteration time for the stencil workload).
+func (s *Server) runWorkload(ctx context.Context, sess *hbsp.Session, w *WorkloadSpec, procs int) (*sim.Result, float64, error) {
+	switch w.Kind {
+	case "barrier":
+		pat, err := s.barrierPattern(w.Variant, procs)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := sess.RunMPI(ctx, func(c *mpi.Comm) error {
+			return c.BarrierSchedule(pat)
+		})
+		return res, 0, err
+
+	case "broadcast", "reduce", "allreduce", "allgather", "totalexchange":
+		pat, err := s.collectivePattern(w.Kind, procs, w.Root, w.Bytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := sess.RunMPI(ctx, func(c *mpi.Comm) error {
+			switch w.Kind {
+			case "broadcast":
+				_, err := c.BcastSchedule(pat, w.Root, float64(c.Rank()))
+				return err
+			case "reduce":
+				_, err := c.ReduceSchedule(pat, w.Root, float64(c.Rank()), mpi.OpSum)
+				return err
+			case "allreduce":
+				_, err := c.AllreduceSchedule(pat, float64(c.Rank()), mpi.OpSum)
+				return err
+			case "allgather":
+				_, err := c.AllgatherSchedule(pat, float64(c.Rank()))
+				return err
+			default: // totalexchange
+				blocks := make([]any, procs)
+				for i := range blocks {
+					blocks[i] = float64(c.Rank()*procs + i)
+				}
+				_, err := c.TotalExchangeSchedule(pat, blocks)
+				return err
+			}
+		})
+		return res, 0, err
+
+	case "sync":
+		res, err := sess.RunBSP(ctx, syncProgram(w))
+		return res, 0, err
+
+	case "stencil":
+		body, err := stencil.BSPProgram(procs, stencil.Config{
+			N:          w.Grid,
+			Iterations: w.Iterations,
+			C:          0.25,
+			Synthetic:  true,
+		}, 1, nil)
+		if err != nil {
+			return nil, 0, badRequestf("stencil: %v", err)
+		}
+		res, err := sess.RunBSP(ctx, body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, res.MakeSpan / float64(w.Iterations), nil
+
+	case "program":
+		res, err := sess.RunProgram(ctx, buildProgram(w.Ranks))
+		return res, 0, err
+	}
+	return nil, 0, fmt.Errorf("server: unreachable workload kind %q", w.Kind)
+}
+
+// syncProgram is the reference BSP workload parameterized by the spec: a
+// registration superstep, then Supersteps supersteps of placement-skewed
+// compute (four classes) and ring puts, each ended by the session's count
+// exchange.
+func syncProgram(w *WorkloadSpec) bsp.Program {
+	steps, base := w.Supersteps, w.ComputeSeconds
+	return func(c *bsp.Ctx) error {
+		p := c.NProcs()
+		area := make([]float64, p)
+		c.PushReg("x", area)
+		if err := c.Sync(); err != nil {
+			return err
+		}
+		for step := 0; step < steps; step++ {
+			c.Compute(base * float64(1+(c.Pid()+step)%4))
+			right := (c.Pid() + 1 + step) % p
+			if err := c.Put(right, "x", c.Pid(), []float64{float64(step)}); err != nil {
+				return err
+			}
+			if err := c.Sync(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// barrierPattern returns the (verified, cached) barrier schedule of a
+// variant. Patterns are immutable once verified, so sharing them across
+// concurrent runs is safe.
+func (s *Server) barrierPattern(variant string, procs int) (*collective.Pattern, error) {
+	key := fmt.Sprintf("pattern/barrier/%s/p%d", variant, procs)
+	if pat, ok := s.patterns.Get(key); ok {
+		return pat.(*collective.Pattern), nil
+	}
+	var (
+		pat *collective.Pattern
+		err error
+	)
+	switch variant {
+	case "dissemination":
+		pat, err = collective.Dissemination(procs)
+	case "tree":
+		pat, err = collective.Tree(procs)
+	default:
+		pat, err = collective.Linear(procs, 0)
+	}
+	if err != nil {
+		return nil, badRequestf("barrier:%s with P=%d: %v", variant, procs, err)
+	}
+	if err := pat.Verify(); err != nil {
+		return nil, fmt.Errorf("server: barrier:%s P=%d failed verification: %v", variant, procs, err)
+	}
+	pat.Adjacency()
+	s.patterns.Put(key, pat)
+	return pat, nil
+}
+
+// collectivePattern returns a verified data-collective schedule through the
+// shared generator cache (bsp.NewScheduleCache), the same verified-pattern
+// cache the BSP Ctx collectives use: verification is memoized per stage
+// structure, so sweeping payload sizes re-verifies nothing.
+func (s *Server) collectivePattern(kind string, procs, root, bytes int) (*collective.Pattern, error) {
+	var sem collective.Semantics
+	switch kind {
+	case "broadcast":
+		sem = collective.SemBroadcast
+	case "reduce":
+		sem = collective.SemReduce
+	case "allreduce":
+		sem = collective.SemAllReduce
+	case "allgather":
+		sem = collective.SemAllGather
+	case "totalexchange":
+		sem = collective.SemTotalExchange
+	default:
+		return nil, fmt.Errorf("server: no schedule semantics for %q", kind)
+	}
+	pat, err := s.schedules.Schedule(sem, procs, root, bytes)
+	if err != nil {
+		return nil, badRequestf("%s with P=%d: %v", kind, procs, err)
+	}
+	return pat, nil
+}

@@ -56,22 +56,42 @@ func RunBSP(m *platform.Machine, cfg Config, overlapFraction float64) (*RunResul
 	if m == nil {
 		return nil, errors.New("stencil: nil machine")
 	}
+	checksums := make([]float64, m.Procs())
+	body, err := BSPProgram(m.Procs(), cfg, overlapFraction, checksums)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bsp.Run(m, body)
+	if err != nil {
+		return nil, err
+	}
+	return summarize("bsp", m.Procs(), cfg, res.MakeSpan, checksums), nil
+}
+
+// BSPProgram returns the BSP body of the Jacobi kernel as a standalone
+// bsp.Program, so callers that need run-level plumbing (contexts, seeds,
+// fault plans, trace recorders) can execute it through their own session
+// instead of the bare bsp.Run wrapper RunBSP uses. checksums, when non-nil,
+// must have procs entries and receives each rank's final grid checksum.
+func BSPProgram(procs int, cfg Config, overlapFraction float64, checksums []float64) (bsp.Program, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if overlapFraction < 0 || overlapFraction > 1 {
 		return nil, fmt.Errorf("stencil: overlap fraction %g outside [0,1]", overlapFraction)
 	}
-	d, err := Decompose(cfg.N, m.Procs())
+	d, err := Decompose(cfg.N, procs)
 	if err != nil {
 		return nil, err
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	if checksums != nil && len(checksums) != procs {
+		return nil, fmt.Errorf("stencil: checksum slice has %d entries, want %d", len(checksums), procs)
+	}
 
-	checksums := make([]float64, m.Procs())
-	res, err := bsp.Run(m, func(ctx *bsp.Ctx) error {
+	return func(ctx *bsp.Ctx) error {
 		rank := ctx.Pid()
 		grid := newLocalGrid(d, rank)
 		neigh := d.Neighbors(rank)
@@ -138,13 +158,11 @@ func RunBSP(m *platform.Machine, cfg Config, overlapFraction float64) (*RunResul
 			ctx.ComputeKernel(kernels.Stencil5, shadow, 1)
 			grid.swap()
 		}
-		checksums[rank] = grid.checksum()
+		if checksums != nil {
+			checksums[rank] = grid.checksum()
+		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return summarize("bsp", m.Procs(), cfg, res.MakeSpan, checksums), nil
+	}, nil
 }
 
 // earlyRows converts a cell budget into a number of complete deep-interior

@@ -14,6 +14,7 @@ import (
 	"hbsp/collective"
 	"hbsp/fault"
 	"hbsp/mpi"
+	"hbsp/sched"
 	"hbsp/sim"
 	"hbsp/trace"
 )
@@ -403,6 +404,33 @@ func (s *Session) RunBSP(ctx context.Context, program bsp.Program) (*sim.Result,
 		Observer:  s.superstepObserver(&runEnded),
 		Options:   &opts,
 	}, program)
+	return s.endRun(&runEnded, res, err)
+}
+
+// RunProgram evaluates a sim.Program op-stream — the timing skeleton of a
+// workload with every operand fixed up front — and returns the per-rank
+// virtual finishing times. Under the default engine the program is compiled
+// and evaluated by the goroutine-free discrete-event evaluator
+// (sched.RunProgram); WithConcurrentEngine replays it through goroutines and
+// mailboxes instead. Virtual times are bit-identical either way.
+func (s *Session) RunProgram(ctx context.Context, pr *sim.Program) (*sim.Result, error) {
+	if pr == nil {
+		return nil, fmt.Errorf("%w: nil program", ErrOption)
+	}
+	if pr.Procs() != s.machine.Procs() {
+		return nil, fmt.Errorf("%w: program built for %d ranks, machine has %d", ErrOption, pr.Procs(), s.machine.Procs())
+	}
+	var runEnded atomic.Bool
+	s.emit(TraceEvent{Kind: "run.start", Rank: -1})
+	var (
+		res *sim.Result
+		err error
+	)
+	if s.options.Engine == sim.EngineConcurrent {
+		res, err = sim.RunProgram(ctx, s.machine, pr, s.options)
+	} else {
+		res, err = sched.RunProgram(ctx, s.machine, pr, s.options)
+	}
 	return s.endRun(&runEnded, res, err)
 }
 

@@ -349,3 +349,57 @@ func TestWithRecorderRoundTrip(t *testing.T) {
 		t.Fatalf("report does not confirm the critical path:\n%s", buf.String())
 	}
 }
+
+// TestRunProgramEngines pins Session.RunProgram: a ring exchange op-stream
+// evaluated by the direct engine and replayed on the concurrent engine must
+// produce bit-identical per-rank times, and operand mismatches surface as
+// ErrOption.
+func TestRunProgramEngines(t *testing.T) {
+	const procs = 8
+	m := testMachine(t, procs)
+	pr := sim.NewProgram(procs)
+	for r := 0; r < procs; r++ {
+		b := pr.Rank(r)
+		b.Compute(1e-6 * float64(1+r%3))
+		right, left := (r+1)%procs, (r+procs-1)%procs
+		rq := b.Irecv(left, 7)
+		sq := b.Isend(right, 7, 64)
+		b.Wait(rq)
+		b.Wait(sq)
+	}
+
+	direct, err := hbsp.New(m, hbsp.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := direct.RunProgram(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := hbsp.New(m, hbsp.WithSeed(3), hbsp.WithConcurrentEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, err := concurrent.RunProgram(context.Background(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resD.Times) != procs {
+		t.Fatalf("got %d times, want %d", len(resD.Times), procs)
+	}
+	for r := range resD.Times {
+		if resD.Times[r] != resC.Times[r] {
+			t.Fatalf("rank %d: direct %v != concurrent %v", r, resD.Times[r], resC.Times[r])
+		}
+	}
+	if resD.MakeSpan <= 0 {
+		t.Fatalf("non-positive makespan %v", resD.MakeSpan)
+	}
+
+	if _, err := direct.RunProgram(context.Background(), nil); !errors.Is(err, hbsp.ErrOption) {
+		t.Fatalf("nil program: got %v, want ErrOption", err)
+	}
+	if _, err := direct.RunProgram(context.Background(), sim.NewProgram(procs+1)); !errors.Is(err, hbsp.ErrOption) {
+		t.Fatalf("rank mismatch: got %v, want ErrOption", err)
+	}
+}

@@ -122,6 +122,15 @@ func Run(ctx context.Context, m Machine, body func(p *Proc) error, o Options) (*
 	return simnet.RunContext(ctx, m, body, o)
 }
 
+// RunProgram executes a Program op-stream on the concurrent engine: one
+// goroutine per rank replays its instructions through the mailbox machinery.
+// The goroutine-free evaluation of the same program is sched.RunProgram;
+// both produce bit-identical virtual times (hbsp.Session.RunProgram routes
+// between them by Options.Engine).
+func RunProgram(ctx context.Context, m Machine, pr *Program, o Options) (*Result, error) {
+	return simnet.RunProgram(ctx, m, pr, o)
+}
+
 // MaxTime returns the largest of the supplied times.
 func MaxTime(times []float64) float64 { return simnet.MaxTime(times) }
 

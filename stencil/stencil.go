@@ -8,6 +8,7 @@ package stencil
 import (
 	istencil "hbsp/internal/stencil"
 
+	"hbsp/bsp"
 	"hbsp/cluster"
 	"hbsp/collective"
 	"hbsp/model"
@@ -39,6 +40,15 @@ func Decompose(n, p int) (Decomposition, error) { return istencil.Decompose(n, p
 // RunBSP executes the overlapping BSP variant.
 func RunBSP(m *cluster.Machine, cfg Config, overlapFraction float64) (*RunResult, error) {
 	return istencil.RunBSP(m, cfg, overlapFraction)
+}
+
+// BSPProgram returns the BSP body of the Jacobi kernel as a standalone
+// bsp.Program for execution through an hbsp.Session (which adds contexts,
+// seeds, fault plans and trace recorders to the bare RunBSP path). checksums,
+// when non-nil, must have procs entries and receives each rank's final grid
+// checksum.
+func BSPProgram(procs int, cfg Config, overlapFraction float64, checksums []float64) (bsp.Program, error) {
+	return istencil.BSPProgram(procs, cfg, overlapFraction, checksums)
 }
 
 // MeasureBSP executes the BSP variant reps times and reports the median.
