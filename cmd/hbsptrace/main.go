@@ -2,14 +2,25 @@
 // prints what the trace subsystem learned: the per-category time breakdown,
 // per-superstep straggler attribution, h-relation statistics and the
 // critical path whose end time equals the run's virtual makespan
-// bit-for-bit. With -chrome it additionally exports the full event timeline
-// as Chrome trace-event JSON, loadable in chrome://tracing or Perfetto
-// (ui.perfetto.dev → "Open trace file").
+// bit-for-bit. With -chrome it additionally exports the event timeline as
+// Chrome trace-event JSON, loadable in chrome://tracing or Perfetto
+// (ui.perfetto.dev → "Open trace file"); traces over the event budget are
+// lane-sampled automatically, and -chrome-full forces the full export (which
+// is refused over budget unless -chrome-budget raises or disables it — use
+// -rollup for a bounded aggregated view instead).
 //
 // Usage:
 //
 //	go run ./cmd/hbsptrace [-workload name] [-p procs] [-seed n]
-//	                       [-chrome out.json] [-events] [-hops n] [-steps n]
+//	                       [-chrome out.json] [-chrome-full] [-chrome-budget n]
+//	                       [-events] [-rollup] [-topk n] [-hops n] [-steps n]
+//	                       [-spill out.bin] [-from-spill in.bin]
+//
+// -spill serializes the trace to the compact binary spill format (the
+// canonical byte layout: identical content yields identical bytes), and
+// -from-spill analyzes a previously written spill file instead of recording
+// a run — every output mode works directly off the file without
+// materializing the trace in RAM.
 //
 // Workloads:
 //
@@ -70,37 +81,103 @@ func main() {
 	procs := flag.Int("p", 64, "number of ranks")
 	seed := flag.Int64("seed", 1, "run seed (drives the machine's deterministic noise)")
 	chrome := flag.String("chrome", "", "also write a Chrome trace-event JSON export to this path")
+	chromeFull := flag.Bool("chrome-full", false, "force the full Chrome export instead of lane-sampling over budget")
+	chromeBudget := flag.Int("chrome-budget", trace.DefaultChromeBudget, "event budget for the full Chrome export (0 = unlimited)")
 	events := flag.Bool("events", false, "dump the merged event stream instead of the report")
+	rollup := flag.Bool("rollup", false, "print the aggregated per-superstep/per-stage rollup instead of the report")
+	topk := flag.Int("topk", 8, "worst-slack ranks to list in the rollup")
 	hops := flag.Int("hops", 24, "maximum critical-path hops to print")
 	steps := flag.Int("steps", 0, "maximum per-superstep rows to print (0 = all)")
+	spill := flag.String("spill", "", "also serialize the trace to this path in the binary spill format")
+	fromSpill := flag.String("from-spill", "", "analyze this spill file instead of recording a run")
 	flag.Parse()
 
-	tr, err := record(config{workload: *workload, procs: *procs, seed: *seed})
-	if err != nil {
-		log.Fatalf("hbsptrace: %v", err)
-	}
-	if *chrome != "" {
-		f, err := os.Create(*chrome)
+	var src trace.Source
+	if *fromSpill != "" {
+		sp, err := trace.OpenSpillFile(*fromSpill)
 		if err != nil {
 			log.Fatalf("hbsptrace: %v", err)
 		}
-		if err := trace.WriteChrome(f, tr); err != nil {
-			log.Fatalf("hbsptrace: chrome export: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("hbsptrace: chrome export: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *chrome)
-	}
-	if *events {
-		if err := trace.WriteEvents(os.Stdout, tr); err != nil {
+		defer sp.Close()
+		src = sp
+	} else {
+		tr, err := record(config{workload: *workload, procs: *procs, seed: *seed})
+		if err != nil {
 			log.Fatalf("hbsptrace: %v", err)
 		}
-		return
+		src = tr
 	}
-	if err := writeReport(os.Stdout, tr, *hops, *steps); err != nil {
-		log.Fatalf("hbsptrace: %v", err)
+	if *spill != "" {
+		if err := writeFile(*spill, func(w io.Writer) error { return trace.WriteSpill(w, src) }); err != nil {
+			log.Fatalf("hbsptrace: spill export: %v", err)
+		}
 	}
+	if *chrome != "" {
+		if err := exportChrome(*chrome, src, *chromeFull, *chromeBudget); err != nil {
+			log.Fatalf("hbsptrace: chrome export: %v", err)
+		}
+	}
+	switch {
+	case *events:
+		if err := trace.WriteEvents(os.Stdout, src); err != nil {
+			log.Fatalf("hbsptrace: %v", err)
+		}
+	case *rollup:
+		r, err := trace.RollupOf(src, trace.RollupOptions{TopK: *topk})
+		if err != nil {
+			log.Fatalf("hbsptrace: %v", err)
+		}
+		if err := trace.WriteRollup(os.Stdout, r); err != nil {
+			log.Fatalf("hbsptrace: %v", err)
+		}
+	default:
+		if err := writeReport(os.Stdout, src, *hops, *steps); err != nil {
+			log.Fatalf("hbsptrace: %v", err)
+		}
+	}
+}
+
+// writeFile creates path, streams body into it and reports the write on
+// stderr.
+func writeFile(path string, body func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := body(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// exportChrome writes the Chrome trace-event export. The default mode
+// lane-samples traces over the event budget; -chrome-full demands every
+// lane, and is refused over budget (a P=65536 trace renders to multi-GB
+// JSON no viewer loads) unless -chrome-budget raises or disables the limit.
+func exportChrome(path string, src trace.Source, full bool, budget int) error {
+	if full {
+		if n := trace.NumEventsOf(src); budget > 0 && n > budget {
+			return fmt.Errorf("trace has %d events, over the full-export budget of %d; "+
+				"drop -chrome-full for a lane-sampled export, use -rollup for an aggregated view, "+
+				"or raise -chrome-budget (0 = unlimited) to force it", n, budget)
+		}
+		return writeFile(path, func(w io.Writer) error { return trace.WriteChrome(w, src) })
+	}
+	var sampled bool
+	err := writeFile(path, func(w io.Writer) error {
+		var err error
+		sampled, err = trace.WriteChromeAuto(w, src, trace.ChromeOptions{MaxEvents: budget})
+		return err
+	})
+	if err == nil && sampled {
+		fmt.Fprintf(os.Stderr, "trace exceeds the %d-event budget; exported a lane-sampled timeline (-chrome-full forces every lane)\n", budget)
+	}
+	return err
 }
 
 // record runs the selected workload under a fresh recorder and returns the
@@ -137,11 +214,15 @@ func record(cfg config) (*trace.Trace, error) {
 
 // writeReport prints the text report, asserting the acceptance invariant:
 // the critical path must end exactly at the makespan.
-func writeReport(w io.Writer, tr *trace.Trace, hops, steps int) error {
-	if cp := tr.CriticalPath(); cp.End != tr.MakeSpan {
-		return fmt.Errorf("critical path ends at %v, makespan is %v — trace is incomplete", cp.End, tr.MakeSpan)
+func writeReport(w io.Writer, src trace.Source, hops, steps int) error {
+	cp, err := trace.CriticalPathOf(src)
+	if err != nil {
+		return err
 	}
-	return trace.WriteReport(w, tr, trace.ReportOptions{MaxHops: hops, MaxSteps: steps})
+	if span := src.RunSummary().MakeSpan; cp.End != span {
+		return fmt.Errorf("critical path ends at %v, makespan is %v — trace is incomplete", cp.End, span)
+	}
+	return trace.WriteReport(w, src, trace.ReportOptions{MaxHops: hops, MaxSteps: steps})
 }
 
 func workloadNames() []string {

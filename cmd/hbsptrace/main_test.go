@@ -90,6 +90,87 @@ func TestChromeGolden(t *testing.T) {
 	golden(t, "chrome_dissemination-sync_p16_seed7.golden", buf.Bytes())
 }
 
+// TestSpillGolden pins the canonical binary spill serialization of the small
+// instance — the byte-determinism contract of the spill format — and checks
+// the full round trip: reopening the bytes yields a Source whose re-spill is
+// identical and whose report matches the in-RAM trace's byte for byte.
+func TestSpillGolden(t *testing.T) {
+	tr, err := record(config{workload: "dissemination-sync", procs: 16, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteSpill(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "spill_dissemination-sync_p16_seed7.golden", buf.Bytes())
+
+	sp, err := trace.OpenSpill(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("reopening the spill: %v", err)
+	}
+	var again bytes.Buffer
+	if err := trace.WriteSpill(&again, sp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-serializing the reopened spill changed the bytes")
+	}
+	var fromRAM, fromSpill bytes.Buffer
+	if err := writeReport(&fromRAM, tr, 24, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(&fromSpill, sp, 24, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromRAM.Bytes(), fromSpill.Bytes()) {
+		t.Fatal("report from the spill file differs from the in-RAM report")
+	}
+}
+
+// TestRollupGolden pins the aggregated rollup rendering of the small
+// instance (the bounded-size view -rollup prints for huge traces).
+func TestRollupGolden(t *testing.T) {
+	tr, err := record(config{workload: "dissemination-sync", procs: 16, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.RollupOf(tr, trace.RollupOptions{TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteRollup(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "rollup_dissemination-sync_p16_seed7.golden", buf.Bytes())
+}
+
+// TestChromeFullRefusesOverBudget covers the guard against multi-GB Chrome
+// JSON: -chrome-full over the event budget errors (pointing at -rollup and
+// the sampled default) instead of writing the file, and raising the budget
+// to 0 overrides.
+func TestChromeFullRefusesOverBudget(t *testing.T) {
+	tr, err := record(config{workload: "dissemination-sync", procs: 16, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	err = exportChrome(path, tr, true, 10)
+	if err == nil {
+		t.Fatal("over-budget full export was not refused")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("-rollup")) {
+		t.Fatalf("refusal does not point at the alternatives: %v", err)
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		t.Fatal("refused export still wrote the file")
+	}
+	if err := exportChrome(path, tr, true, 0); err != nil {
+		t.Fatalf("budget 0 (unlimited) should force the export: %v", err)
+	}
+}
+
 // TestEveryWorkloadCriticalPath runs each named workload at a modest size
 // and checks the subsystem invariant on all of them: the extracted critical
 // path ends exactly at the virtual makespan.

@@ -42,6 +42,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -117,6 +118,7 @@ func main() {
 		m := benchMachine(p)
 		emit(benchSendRecv(m, *quick))
 		emit(benchSendRecvTraced(m, *quick))
+		emit(benchSendRecvSpill(m, *quick))
 		emit(benchSync(m, *quick))
 		emit(benchTotalExchange(m, *quick))
 	}
@@ -308,6 +310,27 @@ func benchSendRecvTraced(m *cluster.Machine, quick bool) Entry {
 	return run("send_recv_traced", m.Procs(), quick, func() (int64, error) {
 		res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, o)
 		if err != nil {
+			return 0, err
+		}
+		return res.Messages, nil
+	})
+}
+
+// benchSendRecvSpill is benchSendRecvTraced with the recorder streaming
+// full column chunks to a discarding writer instead of retaining lanes in
+// RAM — the spill-backed recording mode that carries traced P=65536 runs.
+// The delta against send_recv_traced is the pure encode-and-flush cost.
+func benchSendRecvSpill(m *cluster.Machine, quick bool) Entry {
+	rec := trace.NewRecorder()
+	o := concurrentOpts()
+	o.Recorder = rec
+	return run("send_recv_spill", m.Procs(), quick, func() (int64, error) {
+		rec.SpillTo(io.Discard, trace.SpillOptions{})
+		res, err := sim.Run(context.Background(), m, experiments.SendRecvRingProgram, o)
+		if err != nil {
+			return 0, err
+		}
+		if err := rec.SpillErr(); err != nil {
 			return 0, err
 		}
 		return res.Messages, nil

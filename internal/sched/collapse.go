@@ -172,7 +172,7 @@ func (e *Evaluator) execCollapsed(s Schedule, part *Partition, tagBase int, comp
 					if st.OutBytes != nil {
 						size = st.OutBytes[r][k]
 					}
-					arrival, completeAt, _ := e.send(rs, r, dst, tag, size)
+					arrival, completeAt, _, _ := e.send(rs, r, dst, tag, size)
 					ca = append(ca, arrival)
 					sc = append(sc, completeAt)
 					repBytes += int64(size)
@@ -240,7 +240,7 @@ func (e *Evaluator) execCollapsedCirculant(cs CirculantSchedule, tagBase int, co
 		tag := tagBase + sg
 		dst, src := off, p-off
 		entry := rs.now
-		arrival, sendDone, _ := e.send(rs, 0, dst, tag, size)
+		arrival, sendDone, _, _ := e.send(rs, 0, dst, tag, size)
 		e.messages += int64(p - 1)
 		e.bytes += int64(p-1) * int64(size)
 		// By symmetry the arrival from src equals rank 0's own send arrival.

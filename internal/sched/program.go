@@ -221,6 +221,7 @@ type runState struct {
 	reqTime  [][]float64
 	arrivals []float64
 	sendEvs  []int32
+	sendEnds []float64
 	parked   []int32
 	heap     rankHeap
 }
@@ -259,10 +260,12 @@ func newRunState(c *Code) *runState {
 	if cap(st.arrivals) < nslots {
 		st.arrivals = make([]float64, nslots)
 		st.sendEvs = make([]int32, nslots)
+		st.sendEnds = make([]float64, nslots)
 		st.parked = make([]int32, nslots)
 	} else {
 		st.arrivals = st.arrivals[:nslots]
 		st.sendEvs = st.sendEvs[:nslots]
+		st.sendEnds = st.sendEnds[:nslots]
 		st.parked = st.parked[:nslots]
 		for i := range st.parked {
 			st.parked[i] = 0
@@ -314,6 +317,7 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 	reqTime := st.reqTime // per request slot: post time (recv) or completion (send)
 	arrivals := st.arrivals
 	sendEvs := st.sendEvs
+	sendEnds := st.sendEnds
 	parked := st.parked // rank+1 parked on this slot
 	heap := &st.heap
 	for r := p - 1; r >= 0; r-- {
@@ -348,9 +352,10 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 			case iComputeExact:
 				rs.computeExact(e.ft, int(r), in.sec)
 			case iSend, iPost:
-				arrival, completeAt, sendEv := e.send(rs, int(r), int(in.peer), int(in.tag), int(in.size))
+				arrival, completeAt, sendEv, sendEnd := e.send(rs, int(r), int(in.peer), int(in.tag), int(in.size))
 				arrivals[in.slot] = arrival
 				sendEvs[in.slot] = sendEv
+				sendEnds[in.slot] = sendEnd
 				if in.kind == iSend {
 					reqTime[r][in.req] = completeAt
 				}
@@ -374,7 +379,7 @@ func (c *Code) Run(ctx context.Context, m simnet.Machine, o simnet.Options) (*si
 				}
 				arrival := arrivals[in.slot]
 				completeAt, gated := e.recvComplete(rs, int(r), int(in.peer), reqTime[r][in.req], arrival)
-				rs.waitRecvAdvance(e.ft, int(r), completeAt, int(in.peer), int(in.tag), in.size, sendEvs[in.slot], gated, arrival)
+				rs.waitRecvAdvance(e.ft, int(r), completeAt, int(in.peer), int(in.tag), in.size, sendEvs[in.slot], gated, arrival, sendEnds[in.slot])
 			case iSuperstep:
 				rs.superstepMark(in.mark)
 			case iStage:

@@ -131,6 +131,7 @@ type Evaluator struct {
 	inArr        [][]float64
 	inSize       [][]int32
 	inEv         [][]int32
+	inEnd        [][]float64
 	sendComplete [][]float64
 
 	// Collapsed-evaluation scratch: per class, the arrivals of the
@@ -171,6 +172,7 @@ func NewEvaluator(m simnet.Machine, ack bool) *Evaluator {
 		e.inArr = make([][]float64, p)
 		e.inSize = make([][]int32, p)
 		e.inEv = make([][]int32, p)
+		e.inEnd = make([][]float64, p)
 		e.sendComplete = make([][]float64, p)
 	} else {
 		e.states = e.states[:p]
@@ -181,6 +183,7 @@ func NewEvaluator(m simnet.Machine, ack bool) *Evaluator {
 		e.inArr = e.inArr[:p]
 		e.inSize = e.inSize[:p]
 		e.inEv = e.inEv[:p]
+		e.inEnd = e.inEnd[:p]
 		e.sendComplete = e.sendComplete[:p]
 	}
 	return e
@@ -327,8 +330,10 @@ func (st *rankState) computeExact(ft *fault.Runtime, rank int, seconds float64) 
 // send mirrors Proc.sendCore: pay the sender-side costs of one eager send and
 // return the message's arrival time at dst and the virtual time the send
 // request completes. On traced runs it appends the KindSend event and returns
-// its lane index in sendEv (-1 untraced).
-func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, completeAt float64, sendEv int32) {
+// its lane index in sendEv (-1 untraced) plus the injection end time sendEnd
+// (the event's T1), which rides with the message to the receiver's wait event
+// exactly as the concurrent engine's message.sendEnd does.
+func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, completeAt float64, sendEv int32, sendEnd float64) {
 	m := e.m
 	t0 := st.now
 	latMul, betaMul := 1.0, 1.0
@@ -354,6 +359,7 @@ func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, comp
 	sendEv = -1
 	if st.lane != nil {
 		sendEv = int32(st.lane.Len())
+		sendEnd = st.now
 		st.lane.Append(trace.Event{Kind: trace.KindSend, Peer: int32(dst), Tag: int32(tag),
 			Size: int32(size), SendSeq: -1, Step: st.step, Stage: st.stage,
 			T0: t0, T1: st.now, Arrival: arrival})
@@ -368,7 +374,7 @@ func (e *Evaluator) send(st *rankState, rank, dst, tag, size int) (arrival, comp
 	if e.ack && rank != dst {
 		completeAt = arrival + m.Latency(dst, rank)*latMul
 	}
-	return arrival, completeAt, sendEv
+	return arrival, completeAt, sendEv, sendEnd
 }
 
 // recvComplete mirrors Request.resolveRecv: given the receive's post time and
@@ -393,12 +399,13 @@ func (e *Evaluator) recvComplete(st *rankState, rank, src int, postTime, arrival
 
 // waitRecvAdvance mirrors Proc.Wait for a resolved receive: advance the clock
 // to the completion time, recording the wait interval on traced runs.
-func (st *rankState) waitRecvAdvance(ft *fault.Runtime, rank int, completeAt float64, src, tag int, size, sendEv int32, gated bool, arrival float64) {
+func (st *rankState) waitRecvAdvance(ft *fault.Runtime, rank int, completeAt float64, src, tag int, size, sendEv int32, gated bool, arrival, sendEnd float64) {
 	if completeAt > st.now {
 		if st.lane != nil {
 			st.lane.Append(trace.Event{Kind: trace.KindRecvWait, Gated: gated,
 				Peer: int32(src), Tag: int32(tag), Size: size, SendSeq: sendEv,
-				Step: st.step, Stage: st.stage, T0: st.now, T1: completeAt, Arrival: arrival})
+				Step: st.step, Stage: st.stage, T0: st.now, T1: completeAt,
+				Arrival: arrival, SendEnd: sendEnd})
 		}
 		st.setNow(ft, rank, completeAt)
 	}
@@ -480,11 +487,12 @@ func (e *Evaluator) execSchedule(s Schedule, tagBase int, computeEmpty bool, chk
 					if st.OutBytes != nil {
 						size = st.OutBytes[r][k]
 					}
-					arrival, completeAt, sendEv := e.send(rs, r, dst, tag, size)
+					arrival, completeAt, sendEv, sendEnd := e.send(rs, r, dst, tag, size)
 					sc = append(sc, completeAt)
 					e.inArr[dst] = append(e.inArr[dst], arrival)
 					e.inSize[dst] = append(e.inSize[dst], int32(size))
 					e.inEv[dst] = append(e.inEv[dst], sendEv)
+					e.inEnd[dst] = append(e.inEnd[dst], sendEnd)
 				}
 				e.sendComplete[r] = sc
 			}
@@ -497,7 +505,7 @@ func (e *Evaluator) execSchedule(s Schedule, tagBase int, computeEmpty bool, chk
 			for q, src := range ins {
 				arrival := e.inArr[r][q]
 				completeAt, gated := e.recvComplete(rs, r, src, e.entry[r], arrival)
-				rs.waitRecvAdvance(e.ft, r, completeAt, src, tag, e.inSize[r][q], e.inEv[r][q], gated, arrival)
+				rs.waitRecvAdvance(e.ft, r, completeAt, src, tag, e.inSize[r][q], e.inEv[r][q], gated, arrival, e.inEnd[r][q])
 			}
 			for k, dst := range outs {
 				size := 0
@@ -509,6 +517,7 @@ func (e *Evaluator) execSchedule(s Schedule, tagBase int, computeEmpty bool, chk
 			e.inArr[r] = e.inArr[r][:0]
 			e.inSize[r] = e.inSize[r][:0]
 			e.inEv[r] = e.inEv[r][:0]
+			e.inEnd[r] = e.inEnd[r][:0]
 		}
 	}
 	return nil

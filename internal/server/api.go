@@ -185,6 +185,13 @@ type OptionsSpec struct {
 	// per-category time breakdown in each point (forces per-rank
 	// evaluation, so collapse reports reason "trace").
 	Trace bool `json:"trace,omitempty"`
+	// TraceView selects the trace payload under Trace: "path" (default)
+	// carries the critical path and category breakdown, "rollup" the
+	// aggregated per-superstep/per-stage tables with the worst-slack
+	// ranks — the bounded-size variant for large rank counts.
+	TraceView string `json:"traceView,omitempty"`
+	// TraceTopK bounds the rollup's worst-slack list (default 8).
+	TraceTopK int `json:"traceTopK,omitempty"`
 }
 
 // SweepSpec is the cross product of sweep axes, evaluated in row-major order
@@ -260,9 +267,11 @@ type PredictPoint struct {
 	// Collapse reports the symmetry-collapse decision.
 	Collapse CollapseInfo `json:"collapse"`
 
-	// CriticalPath and Breakdown are included under options.trace.
+	// CriticalPath and Breakdown are included under options.trace with
+	// traceView "path"; Rollup replaces them under traceView "rollup".
 	CriticalPath *PathInfo      `json:"criticalPath,omitempty"`
 	Breakdown    *BreakdownInfo `json:"breakdown,omitempty"`
+	Rollup       *RollupInfo    `json:"rollup,omitempty"`
 }
 
 // TimesSummary are deterministic order statistics over the per-rank times.
@@ -302,6 +311,50 @@ type HopInfo struct {
 	To      float64 `json:"to"`
 	ViaPeer int     `json:"viaPeer"`
 	ViaSize int     `json:"viaSize"`
+}
+
+// RollupInfo renders a trace's aggregated view: run totals, per-superstep
+// and per-stage tables, and the worst-slack ranks. Its size depends on
+// supersteps and stages, not on the rank or event count.
+type RollupInfo struct {
+	MakeSpan float64 `json:"makespan"`
+	// Events counts the non-mark events the rollup aggregated.
+	Events int `json:"events"`
+	// Categories holds the run-wide per-category totals in report order.
+	Categories []CategoryTotal   `json:"categories"`
+	Steps      []StepRollupInfo  `json:"steps,omitempty"`
+	Stages     []StageRollupInfo `json:"stages,omitempty"`
+	TopSlack   []SlackInfo       `json:"topSlack,omitempty"`
+}
+
+// StepRollupInfo is one superstep's aggregate across all ranks.
+type StepRollupInfo struct {
+	Step      int     `json:"step"`
+	Compute   float64 `json:"compute"`
+	Send      float64 `json:"send"`
+	Straggler float64 `json:"straggler"`
+	Latency   float64 `json:"latency"`
+	Messages  int64   `json:"messages"`
+	Bytes     int64   `json:"bytes"`
+	// StragglerRank set the step's boundary (-1 without boundary marks).
+	StragglerRank int `json:"stragglerRank"`
+}
+
+// StageRollupInfo is one collective-schedule stage's aggregate.
+type StageRollupInfo struct {
+	Stage    int     `json:"stage"`
+	Events   int     `json:"events"`
+	Compute  float64 `json:"compute"`
+	Send     float64 `json:"send"`
+	Wait     float64 `json:"wait"`
+	Messages int64   `json:"messages"`
+	Bytes    int64   `json:"bytes"`
+}
+
+// SlackInfo is one rank's end-of-run slack behind the makespan.
+type SlackInfo struct {
+	Rank  int     `json:"rank"`
+	Slack float64 `json:"slack"`
 }
 
 // BreakdownInfo renders a trace's per-category time totals.

@@ -82,6 +82,25 @@ func normalizeOptions(o *OptionsSpec) error {
 	if o.BudgetMs < 0 {
 		return badRequestf("budgetMs must be >= 0, got %d", o.BudgetMs)
 	}
+	switch o.TraceView {
+	case "":
+		o.TraceView = "path"
+	case "path", "rollup":
+		if !o.Trace {
+			return badRequestf("traceView requires options.trace")
+		}
+	default:
+		return badRequestf("unknown traceView %q (path, rollup)", o.TraceView)
+	}
+	if o.TraceTopK < 0 {
+		return badRequestf("traceTopK must be >= 0, got %d", o.TraceTopK)
+	}
+	if o.TraceTopK > 0 && !o.Trace {
+		return badRequestf("traceTopK requires options.trace")
+	}
+	if o.TraceTopK == 0 {
+		o.TraceTopK = 8
+	}
 	return nil
 }
 
@@ -94,9 +113,9 @@ func pointKey(profileFP string, plan *fault.Plan, w *WorkloadSpec, pt point, see
 	if o.AckSends != nil {
 		ack = *o.AckSends
 	}
-	return fmt.Sprintf("point/%s/%s/%s/p%d/seed%d/ack%t/%s/%s/pr%t/tr%t",
+	return fmt.Sprintf("point/%s/%s/%s/p%d/seed%d/ack%t/%s/%s/pr%t/tr%t/tv%s/tk%d",
 		profileFP, plan.Fingerprint(), w.cacheKey(), pt.procs, seed, ack,
-		o.Engine, o.Collapse, o.PerRank, o.Trace)
+		o.Engine, o.Collapse, o.PerRank, o.Trace, o.TraceView, o.TraceTopK)
 }
 
 // evalPoint evaluates one point to its rendered NDJSON line (JSON object plus
@@ -248,8 +267,15 @@ func (s *Server) evaluate(ctx context.Context, req *PredictRequest, rp *resolved
 		if err != nil {
 			return nil, fmt.Errorf("server: trace assembly: %v", err)
 		}
-		p.CriticalPath = renderPath(tr)
-		p.Breakdown = renderBreakdown(tr)
+		if req.Options.TraceView == "rollup" {
+			p.Rollup, err = renderRollup(tr, req.Options.TraceTopK)
+			if err != nil {
+				return nil, fmt.Errorf("server: trace rollup: %v", err)
+			}
+		} else {
+			p.CriticalPath = renderPath(tr)
+			p.Breakdown = renderBreakdown(tr)
+		}
 	}
 	body, err := json.Marshal(p)
 	if err != nil {
@@ -315,6 +341,51 @@ func renderPath(tr *trace.Trace) *PathInfo {
 		pi.Path = append(pi.Path, hi)
 	}
 	return pi
+}
+
+// renderRollup converts a trace's aggregated rollup to the wire shape — the
+// bounded-size trace payload whose size tracks supersteps and stages, not
+// ranks or events.
+func renderRollup(tr *trace.Trace, topK int) (*RollupInfo, error) {
+	r, err := trace.RollupOf(tr, trace.RollupOptions{TopK: topK})
+	if err != nil {
+		return nil, err
+	}
+	ri := &RollupInfo{MakeSpan: r.MakeSpan, Events: r.Events}
+	for _, cat := range trace.Categories {
+		ri.Categories = append(ri.Categories, CategoryTotal{
+			Category: cat.String(),
+			Seconds:  r.ByCategory[cat],
+		})
+	}
+	for _, s := range r.Steps {
+		ri.Steps = append(ri.Steps, StepRollupInfo{
+			Step:          s.Step,
+			Compute:       s.ByCategory[trace.CatCompute],
+			Send:          s.ByCategory[trace.CatSend],
+			Straggler:     s.ByCategory[trace.CatStraggler],
+			Latency:       s.ByCategory[trace.CatLatency],
+			Messages:      s.Messages,
+			Bytes:         s.Bytes,
+			StragglerRank: s.Straggler,
+		})
+	}
+	for _, s := range r.Stages {
+		ri.Stages = append(ri.Stages, StageRollupInfo{
+			Stage:   s.Stage,
+			Events:  s.Events,
+			Compute: s.ByCategory[trace.CatCompute],
+			Send:    s.ByCategory[trace.CatSend],
+			Wait: s.ByCategory[trace.CatStraggler] + s.ByCategory[trace.CatLatency] +
+				s.ByCategory[trace.CatPort] + s.ByCategory[trace.CatAck],
+			Messages: s.Messages,
+			Bytes:    s.Bytes,
+		})
+	}
+	for _, s := range r.TopSlack {
+		ri.TopSlack = append(ri.TopSlack, SlackInfo{Rank: s.Rank, Slack: s.Slack})
+	}
+	return ri, nil
 }
 
 // renderBreakdown converts a trace's per-category totals to the wire shape,

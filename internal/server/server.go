@@ -16,12 +16,14 @@
 package server
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -191,16 +193,61 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Trace, per-rank and sweep payloads grow with P and point count; gzip
+	// them for clients that ask. Vary is set regardless of the negotiation
+	// outcome so shared caches key on the request encoding.
+	w.Header().Set("Vary", "Accept-Encoding")
+	zip := acceptsGzip(r)
 	if req.Sweep == nil {
-		s.servePoint(w, ctx, &req, pts[0], deadline)
+		s.servePoint(w, ctx, &req, pts[0], deadline, zip)
 		return
 	}
-	s.serveSweep(w, ctx, &req, pts, deadline)
+	s.serveSweep(w, ctx, &req, pts, deadline, zip)
 }
+
+// gzipMinBytes is the payload size below which single-point responses skip
+// compression: tiny JSON bodies gain nothing and the header overhead loses.
+const gzipMinBytes = 1 << 10
+
+// acceptsGzip reports whether the request allows a gzip-encoded response.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if (enc == "gzip" || enc == "*") && strings.TrimSpace(q) != "q=0" {
+			return true
+		}
+	}
+	return false
+}
+
+// gzipResponse wraps a ResponseWriter with on-the-fly gzip encoding; the
+// result cache keeps rendered bytes uncompressed, so one cached entry serves
+// every Accept-Encoding. Flush forwards through both layers, keeping the
+// per-line streaming of sweep responses.
+type gzipResponse struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func newGzipResponse(w http.ResponseWriter) *gzipResponse {
+	w.Header().Set("Content-Encoding", "gzip")
+	return &gzipResponse{ResponseWriter: w, gz: gzip.NewWriter(w)}
+}
+
+func (g *gzipResponse) Write(b []byte) (int, error) { return g.gz.Write(b) }
+
+func (g *gzipResponse) Flush() {
+	g.gz.Flush()
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (g *gzipResponse) Close() error { return g.gz.Close() }
 
 // servePoint answers a single-point request with one JSON object. Cache hits
 // bypass the limiter entirely — the hot path of repeated queries.
-func (s *Server) servePoint(w http.ResponseWriter, ctx context.Context, req *PredictRequest, pt point, deadline time.Time) {
+func (s *Server) servePoint(w http.ResponseWriter, ctx context.Context, req *PredictRequest, pt point, deadline time.Time, zip bool) {
 	body, how, err := s.evalPoint(ctx, req, pt, deadline, func(ctx context.Context) (func(), error) {
 		if err := s.limit.acquire(ctx); err != nil {
 			return nil, err
@@ -213,6 +260,12 @@ func (s *Server) servePoint(w http.ResponseWriter, ctx context.Context, req *Pre
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hbspd-Cache", how)
+	if zip && len(body) >= gzipMinBytes {
+		gw := newGzipResponse(w)
+		gw.Write(body)
+		gw.Close()
+		return
+	}
 	w.Write(body)
 }
 
@@ -222,7 +275,7 @@ func (s *Server) servePoint(w http.ResponseWriter, ctx context.Context, req *Pre
 // load; its points then fan out over the experiments worker pool. A point
 // error ends the stream with a final error line carrying the documented
 // error shape.
-func (s *Server) serveSweep(w http.ResponseWriter, ctx context.Context, req *PredictRequest, pts []point, deadline time.Time) {
+func (s *Server) serveSweep(w http.ResponseWriter, ctx context.Context, req *PredictRequest, pts []point, deadline time.Time, zip bool) {
 	if err := s.limit.acquire(ctx); err != nil {
 		s.fail(w, err)
 		return
@@ -249,7 +302,16 @@ func (s *Server) serveSweep(w http.ResponseWriter, ctx context.Context, req *Pre
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Hbspd-Points", fmt.Sprint(len(pts)))
-	flusher, _ := w.(http.Flusher)
+	var out io.Writer = w
+	flush := func() {}
+	if flusher, ok := w.(http.Flusher); ok {
+		flush = flusher.Flush
+	}
+	if zip {
+		gw := newGzipResponse(w)
+		defer gw.Close()
+		out, flush = gw, gw.Flush
+	}
 	for i := range lines {
 		res := <-lines[i]
 		if res.err != nil {
@@ -261,14 +323,12 @@ func (s *Server) serveSweep(w http.ResponseWriter, ctx context.Context, req *Pre
 			e.Err.Status = status
 			e.Err.Message = res.err.Error()
 			line, _ := json.Marshal(e)
-			w.Write(append(line, '\n'))
+			out.Write(append(line, '\n'))
 			cancel() // stop evaluating the remaining points
 			return
 		}
-		w.Write(res.body)
-		if flusher != nil {
-			flusher.Flush()
-		}
+		out.Write(res.body)
+		flush()
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
@@ -458,5 +459,162 @@ func TestTraceResponse(t *testing.T) {
 	}
 	if len(p.Breakdown.Categories) == 0 {
 		t.Fatal("breakdown has no categories")
+	}
+}
+
+// TestTraceRollupResponse covers the bounded-size trace payload: traceView
+// "rollup" replaces the critical path and breakdown with the aggregated
+// per-superstep tables and the traceTopK worst-slack ranks, and the view is
+// part of the cache key (a path-view entry must not answer a rollup
+// request).
+func TestTraceRollupResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	pathBody := `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"sync"},"procs":16,"options":{"trace":true}}`
+	rollBody := `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"sync"},"procs":16,"options":{"trace":true,"traceView":"rollup","traceTopK":4}}`
+
+	if resp, data := predict(t, ts, pathBody); resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	resp, data := predict(t, ts, rollBody)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Hbspd-Cache"); got != "miss" {
+		t.Fatalf("rollup request answered from the path-view cache entry (X-Hbspd-Cache = %q)", got)
+	}
+	var p PredictPoint
+	if err := json.Unmarshal(data, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rollup == nil {
+		t.Fatalf("rollup missing: %s", data)
+	}
+	if p.CriticalPath != nil || p.Breakdown != nil {
+		t.Fatal("rollup view still carries the path payload")
+	}
+	if p.Rollup.MakeSpan != p.MakeSpan {
+		t.Fatalf("rollup makespan %v != point makespan %v", p.Rollup.MakeSpan, p.MakeSpan)
+	}
+	if len(p.Rollup.Steps) == 0 || p.Rollup.Events == 0 {
+		t.Fatalf("rollup has no per-superstep aggregates: %s", data)
+	}
+	if len(p.Rollup.TopSlack) != 4 {
+		t.Fatalf("rollup lists %d slack ranks, want traceTopK=4", len(p.Rollup.TopSlack))
+	}
+
+	// The options are validated: views other than path/rollup, and trace
+	// options without trace, are rejected.
+	if resp, _ := predict(t, ts, `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"sync"},"procs":4,"options":{"trace":true,"traceView":"csv"}}`); resp.StatusCode != 400 {
+		t.Fatalf("unknown traceView accepted (status %d)", resp.StatusCode)
+	}
+	if resp, _ := predict(t, ts, `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"sync"},"procs":4,"options":{"traceView":"rollup"}}`); resp.StatusCode != 400 {
+		t.Fatalf("traceView without trace accepted (status %d)", resp.StatusCode)
+	}
+}
+
+// TestGzipResponses covers response compression: a client that accepts gzip
+// gets compressed point and sweep payloads whose decompressed bytes are
+// byte-identical to the uncompressed rendering (the cache stores rendered
+// bytes uncompressed, so one entry serves both encodings), while tiny
+// payloads and clients without the header stay identity-encoded.
+func TestGzipResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Per-rank + trace at P=64 clears the compression size floor.
+	body := `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"sync"},"procs":64,"options":{"perRank":true,"trace":true}}`
+
+	// Plain request (no Accept-Encoding: identity only).
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/predict", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("identity request: status %d, encoding %q", resp.StatusCode, resp.Header.Get("Content-Encoding"))
+	}
+	if resp.Header.Get("Vary") != "Accept-Encoding" {
+		t.Fatalf("Vary = %q, want Accept-Encoding", resp.Header.Get("Vary"))
+	}
+
+	// Same request with gzip: RoundTrip (not the client) so the transport
+	// does not transparently decompress and we can see the encoding.
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/predict", strings.NewReader(body))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("Accept-Encoding", "gzip")
+	resp2, err := http.DefaultTransport.RoundTrip(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("gzip request not compressed (encoding %q)", resp2.Header.Get("Content-Encoding"))
+	}
+	if got := resp2.Header.Get("X-Hbspd-Cache"); got != "hit" {
+		t.Fatalf("gzip request missed the cache (X-Hbspd-Cache = %q) — entries must be stored uncompressed", got)
+	}
+	zr, err := gzip.NewReader(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, unzipped) {
+		t.Fatal("decompressed gzip payload differs from the identity payload")
+	}
+
+	// A tiny response (no trace/perRank) skips compression even for gzip
+	// clients.
+	small := `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"barrier"},"procs":4}`
+	req3, _ := http.NewRequest("POST", ts.URL+"/v1/predict", strings.NewReader(small))
+	req3.Header.Set("Content-Type", "application/json")
+	req3.Header.Set("Accept-Encoding", "gzip")
+	resp3, err := http.DefaultTransport.RoundTrip(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.Header.Get("Content-Encoding") != "" {
+		t.Fatal("tiny payload was compressed")
+	}
+
+	// Sweep streams compress too, line-flushed through the gzip layer.
+	sweep := `{"profile":{"preset":"flat-cluster"},"workload":{"kind":"sync"},"options":{"perRank":true},"sweep":{"procs":[16,32]}}`
+	req4, _ := http.NewRequest("POST", ts.URL+"/v1/predict", strings.NewReader(sweep))
+	req4.Header.Set("Content-Type", "application/json")
+	req4.Header.Set("Accept-Encoding", "gzip")
+	resp4, err := http.DefaultTransport.RoundTrip(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if resp4.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("sweep not compressed (encoding %q)", resp4.Header.Get("Content-Encoding"))
+	}
+	zr4, err := gzip.NewReader(resp4.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(zr4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(stream, []byte("\n")), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("sweep stream has %d lines, want 2:\n%s", len(lines), stream)
+	}
+	for _, line := range lines {
+		var p PredictPoint
+		if err := json.Unmarshal(line, &p); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
 	}
 }

@@ -196,8 +196,12 @@ type message struct {
 	payload       any
 	arrival       float64
 	// sendEv is, under tracing, the index of the sender's KindSend event in
-	// its lane, so the receiver can link its wait to the gating send.
-	sendEv int32
+	// its lane, so the receiver can link its wait to the gating send;
+	// sendEnd is that event's injection end time (T1), carried on the
+	// message so the receiver's wait event is self-contained and trace
+	// analyses never dereference the sender's lane.
+	sendEv  int32
+	sendEnd float64
 }
 
 // msgPool recycles message envelopes across the whole process: a message is
@@ -727,10 +731,12 @@ type Request struct {
 	resolved   bool
 
 	// Tracing state of a resolved receive: whether the message's arrival
-	// gated completion, the arrival itself, and the sender's event index.
+	// gated completion, the arrival itself, the sender's event index and
+	// that event's injection end time.
 	gated   bool
 	arrival float64
 	sendEv  int32
+	sendEnd float64
 }
 
 // IsSend reports whether the request is a send request.
@@ -776,6 +782,7 @@ func (p *Proc) sendCore(dst, tag, size int, payload any) (completeAt float64) {
 	*msg = message{src: p.rank, dst: dst, tag: tag, size: size, payload: payload, arrival: arrival}
 	if p.tr != nil {
 		msg.sendEv = int32(p.tr.Len())
+		msg.sendEnd = p.now
 		p.tr.Append(trace.Event{Kind: trace.KindSend, Peer: int32(dst), Tag: int32(tag),
 			Size: int32(size), SendSeq: -1, Step: p.curStep, Stage: p.curStage,
 			T0: t0, T1: p.now, Arrival: arrival})
@@ -861,6 +868,7 @@ func (r *Request) resolveRecv() {
 		r.gated = gated
 		r.arrival = msg.arrival
 		r.sendEv = msg.sendEv
+		r.sendEnd = msg.sendEnd
 	}
 	releaseMessage(msg)
 }
@@ -890,6 +898,7 @@ func (p *Proc) Wait(r *Request) any {
 				ev.Gated = r.gated
 				ev.SendSeq = r.sendEv
 				ev.Arrival = r.arrival
+				ev.SendEnd = r.sendEnd
 			}
 			p.tr.Append(ev)
 		}

@@ -6,11 +6,17 @@ import (
 	"hbsp/internal/stats"
 )
 
-// This file holds the analysis passes on a merged trace: critical-path
+// This file holds the analysis passes over a recorded run: critical-path
 // extraction (the chain of compute intervals and gating messages that
 // determines the makespan), per-rank and per-superstep time breakdowns, and
-// h-relation statistics. All passes are pure functions of the trace, so on a
-// deterministic trace they are deterministic themselves.
+// h-relation statistics. Each pass is a streaming consumer of the Source
+// interface — it reads one lane's columns at a time and never materializes a
+// merged event slice — so the same code analyzes an in-RAM Trace and a
+// spill file of a P=65536 run. All passes are pure functions of the run, so
+// on a deterministic trace they are deterministic themselves; they visit
+// lanes in rank-major order, which also pins the floating-point accumulation
+// order, so a streaming pass is bit-identical to the materialized pass it
+// replaced.
 
 // Category buckets blocked and busy time for the breakdowns.
 type Category uint8
@@ -66,16 +72,26 @@ func (c Category) String() string {
 	return "unknown"
 }
 
-// classify splits one event's duration over the breakdown categories.
+// linkValid reports whether event i of lane c carries a resolvable link to
+// the send event in its peer's lane — the condition both the breakdown split
+// and the critical-path hop require.
+func linkValid(src Source, c *Cols, i int) bool {
+	peer, seq := c.Peer[i], c.SendSeq[i]
+	return peer >= 0 && int(peer) < src.NumLanes() && seq >= 0 && int(seq) < src.LaneLen(int(peer))
+}
+
+// classifyCols splits event i's duration over the breakdown categories.
 // Receive waits are split at the moment the gating message left its sender:
 // before it the receiver was waiting on a straggling peer, after it on the
-// network. The sender's injection end is looked up through the SendSeq link.
-func (t *Trace) classify(ev *Event, add func(Category, float64)) {
-	d := ev.Duration()
+// network. The sender's injection end rides on the event itself (SendEnd),
+// stamped from the message at record time, so the split reads only the
+// receiver's own lane.
+func classifyCols(src Source, c *Cols, i int, add func(Category, float64)) {
+	d := c.T1[i] - c.T0[i]
 	if d <= 0 {
 		return
 	}
-	switch ev.Kind {
+	switch c.Kind[i] {
 	case KindCompute:
 		add(CatCompute, d)
 	case KindSend:
@@ -85,15 +101,15 @@ func (t *Trace) classify(ev *Event, add func(Category, float64)) {
 	case KindAdvance:
 		add(CatAdvance, d)
 	case KindRecvWait:
-		if !ev.Gated {
+		if c.Flags[i]&flagGated == 0 {
 			add(CatPort, d)
 			return
 		}
-		sendEnd := ev.T0
-		if ev.Peer >= 0 && int(ev.Peer) < len(t.Lanes) && ev.SendSeq >= 0 && int(ev.SendSeq) < len(t.Lanes[ev.Peer]) {
-			sendEnd = t.Lanes[ev.Peer][ev.SendSeq].T1
+		sendEnd := c.T0[i]
+		if linkValid(src, c, i) {
+			sendEnd = c.SendEnd[i]
 		}
-		straggle := sendEnd - ev.T0
+		straggle := sendEnd - c.T0[i]
 		if straggle < 0 {
 			straggle = 0
 		}
@@ -160,40 +176,51 @@ func (b *Breakdown) TotalByCategory(c Category) float64 {
 // Breakdown attributes every rank's wall time to the breakdown categories,
 // overall and per superstep.
 func (t *Trace) Breakdown() *Breakdown {
+	b, _ := BreakdownOf(t) // the in-RAM source cannot fail
+	return b
+}
+
+// BreakdownOf computes the time attribution of any source, streaming one
+// lane at a time in rank order.
+func BreakdownOf(src Source) (*Breakdown, error) {
+	sum := src.RunSummary()
 	b := &Breakdown{
-		PerRank:  make([]RankBreakdown, len(t.Lanes)),
-		PerStep:  make([]StepBreakdown, t.Steps()),
-		MakeSpan: t.MakeSpan,
+		PerRank:  make([]RankBreakdown, src.NumLanes()),
+		PerStep:  make([]StepBreakdown, sum.Steps),
+		MakeSpan: sum.MakeSpan,
 	}
 	for s := range b.PerStep {
 		b.PerStep[s].Step = s
 		b.PerStep[s].Straggler = -1
 	}
-	for rank, lane := range t.Lanes {
+	for rank := 0; rank < src.NumLanes(); rank++ {
+		c, err := src.LaneCols(rank)
+		if err != nil {
+			return nil, err
+		}
 		rb := &b.PerRank[rank]
 		rb.Rank = rank
-		if rank < len(t.Times) {
-			rb.Finish = t.Times[rank]
+		if rank < len(sum.Times) {
+			rb.Finish = sum.Times[rank]
 		}
-		rb.ByCategory[CatSkew] = t.MakeSpan - rb.Finish
-		for i := range lane {
-			ev := &lane[i]
-			if ev.Kind == KindSuperstep {
-				sb := &b.PerStep[ev.Step]
-				if ev.T1 > sb.Boundary || sb.Straggler < 0 {
-					sb.Boundary = ev.T1
+		rb.ByCategory[CatSkew] = sum.MakeSpan - rb.Finish
+		for i, n := 0, c.Len(); i < n; i++ {
+			if c.Kind[i] == KindSuperstep {
+				sb := &b.PerStep[c.Step[i]]
+				if c.T1[i] > sb.Boundary || sb.Straggler < 0 {
+					sb.Boundary = c.T1[i]
 					sb.Straggler = rank
 				}
 				continue
 			}
-			step := ev.Step
-			t.classify(ev, func(c Category, d float64) {
-				rb.ByCategory[c] += d
-				b.PerStep[step].ByCategory[c] += d
+			step := c.Step[i]
+			classifyCols(src, c, i, func(cat Category, d float64) {
+				rb.ByCategory[cat] += d
+				b.PerStep[step].ByCategory[cat] += d
 			})
 		}
 	}
-	return b
+	return b, nil
 }
 
 // PathHop is one rank residency on the critical path: criticality arrived on
@@ -241,63 +268,74 @@ type CriticalPath struct {
 // time, since every clock advance is recorded). The walk runs once per
 // Trace; repeated calls return the same memoized chain.
 func (t *Trace) CriticalPath() *CriticalPath {
-	t.cpOnce.Do(func() { t.cp = t.criticalPath() })
+	t.cpOnce.Do(func() { t.cp, _ = CriticalPathOf(t) })
 	return t.cp
 }
 
-func (t *Trace) criticalPath() *CriticalPath {
-	cp := &CriticalPath{Rank: -1, Slack: make([]float64, len(t.Lanes))}
-	for rank, ft := range t.Times {
-		cp.Slack[rank] = t.MakeSpan - ft
-		if cp.Rank < 0 || ft > t.Times[cp.Rank] {
+// CriticalPathOf runs the backward walk over any source. The walk touches
+// one lane at a time (the SendEnd stamp makes receive waits self-contained,
+// and a hop switches lanes wholesale), so a spill-backed walk stays within
+// the reader's small decode cache.
+func CriticalPathOf(src Source) (*CriticalPath, error) {
+	sum := src.RunSummary()
+	cp := &CriticalPath{Rank: -1, Slack: make([]float64, src.NumLanes())}
+	for rank, ft := range sum.Times {
+		cp.Slack[rank] = sum.MakeSpan - ft
+		if cp.Rank < 0 || ft > sum.Times[cp.Rank] {
 			cp.Rank = rank
 		}
 	}
-	if cp.Rank < 0 || len(t.Lanes[cp.Rank]) == 0 {
-		return cp
+	if cp.Rank < 0 || src.LaneLen(cp.Rank) == 0 {
+		return cp, nil
 	}
 
 	cur := cp.Rank
-	i := len(t.Lanes[cur]) - 1
-	cp.End = t.Lanes[cur][i].T1
+	c, err := src.LaneCols(cur)
+	if err != nil {
+		return nil, err
+	}
+	i := c.Len() - 1
+	cp.End = c.T1[i]
 	hop := PathHop{Rank: cur, To: cp.End, ViaPeer: -1, ViaTag: -1}
 	var rev []PathHop
 	for i >= 0 {
-		ev := &t.Lanes[cur][i]
-		if ev.T0 == ev.T1 { // boundary marks carry no time
+		if c.T0[i] == c.T1[i] { // boundary marks carry no time
 			i--
 			continue
 		}
-		if ev.Kind == KindRecvWait && ev.Gated && ev.Peer >= 0 && ev.SendSeq >= 0 &&
-			int(ev.Peer) < len(t.Lanes) && int(ev.SendSeq) < len(t.Lanes[ev.Peer]) {
-			send := &t.Lanes[ev.Peer][ev.SendSeq]
+		if c.Kind[i] == KindRecvWait && c.Flags[i]&flagGated != 0 && linkValid(src, c, i) {
 			// The residency on cur starts where the gating wait ends its
-			// in-flight portion; the chain segment [send.T1, ev.T1] is the
+			// in-flight portion; the chain segment [sendEnd, T1] is the
 			// message in flight (latency, transfer, ports).
-			hop.From = ev.T1
-			hop.ViaPeer = int(ev.Peer)
-			hop.ViaTag = int(ev.Tag)
-			hop.ViaSize = int(ev.Size)
-			hop.InFlight = ev.T1 - send.T1
+			hop.From = c.T1[i]
+			hop.ViaPeer = int(c.Peer[i])
+			hop.ViaTag = int(c.Tag[i])
+			hop.ViaSize = int(c.Size[i])
+			hop.InFlight = c.T1[i] - c.SendEnd[i]
 			cp.InFlight += hop.InFlight
 			rev = append(rev, hop)
-			cur = int(ev.Peer)
-			i = int(ev.SendSeq)
-			hop = PathHop{Rank: cur, To: send.T1, ViaPeer: -1, ViaTag: -1}
+			cur = int(c.Peer[i])
+			nexti := int(c.SendSeq[i])
+			if c, err = src.LaneCols(cur); err != nil {
+				return nil, err
+			}
+			i = nexti
+			hop = PathHop{Rank: cur, To: c.T1[i], ViaPeer: -1, ViaTag: -1}
 			continue
 		}
-		switch ev.Kind {
+		d := c.T1[i] - c.T0[i]
+		switch c.Kind[i] {
 		case KindCompute:
-			hop.Compute += ev.Duration()
-			cp.Compute += ev.Duration()
+			hop.Compute += d
+			cp.Compute += d
 		case KindSend:
-			hop.Send += ev.Duration()
-			cp.Send += ev.Duration()
+			hop.Send += d
+			cp.Send += d
 		default:
-			hop.Wait += ev.Duration()
-			cp.Wait += ev.Duration()
+			hop.Wait += d
+			cp.Wait += d
 		}
-		hop.From = ev.T0
+		hop.From = c.T0[i]
 		i--
 	}
 	rev = append(rev, hop)
@@ -305,7 +343,7 @@ func (t *Trace) criticalPath() *CriticalPath {
 	for k := len(rev) - 1; k >= 0; k-- {
 		cp.Hops = append(cp.Hops, rev[k])
 	}
-	return cp
+	return cp, nil
 }
 
 // HRelation summarizes the communication relation of one superstep bucket:
@@ -331,39 +369,52 @@ type HRelation struct {
 // HRelations computes per-superstep h-relation statistics from the send
 // events (attributed to the sender's superstep).
 func (t *Trace) HRelations() []HRelation {
-	steps := t.Steps()
+	hrs, _ := HRelationsOf(t) // the in-RAM source cannot fail
+	return hrs
+}
+
+// HRelationsOf computes the h-relation statistics of any source in one
+// streaming pass over the send events of each lane; only the O(steps ×
+// ranks) volume accumulators are held.
+func HRelationsOf(src Source) ([]HRelation, error) {
+	sum := src.RunSummary()
+	steps := sum.Steps
+	nl := src.NumLanes()
 	outB := make([][]int64, steps)
 	inB := make([][]int64, steps)
 	outM := make([][]int, steps)
 	inM := make([][]int, steps)
 	for s := range outB {
-		outB[s] = make([]int64, len(t.Lanes))
-		inB[s] = make([]int64, len(t.Lanes))
-		outM[s] = make([]int, len(t.Lanes))
-		inM[s] = make([]int, len(t.Lanes))
+		outB[s] = make([]int64, nl)
+		inB[s] = make([]int64, nl)
+		outM[s] = make([]int, nl)
+		inM[s] = make([]int, nl)
 	}
-	for rank, lane := range t.Lanes {
-		for i := range lane {
-			ev := &lane[i]
-			if ev.Kind != KindSend {
+	for rank := 0; rank < nl; rank++ {
+		c, err := src.LaneCols(rank)
+		if err != nil {
+			return nil, err
+		}
+		for i, n := 0, c.Len(); i < n; i++ {
+			if c.Kind[i] != KindSend {
 				continue
 			}
-			s := int(ev.Step)
-			outB[s][rank] += int64(ev.Size)
+			s := int(c.Step[i])
+			outB[s][rank] += int64(c.Size[i])
 			outM[s][rank]++
-			if ev.Peer >= 0 && int(ev.Peer) < len(t.Lanes) {
-				inB[s][ev.Peer] += int64(ev.Size)
-				inM[s][ev.Peer]++
+			if peer := c.Peer[i]; peer >= 0 && int(peer) < nl {
+				inB[s][peer] += int64(c.Size[i])
+				inM[s][peer]++
 			}
 		}
 	}
 	out := make([]HRelation, steps)
-	sample := make([]float64, len(t.Lanes))
+	sample := make([]float64, nl)
 	for s := range out {
 		h := &out[s]
 		h.Step = s
 		h.MaxOutRank = -1
-		for r := range t.Lanes {
+		for r := 0; r < nl; r++ {
 			ob, ib := outB[s][r], inB[s][r]
 			om, im := outM[s][r], inM[s][r]
 			h.Bytes += ob
@@ -383,7 +434,7 @@ func (t *Trace) HRelations() []HRelation {
 		h.MeanOutBytes, _ = stats.Mean(sample)
 		h.MedianOutBytes, _ = stats.Median(sample)
 	}
-	return out
+	return out, nil
 }
 
 // Straggler pairs a rank with its end-of-run slack, for ranking.
@@ -394,12 +445,17 @@ type Straggler struct {
 
 // Stragglers returns the ranks ordered by increasing slack (the critical
 // rank first), ties broken by rank.
-func (t *Trace) Stragglers() []Straggler {
-	out := make([]Straggler, len(t.Lanes))
-	for rank := range t.Lanes {
-		s := Straggler{Rank: rank, Slack: t.MakeSpan}
-		if rank < len(t.Times) {
-			s.Slack = t.MakeSpan - t.Times[rank]
+func (t *Trace) Stragglers() []Straggler { return StragglersOf(t) }
+
+// StragglersOf ranks any source's lanes by slack; it reads only the run
+// summary, never the lanes.
+func StragglersOf(src Source) []Straggler {
+	sum := src.RunSummary()
+	out := make([]Straggler, src.NumLanes())
+	for rank := range out {
+		s := Straggler{Rank: rank, Slack: sum.MakeSpan}
+		if rank < len(sum.Times) {
+			s.Slack = sum.MakeSpan - sum.Times[rank]
 		}
 		out[rank] = s
 	}
@@ -410,4 +466,43 @@ func (t *Trace) Stragglers() []Straggler {
 		return out[i].Rank < out[j].Rank
 	})
 	return out
+}
+
+// TopSlack returns the k ranks with the largest slack (the worst
+// stragglers), slack descending, ties broken by rank, without sorting all P
+// ranks: a size-k selection over the summary times.
+func TopSlack(src Source, k int) []Straggler {
+	sum := src.RunSummary()
+	nl := src.NumLanes()
+	if k > nl {
+		k = nl
+	}
+	if k <= 0 {
+		return nil
+	}
+	// worse reports whether a should rank above b (more slack, then lower
+	// rank).
+	worse := func(a, b Straggler) bool {
+		if a.Slack != b.Slack {
+			return a.Slack > b.Slack
+		}
+		return a.Rank < b.Rank
+	}
+	top := make([]Straggler, 0, k)
+	for rank := 0; rank < nl; rank++ {
+		s := Straggler{Rank: rank, Slack: sum.MakeSpan}
+		if rank < len(sum.Times) {
+			s.Slack = sum.MakeSpan - sum.Times[rank]
+		}
+		if len(top) == k && !worse(s, top[k-1]) {
+			continue
+		}
+		i := sort.Search(len(top), func(i int) bool { return worse(s, top[i]) })
+		if len(top) < k {
+			top = append(top, Straggler{})
+		}
+		copy(top[i+1:], top[i:])
+		top[i] = s
+	}
+	return top
 }

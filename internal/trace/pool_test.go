@@ -16,7 +16,7 @@ func fillRun(r *Recorder, procs, events int) {
 }
 
 // TestRecorderLaneReuse pins the lane pool: while no Trace view has been
-// exported, BeginRun truncates and reuses the previous run's event blocks
+// exported, BeginRun truncates and reuses the previous run's column blocks
 // (steady-state recording allocates nothing), and once Trace has shared the
 // lanes, the next run gets fresh storage pre-sized from the previous event
 // counts — without corrupting the exported view.
@@ -24,10 +24,10 @@ func TestRecorderLaneReuse(t *testing.T) {
 	rec := NewRecorder()
 	fillRun(rec, 2, 64)
 
-	// Unexported lanes are reused: same backing array, truncated.
-	before := &rec.LaneOf(0).ev[:1][0]
+	// Unexported lanes are reused: same column backing arrays, truncated.
+	before := &rec.LaneOf(0).c.T0[:1][0]
 	fillRun(rec, 2, 64)
-	after := &rec.LaneOf(0).ev[:1][0]
+	after := &rec.LaneOf(0).c.T0[:1][0]
 	if before != after {
 		t.Error("unexported lanes were reallocated instead of reused")
 	}
@@ -44,10 +44,10 @@ func TestRecorderLaneReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantLen := len(tr.Lanes[0])
-	wantT1 := tr.Lanes[0][0].T1
+	wantLen := tr.LaneLen(0)
+	wantT1 := tr.lanes[0].T1[0]
 	fillRun(rec, 2, 8)
-	if len(tr.Lanes[0]) != wantLen || tr.Lanes[0][0].T1 != wantT1 {
+	if tr.LaneLen(0) != wantLen || tr.lanes[0].T1[0] != wantT1 {
 		t.Error("exported trace was mutated by a later run")
 	}
 	// And the post-export run produced its own, correct lanes.
@@ -55,8 +55,8 @@ func TestRecorderLaneReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr2.Lanes[0]) != 8 {
-		t.Errorf("post-export run recorded %d events, want 8", len(tr2.Lanes[0]))
+	if tr2.LaneLen(0) != 8 {
+		t.Errorf("post-export run recorded %d events, want 8", tr2.LaneLen(0))
 	}
 
 	// A different rank count abandons the pool cleanly.
@@ -65,7 +65,7 @@ func TestRecorderLaneReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr3.Lanes) != 3 || len(tr3.Lanes[2]) != 4 {
-		t.Errorf("resized run recorded %d lanes / %d events", len(tr3.Lanes), len(tr3.Lanes[2]))
+	if tr3.NumLanes() != 3 || tr3.LaneLen(2) != 4 {
+		t.Errorf("resized run recorded %d lanes / %d events", tr3.NumLanes(), tr3.LaneLen(2))
 	}
 }

@@ -16,36 +16,43 @@ type ReportOptions struct {
 	MaxSteps int
 }
 
-// WriteReport renders the compact text report of a trace: run metadata, the
-// per-rank time breakdown, per-superstep breakdowns with straggler
-// attribution, h-relation statistics and the critical path. The output is a
-// pure function of the trace, so golden tests diff it directly.
-func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
+// WriteReport renders the compact text report of a recorded run: run
+// metadata, the per-rank time breakdown, per-superstep breakdowns with
+// straggler attribution, h-relation statistics and the critical path. It
+// accepts any Source — an in-RAM *Trace or a spill file — and streams the
+// lanes through the analysis passes; the output is a pure function of the
+// run, so golden tests diff it directly.
+func WriteReport(w io.Writer, src Source, opts ReportOptions) error {
 	if opts.MaxHops == 0 {
 		opts.MaxHops = 24
 	}
 	bw := bufio.NewWriter(w)
+	meta := src.RunMeta()
+	sum := src.RunSummary()
 
-	label := t.Meta.Label
+	label := meta.Label
 	if label == "" {
 		label = "(unlabeled run)"
 	}
 	fmt.Fprintf(bw, "trace report: %s\n", label)
-	if t.Meta.Machine != "" {
-		fmt.Fprintf(bw, "machine:      %s\n", t.Meta.Machine)
+	if meta.Machine != "" {
+		fmt.Fprintf(bw, "machine:      %s\n", meta.Machine)
 	}
 	seed := "unknown"
-	if t.Meta.SeedKnown {
-		seed = fmt.Sprintf("%d", t.Meta.Seed)
+	if meta.SeedKnown {
+		seed = fmt.Sprintf("%d", meta.Seed)
 	}
-	fmt.Fprintf(bw, "procs: %d  seed: %s  ack-sends: %v\n", t.Meta.Procs, seed, t.Meta.AckSends)
+	fmt.Fprintf(bw, "procs: %d  seed: %s  ack-sends: %v\n", meta.Procs, seed, meta.AckSends)
 	fmt.Fprintf(bw, "makespan: %s s   events: %d   messages: %d   bytes: %d\n",
-		formatSeconds(t.MakeSpan), t.NumEvents(), t.Messages, t.Bytes)
-	if t.Err != nil {
-		fmt.Fprintf(bw, "run error: %v\n", t.Err)
+		formatSeconds(sum.MakeSpan), NumEventsOf(src), sum.Messages, sum.Bytes)
+	if sum.ErrMsg != "" {
+		fmt.Fprintf(bw, "run error: %s\n", sum.ErrMsg)
 	}
 
-	bd := t.Breakdown()
+	bd, err := BreakdownOf(src)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(bw, "\ntime breakdown (sum over %d ranks; %% of rank-seconds):\n", len(bd.PerRank))
 	totalAll := 0.0
 	for _, c := range Categories {
@@ -82,7 +89,10 @@ func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
 		}
 	}
 
-	hrs := t.HRelations()
+	hrs, err := HRelationsOf(src)
+	if err != nil {
+		return err
+	}
 	if len(hrs) > 0 {
 		fmt.Fprintf(bw, "\nh-relations (per superstep):\n")
 		fmt.Fprintf(bw, "  %-5s %-10s %-7s %-8s %-12s %-12s %-12s\n",
@@ -100,12 +110,15 @@ func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
 		}
 	}
 
-	cp := t.CriticalPath()
+	cp, err := criticalPathFor(src)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(bw, "\ncritical path: end %s s", formatSeconds(cp.End))
-	if cp.End == t.MakeSpan {
+	if cp.End == sum.MakeSpan {
 		fmt.Fprintf(bw, " (== makespan)\n")
 	} else {
-		fmt.Fprintf(bw, " (!= makespan %s s — rank leaked untraced time)\n", formatSeconds(t.MakeSpan))
+		fmt.Fprintf(bw, " (!= makespan %s s — rank leaked untraced time)\n", formatSeconds(sum.MakeSpan))
 	}
 	fmt.Fprintf(bw, "  %d hops ending on rank %d: compute %.6e s, send %.6e s, wait %.6e s, in-flight %.6e s\n",
 		len(cp.Hops), cp.Rank, cp.Compute, cp.Send, cp.Wait, cp.InFlight)
@@ -127,7 +140,7 @@ func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
 			h.Rank, h.From, h.To, h.Compute, h.Send, h.Wait)
 	}
 
-	st := t.Stragglers()
+	st := StragglersOf(src)
 	fmt.Fprintf(bw, "\nslack (distance to makespan): critical rank %d", cp.Rank)
 	n := len(st)
 	if n > 0 {
@@ -138,11 +151,29 @@ func WriteReport(w io.Writer, t *Trace, opts ReportOptions) error {
 	return bw.Flush()
 }
 
-// WriteEvents dumps the merged event stream, one line per event, in the
-// deterministic merge order. Golden tests pin this rendering.
-func WriteEvents(w io.Writer, t *Trace) error {
+// criticalPathFor routes through the Trace memoization when the source is
+// an in-RAM trace.
+func criticalPathFor(src Source) (*CriticalPath, error) {
+	if t, ok := src.(*Trace); ok {
+		return t.CriticalPath(), nil
+	}
+	return CriticalPathOf(src)
+}
+
+// WriteEvents dumps the event stream, one line per event, in the
+// deterministic merge order, via the streaming iterator — the merged slice
+// is never materialized. Golden tests pin this rendering.
+func WriteEvents(w io.Writer, src Source) error {
 	bw := bufio.NewWriter(w)
-	for _, ev := range t.Events() {
+	it, err := NewIter(src)
+	if err != nil {
+		return err
+	}
+	for {
+		ev, ok := it.Next()
+		if !ok {
+			break
+		}
 		fmt.Fprintf(bw, "%-9s rank=%-3d step=%-2d", ev.Kind, ev.Rank, ev.Step)
 		if ev.Stage >= 0 {
 			fmt.Fprintf(bw, " stage=%d", ev.Stage)
@@ -155,6 +186,9 @@ func WriteEvents(w io.Writer, t *Trace) error {
 			fmt.Fprintf(bw, " gated=%v", ev.Gated)
 		}
 		fmt.Fprintf(bw, "\n")
+	}
+	if err := it.Err(); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,808 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// This file holds the binary spill format: the compact, versioned,
+// deterministic on-disk encoding of a recorded run, written either
+// incrementally during the run (Recorder.SpillTo — bounded memory) or
+// canonically from any Source (WriteSpill — byte-determinism goldens), and
+// read back through the same Source interface the in-RAM Trace implements.
+//
+// Layout (all integers varint-encoded unless stated; strings are
+// uvarint-length-prefixed UTF-8):
+//
+//	header   magic "HBSPTRC\x01", uvarint version (currently 1), run Meta
+//	         (procs, seed-known byte, zigzag seed, ack byte, machine,
+//	         label, fault lines)
+//	chunks   any number of 'C' records: uvarint rank, uvarint event count,
+//	         then the twelve column blocks for those events in Cols field
+//	         order — Kind and Flags raw, the int32 columns zigzag-varint
+//	         delta-encoded, the float64 columns either raw little-endian
+//	         bits (mode 0) or zigzag-varint deltas of the uint64 bit
+//	         patterns (mode 1); both float modes round-trip every float64
+//	         exactly, and the writer deterministically picks mode 1 exactly
+//	         when it encodes smaller, so virtual clocks that advance in
+//	         near-regular increments cost a few bytes per event instead of 8
+//	per lane, chunks appear in lane order; across lanes they interleave in
+//	flush order (deterministic under the single-goroutine evaluator and for
+//	WriteSpill, scheduler-dependent under the concurrent engine — the
+//	decoded content is identical either way)
+//	summary  one 'S' record: times float column, raw makespan bits, zigzag
+//	         messages and bytes, uvarint steps, error text
+//	index    one 'I' record: per lane, uvarint event total and the chunk
+//	         list as (uvarint offset delta, uvarint byte size, uvarint
+//	         count) triples, so any lane is readable without scanning
+//	footer   fixed 24 bytes: summary offset, index offset (both uint64
+//	         little-endian), magic "HBSPTRCE" — readers seek here first
+
+const (
+	spillMagic    = "HBSPTRC\x01"
+	spillEndMagic = "HBSPTRCE"
+	spillVersion  = 1
+
+	recChunk   = 'C'
+	recSummary = 'S'
+	recIndex   = 'I'
+
+	floatRaw   = 0
+	floatDelta = 1
+)
+
+// SpillOptions tune Recorder.SpillTo.
+type SpillOptions struct {
+	// ChunkEvents caps the events a lane holds in RAM before its columns
+	// are encoded and flushed. 0 derives a value from the rank count
+	// targeting ~64 MB resident across all lanes, clamped to [64, 8192].
+	ChunkEvents int
+}
+
+// chunkFor resolves the chunk size for a run with the given rank count.
+func (o SpillOptions) chunkFor(procs int) int {
+	c := o.ChunkEvents
+	if c <= 0 {
+		if procs < 1 {
+			procs = 1
+		}
+		// ~64 B of column storage per resident event.
+		c = (64 << 20) / (64 * procs)
+		if c < 64 {
+			c = 64
+		}
+		if c > 8192 {
+			c = 8192
+		}
+	}
+	return c
+}
+
+// canonicalChunkEvents is the fixed chunk size of WriteSpill, independent of
+// how the source was produced, so the canonical bytes of a run are a pure
+// function of its content.
+const canonicalChunkEvents = 8192
+
+// --- primitive encoders -------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendI32Col zigzag-varint delta-encodes an int32 column.
+func appendI32Col(b []byte, col []int32) []byte {
+	prev := int32(0)
+	for _, v := range col {
+		b = binary.AppendVarint(b, int64(v-prev))
+		prev = v
+	}
+	return b
+}
+
+// appendF64Col encodes a float64 column: it tries zigzag-varint deltas of
+// the uint64 bit patterns and falls back to raw little-endian bits when the
+// deltas are not smaller. Both modes reproduce every value bit-for-bit.
+func appendF64Col(b []byte, col []float64, tmp []byte) ([]byte, []byte) {
+	tmp = tmp[:0]
+	prev := uint64(0)
+	for _, v := range col {
+		bits := f64bits(v)
+		tmp = binary.AppendVarint(tmp, int64(bits-prev))
+		prev = bits
+	}
+	if len(tmp) < 8*len(col) {
+		b = append(b, floatDelta)
+		return append(b, tmp...), tmp
+	}
+	b = append(b, floatRaw)
+	for _, v := range col {
+		b = binary.LittleEndian.AppendUint64(b, f64bits(v))
+	}
+	return b, tmp
+}
+
+// appendKindCol writes the kind column as raw bytes.
+func appendKindCol(b []byte, col []Kind) []byte {
+	for _, k := range col {
+		b = append(b, byte(k))
+	}
+	return b
+}
+
+func appendMeta(b []byte, m Meta) []byte {
+	b = appendUvarint(b, uint64(m.Procs))
+	if m.SeedKnown {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendZigzag(b, m.Seed)
+	if m.AckSends {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendString(b, m.Machine)
+	b = appendString(b, m.Label)
+	b = appendUvarint(b, uint64(len(m.Faults)))
+	for _, f := range m.Faults {
+		b = appendString(b, f)
+	}
+	return b
+}
+
+// appendChunk encodes one 'C' record for count events of rank's columns.
+func appendChunk(b []byte, rank int32, c *Cols, tmp []byte) ([]byte, []byte) {
+	b = append(b, recChunk)
+	b = appendUvarint(b, uint64(rank))
+	b = appendUvarint(b, uint64(c.Len()))
+	b = appendKindCol(b, c.Kind)
+	b = append(b, c.Flags...)
+	b = appendI32Col(b, c.Peer)
+	b = appendI32Col(b, c.Tag)
+	b = appendI32Col(b, c.Size)
+	b = appendI32Col(b, c.Step)
+	b = appendI32Col(b, c.Stage)
+	b = appendI32Col(b, c.SendSeq)
+	b, tmp = appendF64Col(b, c.T0, tmp)
+	b, tmp = appendF64Col(b, c.T1, tmp)
+	b, tmp = appendF64Col(b, c.Arrival, tmp)
+	b, tmp = appendF64Col(b, c.SendEnd, tmp)
+	return b, tmp
+}
+
+func appendSummary(b []byte, sum Summary, tmp []byte) ([]byte, []byte) {
+	b = append(b, recSummary)
+	b = appendUvarint(b, uint64(len(sum.Times)))
+	b, tmp = appendF64Col(b, sum.Times, tmp)
+	b = binary.LittleEndian.AppendUint64(b, f64bits(sum.MakeSpan))
+	b = appendZigzag(b, sum.Messages)
+	b = appendZigzag(b, sum.Bytes)
+	b = appendUvarint(b, uint64(sum.Steps))
+	b = appendString(b, sum.ErrMsg)
+	return b, tmp
+}
+
+// spillChunkIdx locates one encoded chunk.
+type spillChunkIdx struct {
+	off   int64
+	size  int32
+	count int32
+}
+
+// spillLaneIdx is one lane's chunk list in the index.
+type spillLaneIdx struct {
+	total  int
+	chunks []spillChunkIdx
+}
+
+func appendIndex(b []byte, lanes []spillLaneIdx) []byte {
+	b = append(b, recIndex)
+	b = appendUvarint(b, uint64(len(lanes)))
+	for i := range lanes {
+		l := &lanes[i]
+		b = appendUvarint(b, uint64(l.total))
+		b = appendUvarint(b, uint64(len(l.chunks)))
+		prev := int64(0)
+		for _, ch := range l.chunks {
+			b = appendUvarint(b, uint64(ch.off-prev))
+			b = appendUvarint(b, uint64(ch.size))
+			b = appendUvarint(b, uint64(ch.count))
+			prev = ch.off
+		}
+	}
+	return b
+}
+
+func appendFooter(b []byte, sumOff, idxOff int64) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(sumOff))
+	b = binary.LittleEndian.AppendUint64(b, uint64(idxOff))
+	return append(b, spillEndMagic...)
+}
+
+// --- streaming sink ------------------------------------------------------
+
+// spillSink is the shared chunk writer of a spilling run: lanes hand it
+// their full columns under its lock, it encodes and appends them to the
+// output, tracking the index. All state is behind mu; the underlying writer
+// sees exactly one Write per record.
+type spillSink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	off     int64
+	err     error
+	lanes   []spillLaneIdx
+	maxStep int32
+	nchunks int
+	nevents int64
+	buf     []byte
+	tmp     []byte
+}
+
+func newSpillSink(w io.Writer, meta Meta) (*spillSink, error) {
+	s := &spillSink{w: w, lanes: make([]spillLaneIdx, meta.Procs)}
+	s.buf = append(s.buf, spillMagic...)
+	s.buf = appendUvarint(s.buf, spillVersion)
+	s.buf = appendMeta(s.buf, meta)
+	err := s.emit()
+	return s, err
+}
+
+// emit writes and clears the staging buffer, advancing the offset.
+func (s *spillSink) emit() error {
+	if s.err != nil {
+		return s.err
+	}
+	n, err := s.w.Write(s.buf)
+	s.off += int64(n)
+	s.buf = s.buf[:0]
+	if err != nil {
+		s.err = fmt.Errorf("trace: spill write: %w", err)
+	}
+	return s.err
+}
+
+// writeChunk encodes and appends one lane chunk.
+func (s *spillSink) writeChunk(rank int32, c *Cols) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	off := s.off
+	s.buf, s.tmp = appendChunk(s.buf[:0], rank, c, s.tmp)
+	size := len(s.buf)
+	if s.emit() != nil {
+		return
+	}
+	l := &s.lanes[rank]
+	l.total += c.Len()
+	l.chunks = append(l.chunks, spillChunkIdx{off: off, size: int32(size), count: int32(c.Len())})
+	s.nchunks++
+	s.nevents += int64(c.Len())
+	for _, st := range c.Step {
+		if st > s.maxStep {
+			s.maxStep = st
+		}
+	}
+}
+
+// steps returns the superstep bucket count of everything flushed so far.
+func (s *spillSink) steps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.maxStep) + 1
+}
+
+// stats reports chunks, events and bytes written.
+func (s *spillSink) stats() (int, int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nchunks, s.nevents, s.off
+}
+
+// finish seals the file: summary, index, footer.
+func (s *spillSink) finish(sum Summary) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	sumOff := s.off
+	s.buf, s.tmp = appendSummary(s.buf[:0], sum, s.tmp)
+	idxOff := sumOff + int64(len(s.buf))
+	s.buf = appendIndex(s.buf, s.lanes)
+	s.buf = appendFooter(s.buf, sumOff, idxOff)
+	return s.emit()
+}
+
+// WriteSpill serializes any source canonically: lanes in rank order, fixed
+// chunking, deterministic encodings — the bytes are a pure function of the
+// run's content, so golden tests diff them directly and a streamed spill
+// re-serialized through WriteSpill matches the same run recorded in RAM.
+func WriteSpill(w io.Writer, src Source) error {
+	meta := src.RunMeta()
+	sink, err := newSpillSink(w, meta)
+	if err != nil {
+		return err
+	}
+	var part Cols
+	for rank := 0; rank < src.NumLanes(); rank++ {
+		pull := chunkPullOf(src, rank)
+		part.truncate()
+		for {
+			c, err := pull()
+			if err != nil {
+				return err
+			}
+			if c == nil {
+				break
+			}
+			// Re-chunk to the canonical size regardless of source chunking.
+			i := 0
+			for i < c.Len() {
+				n := canonicalChunkEvents - part.Len()
+				if rest := c.Len() - i; rest < n {
+					n = rest
+				}
+				sub := c.slice(i, i+n)
+				if part.Len() == 0 && n == canonicalChunkEvents {
+					sink.writeChunk(int32(rank), &sub)
+				} else {
+					part.appendCols(&sub)
+					if part.Len() == canonicalChunkEvents {
+						sink.writeChunk(int32(rank), &part)
+						part.truncate()
+					}
+				}
+				i += n
+			}
+		}
+		if part.Len() > 0 {
+			sink.writeChunk(int32(rank), &part)
+			part.truncate()
+		}
+	}
+	return sink.finish(src.RunSummary())
+}
+
+// --- reader ---------------------------------------------------------------
+
+// decoder walks one encoded buffer.
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("trace: corrupt spill: %s at offset %d", what, d.pos)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) zigzag() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+int(n) > len(d.b) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *decoder) rawBytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.pos+n > len(d.b) {
+		d.fail("truncated block")
+		return nil
+	}
+	b := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *decoder) i32Col(out []int32, n int) []int32 {
+	out = out[:0]
+	prev := int32(0)
+	for i := 0; i < n; i++ {
+		prev += int32(d.zigzag())
+		out = append(out, prev)
+	}
+	return out
+}
+
+func (d *decoder) f64Col(out []float64, n int) []float64 {
+	out = out[:0]
+	switch d.byte() {
+	case floatRaw:
+		raw := d.rawBytes(8 * n)
+		for i := 0; i < n; i++ {
+			out = append(out, f64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
+		}
+	case floatDelta:
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			prev += uint64(d.zigzag())
+			out = append(out, f64frombits(prev))
+		}
+	default:
+		d.fail("unknown float column mode")
+	}
+	return out
+}
+
+func (d *decoder) meta() Meta {
+	var m Meta
+	m.Procs = int(d.uvarint())
+	m.SeedKnown = d.byte() == 1
+	m.Seed = d.zigzag()
+	m.AckSends = d.byte() == 1
+	m.Machine = d.string()
+	m.Label = d.string()
+	nf := int(d.uvarint())
+	for i := 0; i < nf && d.err == nil; i++ {
+		m.Faults = append(m.Faults, d.string())
+	}
+	return m
+}
+
+// decodeChunk parses one 'C' record into dst (replacing its content).
+func (d *decoder) decodeChunk(dst *Cols) (rank int32, err error) {
+	if d.byte() != recChunk {
+		d.fail("expected chunk record")
+	}
+	rank = int32(d.uvarint())
+	n := int(d.uvarint())
+	if d.err == nil && (n < 0 || n > len(d.b)) {
+		d.fail("implausible chunk count")
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	dst.Kind = dst.Kind[:0]
+	for _, kb := range d.rawBytes(n) {
+		dst.Kind = append(dst.Kind, Kind(kb))
+	}
+	dst.Flags = append(dst.Flags[:0], d.rawBytes(n)...)
+	dst.Peer = d.i32Col(dst.Peer, n)
+	dst.Tag = d.i32Col(dst.Tag, n)
+	dst.Size = d.i32Col(dst.Size, n)
+	dst.Step = d.i32Col(dst.Step, n)
+	dst.Stage = d.i32Col(dst.Stage, n)
+	dst.SendSeq = d.i32Col(dst.SendSeq, n)
+	dst.T0 = d.f64Col(dst.T0, n)
+	dst.T1 = d.f64Col(dst.T1, n)
+	dst.Arrival = d.f64Col(dst.Arrival, n)
+	dst.SendEnd = d.f64Col(dst.SendEnd, n)
+	return rank, d.err
+}
+
+// Spill reads a spill file through the Source interface: metadata, summary
+// and the chunk index are loaded eagerly; lane columns are decoded on
+// demand through a small rotating cache, so analyses over a P=65536 run
+// keep only a handful of lanes in memory.
+type Spill struct {
+	r      io.ReaderAt
+	closer io.Closer
+	meta   Meta
+	sum    Summary
+	lanes  []spillLaneIdx
+
+	mu    sync.Mutex
+	cache []spillCacheEnt // tiny LRU, most recent first
+}
+
+type spillCacheEnt struct {
+	rank int
+	cols *Cols
+}
+
+// spillCacheLanes bounds the decoded-lane cache. The analyses touch one
+// lane at a time (plus the occasional critical-path hop back and forth), so
+// a handful of slots gives hits without holding the run.
+const spillCacheLanes = 4
+
+// OpenSpill parses a spill image from a random-access reader of the given
+// size.
+func OpenSpill(r io.ReaderAt, size int64) (*Spill, error) {
+	if size < int64(len(spillMagic))+24 {
+		return nil, fmt.Errorf("trace: spill too short (%d bytes)", size)
+	}
+	foot := make([]byte, 24)
+	if _, err := r.ReadAt(foot, size-24); err != nil {
+		return nil, fmt.Errorf("trace: reading spill footer: %w", err)
+	}
+	if string(foot[16:]) != spillEndMagic {
+		return nil, fmt.Errorf("trace: not a sealed spill file (bad footer magic; was the run torn down before EndRun?)")
+	}
+	sumOff := int64(binary.LittleEndian.Uint64(foot[0:8]))
+	idxOff := int64(binary.LittleEndian.Uint64(foot[8:16]))
+	if sumOff < 0 || idxOff < sumOff || idxOff > size-24 {
+		return nil, fmt.Errorf("trace: corrupt spill footer offsets")
+	}
+
+	head := make([]byte, 4096)
+	if int64(len(head)) > sumOff {
+		head = head[:sumOff]
+	}
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("trace: reading spill header: %w", err)
+	}
+	if len(head) < len(spillMagic) || string(head[:len(spillMagic)]) != spillMagic {
+		return nil, fmt.Errorf("trace: not a spill file (bad magic)")
+	}
+	hd := &decoder{b: head, pos: len(spillMagic)}
+	if v := hd.uvarint(); hd.err == nil && v != spillVersion {
+		return nil, fmt.Errorf("trace: unsupported spill version %d (want %d)", v, spillVersion)
+	}
+	meta := hd.meta()
+	if hd.err != nil {
+		// Long metadata may overrun the fixed probe; retry with the full
+		// pre-summary region.
+		full := make([]byte, sumOff)
+		if _, err := r.ReadAt(full, 0); err != nil {
+			return nil, fmt.Errorf("trace: reading spill header: %w", err)
+		}
+		hd = &decoder{b: full, pos: len(spillMagic)}
+		hd.uvarint()
+		meta = hd.meta()
+		if hd.err != nil {
+			return nil, hd.err
+		}
+	}
+
+	tail := make([]byte, size-24-sumOff)
+	if _, err := r.ReadAt(tail, sumOff); err != nil {
+		return nil, fmt.Errorf("trace: reading spill summary/index: %w", err)
+	}
+	td := &decoder{b: tail}
+	if td.byte() != recSummary {
+		td.fail("expected summary record")
+	}
+	var sum Summary
+	nt := int(td.uvarint())
+	if td.err == nil {
+		sum.Times = td.f64Col(nil, nt)
+	}
+	if raw := td.rawBytes(8); raw != nil {
+		sum.MakeSpan = f64frombits(binary.LittleEndian.Uint64(raw))
+	}
+	sum.Messages = td.zigzag()
+	sum.Bytes = td.zigzag()
+	sum.Steps = int(td.uvarint())
+	sum.ErrMsg = td.string()
+
+	if int64(td.pos) != idxOff-sumOff {
+		td.fail("summary/index offset mismatch")
+	}
+	if td.byte() != recIndex {
+		td.fail("expected index record")
+	}
+	nl := int(td.uvarint())
+	if td.err == nil && (nl < 0 || nl != meta.Procs) {
+		td.fail("index lane count mismatch")
+	}
+	lanes := make([]spillLaneIdx, 0, nl)
+	for i := 0; i < nl && td.err == nil; i++ {
+		var l spillLaneIdx
+		l.total = int(td.uvarint())
+		nc := int(td.uvarint())
+		prev := int64(0)
+		for j := 0; j < nc && td.err == nil; j++ {
+			off := prev + int64(td.uvarint())
+			sz := int64(td.uvarint())
+			cnt := int64(td.uvarint())
+			l.chunks = append(l.chunks, spillChunkIdx{off: off, size: int32(sz), count: int32(cnt)})
+			prev = off
+		}
+		lanes = append(lanes, l)
+	}
+	if td.err != nil {
+		return nil, td.err
+	}
+	return &Spill{r: r, meta: meta, sum: sum, lanes: lanes}, nil
+}
+
+// OpenSpillFile opens a spill file from disk; Close releases it.
+func OpenSpillFile(path string) (*Spill, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sp, err := OpenSpill(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sp.closer = f
+	return sp, nil
+}
+
+// Close releases the underlying file (no-op for OpenSpill over a buffer).
+func (s *Spill) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// RunMeta implements Source.
+func (s *Spill) RunMeta() Meta { return s.meta }
+
+// RunSummary implements Source.
+func (s *Spill) RunSummary() Summary { return s.sum }
+
+// NumLanes implements Source.
+func (s *Spill) NumLanes() int { return len(s.lanes) }
+
+// LaneLen implements Source (index lookup; no decoding).
+func (s *Spill) LaneLen(rank int) int { return s.lanes[rank].total }
+
+// readChunk fetches and decodes one chunk into dst.
+func (s *Spill) readChunk(ch spillChunkIdx, buf []byte, dst *Cols) ([]byte, error) {
+	if cap(buf) < int(ch.size) {
+		buf = make([]byte, ch.size)
+	}
+	buf = buf[:ch.size]
+	if _, err := s.r.ReadAt(buf, ch.off); err != nil {
+		return buf, fmt.Errorf("trace: reading spill chunk: %w", err)
+	}
+	d := &decoder{b: buf}
+	if _, err := d.decodeChunk(dst); err != nil {
+		return buf, err
+	}
+	if dst.Len() != int(ch.count) {
+		return buf, fmt.Errorf("trace: spill chunk decoded %d events, index says %d", dst.Len(), ch.count)
+	}
+	return buf, nil
+}
+
+// LaneCols implements Source: the lane's chunks are decoded and
+// concatenated, then cached in a small LRU. The returned columns are valid
+// until spillCacheLanes further LaneCols calls.
+func (s *Spill) LaneCols(rank int) (*Cols, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.cache {
+		if s.cache[i].rank == rank {
+			ent := s.cache[i]
+			copy(s.cache[1:i+1], s.cache[:i])
+			s.cache[0] = ent
+			return ent.cols, nil
+		}
+	}
+	var dst *Cols
+	if len(s.cache) == spillCacheLanes {
+		dst = s.cache[len(s.cache)-1].cols
+		s.cache = s.cache[:len(s.cache)-1]
+		dst.truncate()
+	} else {
+		dst = &Cols{}
+	}
+	var buf []byte
+	var part Cols
+	var err error
+	for _, ch := range s.lanes[rank].chunks {
+		if buf, err = s.readChunk(ch, buf, &part); err != nil {
+			return nil, err
+		}
+		dst.appendCols(&part)
+	}
+	s.cache = append(s.cache, spillCacheEnt{})
+	copy(s.cache[1:], s.cache[:len(s.cache)-1])
+	s.cache[0] = spillCacheEnt{rank: rank, cols: dst}
+	return dst, nil
+}
+
+// laneChunks implements the iterator's chunked access: each cursor decodes
+// one chunk at a time into its own buffer, independent of the LaneCols
+// cache, so a k-way merge over all lanes holds one chunk per lane.
+func (s *Spill) laneChunks(rank int) chunkPull {
+	chunks := s.lanes[rank].chunks
+	i := 0
+	var buf []byte
+	var cols Cols
+	return func() (*Cols, error) {
+		if i >= len(chunks) {
+			return nil, nil
+		}
+		var err error
+		if buf, err = s.readChunk(chunks[i], buf, &cols); err != nil {
+			return nil, err
+		}
+		i++
+		return &cols, nil
+	}
+}
+
+// Trace materializes the whole spill as an in-RAM Trace (small runs and
+// tests; defeats the purpose at high P).
+func (s *Spill) Trace() (*Trace, error) {
+	t := &Trace{
+		Meta:     s.meta,
+		Times:    append([]float64(nil), s.sum.Times...),
+		MakeSpan: s.sum.MakeSpan,
+		Messages: s.sum.Messages,
+		Bytes:    s.sum.Bytes,
+		lanes:    make([]Cols, len(s.lanes)),
+	}
+	if s.sum.ErrMsg != "" {
+		t.Err = fmt.Errorf("%s", s.sum.ErrMsg)
+	}
+	var buf []byte
+	var part Cols
+	var err error
+	for rank := range s.lanes {
+		for _, ch := range s.lanes[rank].chunks {
+			if buf, err = s.readChunk(ch, buf, &part); err != nil {
+				return nil, err
+			}
+			t.lanes[rank].appendCols(&part)
+		}
+	}
+	return t, nil
+}

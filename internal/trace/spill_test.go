@@ -1,0 +1,313 @@
+package trace_test
+
+// Spill round-trip and streaming-equivalence coverage, driven through the
+// goroutine-free sched engine so the large instances stay affordable.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/platform"
+	"hbsp/internal/sched"
+	"hbsp/internal/simnet"
+	"hbsp/internal/trace"
+)
+
+// runDissemination evaluates execs dissemination barriers at P ranks under
+// the direct engine with the given recorder attached. The scaled Xeon
+// cluster profile accommodates any rank count (8 cores per node).
+func runDissemination(t testing.TB, procs int, seed int64, execs int, rec *trace.Recorder) *simnet.Result {
+	t.Helper()
+	s, err := barrier.StreamDissemination(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := platform.XeonClusterMachine(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simnet.DefaultOptions()
+	o.Recorder = rec
+	res, err := sched.RunSchedule(context.Background(), m.WithRunSeed(seed), s, execs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamingMatchesMaterialized is the acceptance equivalence: at
+// P ∈ {16, 256, 4096} the streaming analyses over the merged-order iterator
+// and over a spill round trip match the in-RAM trace bit for bit — the
+// critical path ends exactly at the makespan, breakdowns/h-relations/
+// stragglers are deep-equal, and the event/Chrome renderings are
+// byte-identical.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	for _, procs := range []int{16, 256, 4096} {
+		if procs == 4096 && testing.Short() {
+			continue
+		}
+		t.Run(tName(procs), func(t *testing.T) {
+			rec := trace.NewRecorder()
+			res := runDissemination(t, procs, 11, 2, rec)
+			tr, err := rec.Trace()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Materialized merge order == streaming iterator order.
+			events := tr.Events()
+			it, err := trace.NewIter(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range events {
+				ev, ok := it.Next()
+				if !ok {
+					t.Fatalf("iterator ended at event %d of %d", i, len(events))
+				}
+				if ev != events[i] {
+					t.Fatalf("event %d: iterator %+v, materialized %+v", i, ev, events[i])
+				}
+			}
+			if _, ok := it.Next(); ok {
+				t.Fatal("iterator yields events past the materialized stream")
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The streaming critical path must end exactly at the makespan.
+			cp, err := trace.CriticalPathOf(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.End != res.MakeSpan {
+				t.Fatalf("critical path end %v != makespan %v", cp.End, res.MakeSpan)
+			}
+
+			// Spill round trip: canonical bytes reopen into a Source whose
+			// analyses and renderings match the in-RAM trace exactly.
+			var raw bytes.Buffer
+			if err := trace.WriteSpill(&raw, tr); err != nil {
+				t.Fatal(err)
+			}
+			sp, err := trace.OpenSpill(bytes.NewReader(raw.Bytes()), int64(raw.Len()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := trace.NumEventsOf(sp); got != len(events) {
+				t.Fatalf("spill holds %d events, trace %d", got, len(events))
+			}
+			assertSourcesAgree(t, tr, sp)
+
+			var again bytes.Buffer
+			if err := trace.WriteSpill(&again, sp); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw.Bytes(), again.Bytes()) {
+				t.Fatal("re-serializing the reopened spill changed the bytes")
+			}
+		})
+	}
+}
+
+// assertSourcesAgree requires every analysis and renderer to produce
+// identical results over the two sources.
+func assertSourcesAgree(t *testing.T, a, b trace.Source) {
+	t.Helper()
+	cpA, errA := trace.CriticalPathOf(a)
+	cpB, errB := trace.CriticalPathOf(b)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(cpA, cpB) {
+		t.Fatal("critical paths differ between sources")
+	}
+	bdA, errA := trace.BreakdownOf(a)
+	bdB, errB := trace.BreakdownOf(b)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(bdA, bdB) {
+		t.Fatal("breakdowns differ between sources")
+	}
+	hrA, errA := trace.HRelationsOf(a)
+	hrB, errB := trace.HRelationsOf(b)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(hrA, hrB) {
+		t.Fatal("h-relations differ between sources")
+	}
+	if !reflect.DeepEqual(trace.StragglersOf(a), trace.StragglersOf(b)) {
+		t.Fatal("stragglers differ between sources")
+	}
+	ruA, errA := trace.RollupOf(a, trace.RollupOptions{})
+	ruB, errB := trace.RollupOf(b, trace.RollupOptions{})
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(ruA, ruB) {
+		t.Fatal("rollups differ between sources")
+	}
+	var evA, evB bytes.Buffer
+	if err := trace.WriteEvents(&evA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteEvents(&evB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(evA.Bytes(), evB.Bytes()) {
+		t.Fatal("event renderings differ between sources")
+	}
+	var chA, chB bytes.Buffer
+	if err := trace.WriteChrome(&chA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(&chB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chA.Bytes(), chB.Bytes()) {
+		t.Fatal("chrome renderings differ between sources")
+	}
+	var rpA, rpB bytes.Buffer
+	if err := trace.WriteReport(&rpA, a, trace.ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteReport(&rpB, b, trace.ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rpA.Bytes(), rpB.Bytes()) {
+		t.Fatal("reports differ between sources")
+	}
+}
+
+// TestSpilledRunStreamsDuringTheRun pins the spill sink mechanics on a small
+// run: SpillTo arms one run, lanes flush mid-run at the chunk size, the
+// recorder refuses to materialize the spilled run (ErrSpilled), and the file
+// reopens into a Source whose analyses match an identical in-RAM run.
+func TestSpilledRunStreamsDuringTheRun(t *testing.T) {
+	const procs, seed = 64, 9
+	path := filepath.Join(t.TempDir(), "run.hbsptrc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	rec.SpillTo(f, trace.SpillOptions{ChunkEvents: 16})
+	res := runDissemination(t, procs, seed, 2, rec)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("spill error: %v", err)
+	}
+	if _, err := rec.Trace(); err != trace.ErrSpilled {
+		t.Fatalf("Trace() after a spilled run = %v, want ErrSpilled", err)
+	}
+	chunks, events, _ := rec.SpillStats()
+	if chunks <= procs {
+		t.Fatalf("only %d chunks for %d lanes — nothing flushed mid-run", chunks, procs)
+	}
+
+	sp, err := trace.OpenSpillFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if int64(trace.NumEventsOf(sp)) != events {
+		t.Fatalf("spill file holds %d events, sink reported %d", trace.NumEventsOf(sp), events)
+	}
+	if sp.RunSummary().MakeSpan != res.MakeSpan {
+		t.Fatalf("spilled makespan %v != run makespan %v", sp.RunSummary().MakeSpan, res.MakeSpan)
+	}
+
+	// An identical run recorded in RAM must agree analysis-for-analysis.
+	rec2 := trace.NewRecorder()
+	runDissemination(t, procs, seed, 2, rec2)
+	tr, err := rec2.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSourcesAgree(t, tr, sp)
+
+	// The recorder is reusable after a spilled run.
+	runDissemination(t, 8, 1, 1, rec)
+	if tr3, err := rec.Trace(); err != nil || tr3.NumLanes() != 8 {
+		t.Fatalf("recorder did not recover after a spilled run: %v", err)
+	}
+}
+
+// TestSpillBackedP65536 is the acceptance scale point: a traced P=65536
+// dissemination sync completes with bounded recorder memory — lanes stream
+// to disk at the chunk size instead of accumulating — and the streaming
+// critical path and rollup run directly off the file.
+func TestSpillBackedP65536(t *testing.T) {
+	if testing.Short() {
+		t.Skip("P=65536 traced run in -short mode")
+	}
+	const procs = 65536
+	path := filepath.Join(t.TempDir(), "run.hbsptrc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	// 24-event chunks bound resident recorder memory at ~procs×24 events
+	// (~100 MB would be the un-spilled footprint; resident stays ~1/4 of
+	// a full run's events) while exercising many mid-run flushes per lane.
+	rec.SpillTo(f, trace.SpillOptions{ChunkEvents: 24})
+	res := runDissemination(t, procs, 3, 1, rec)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("spill error: %v", err)
+	}
+	chunks, events, bytesOut := rec.SpillStats()
+	if chunks <= procs {
+		t.Fatalf("only %d chunks for %d lanes — lanes were not streamed during the run", chunks, procs)
+	}
+	if events < int64(procs) {
+		t.Fatalf("suspiciously few events spilled: %d", events)
+	}
+	t.Logf("P=%d: %d events in %d chunks, %d spill bytes", procs, events, chunks, bytesOut)
+
+	sp, err := trace.OpenSpillFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	cp, err := trace.CriticalPathOf(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.End != res.MakeSpan {
+		t.Fatalf("critical path end %v != makespan %v", cp.End, res.MakeSpan)
+	}
+	ru, err := trace.RollupOf(sp, trace.RollupOptions{TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rollup.Events counts non-mark events; the stream also carries one
+	// stage mark per rank per stage.
+	if ru.Events <= 0 || int64(ru.Events) >= events || len(ru.TopSlack) != 8 {
+		t.Fatalf("rollup covers %d of %d events with %d slack ranks", ru.Events, events, len(ru.TopSlack))
+	}
+}
+
+func tName(p int) string {
+	switch p {
+	case 16:
+		return "p16"
+	case 256:
+		return "p256"
+	default:
+		return "p4096"
+	}
+}

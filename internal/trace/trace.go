@@ -7,11 +7,20 @@
 // The recorder is built for the simulator's concurrency model: every rank is
 // driven by exactly one goroutine, so events are appended to per-rank
 // append-only lanes without any locking or atomics on the hot path. Lanes are
-// padded to a cache line so neighbouring ranks do not false-share. After the
-// run the lanes are merged deterministically — per-lane order is the rank's
-// own deterministic clock order, and the merge is a pure function of the
-// event times — so two runs with the same machine seed produce byte-identical
-// traces regardless of goroutine scheduling.
+// stored columnar (struct of arrays): one parallel array per event field, so
+// an analysis pass touching two fields streams two dense arrays instead of
+// striding through 80-byte structs, and the spill format can encode each
+// column with the encoding that fits it. After the run the lanes are read in
+// deterministic order — per-lane order is the rank's own deterministic clock
+// order, and every merged view is a pure function of the event times — so
+// two runs with the same machine seed produce byte-identical traces
+// regardless of goroutine scheduling.
+//
+// Large runs do not have to hold their lanes in RAM: SpillTo arranges for
+// full column chunks to be encoded and streamed to a writer during the run
+// (see spill.go for the format), bounding resident recorder memory at
+// roughly Procs × ChunkEvents events; the analyses then run directly off the
+// spill file through the same Source interface the in-RAM Trace implements.
 //
 // A nil *Recorder (the exported Disabled) is valid and records nothing; the
 // simulator's per-event cost in that mode is a single pointer test against a
@@ -20,6 +29,7 @@ package trace
 
 import (
 	"errors"
+	"io"
 	"sort"
 	"sync"
 )
@@ -37,7 +47,8 @@ const (
 	// KindRecvWait is an interval the rank spent blocked completing a
 	// receive. Gated tells whether the message's arrival ended the wait (the
 	// sender gated this rank) or a local port did; SendSeq links to the
-	// matching KindSend event in Peer's lane.
+	// matching KindSend event in Peer's lane and SendEnd carries that send's
+	// injection end time, so analyses never have to chase the link.
 	KindRecvWait
 	// KindSendWait is an interval the rank spent blocked completing a send
 	// (port occupancy and, in ack mode, the returning acknowledgement).
@@ -56,6 +67,7 @@ const (
 	// penalty plus the recompute time back to the last checkpoint. Both
 	// engines record it at the clock advance that crossed the fail time.
 	KindFault
+	numKinds
 )
 
 // String returns the compact name used by the exporters.
@@ -80,6 +92,9 @@ func (k Kind) String() string {
 	}
 	return "unknown"
 }
+
+// flagGated is the Cols.Flags bit recording Event.Gated.
+const flagGated uint8 = 1
 
 // Event is one recorded observation. All times are virtual seconds. The zero
 // Step is superstep 0; Stage is -1 outside collective-schedule execution;
@@ -113,6 +128,10 @@ type Event struct {
 	// Arrival is the matched message's arrival time at the receiver
 	// (KindSend and KindRecvWait events).
 	Arrival float64
+	// SendEnd is, for KindRecvWait, the injection end time (T1) of the
+	// KindSend event SendSeq points at, carried on the message itself so
+	// consumers of a single lane never dereference a peer lane; 0 otherwise.
+	SendEnd float64
 }
 
 // Duration returns T1 - T0.
@@ -140,24 +159,196 @@ type Meta struct {
 	Faults []string
 }
 
-// Lane is one rank's append-only event stream. A lane is written by exactly
-// one goroutine (the rank's) and must not be read until the run has ended.
-// The trailing padding keeps neighbouring lanes on distinct cache lines.
+// Summary carries the run-level result data beside the lanes: per-rank final
+// times, the makespan, traffic totals, the superstep bucket count and the
+// run error (as text, so the spill format can round-trip it).
+type Summary struct {
+	// Times are the per-rank final virtual times (nil when the run failed
+	// before producing a result).
+	Times []float64
+	// MakeSpan is the run's virtual makespan.
+	MakeSpan float64
+	// Messages and Bytes total the delivered traffic.
+	Messages int64
+	Bytes    int64
+	// Steps is the number of superstep buckets the trace covers: one more
+	// than the highest Step stamped on any event.
+	Steps int
+	// ErrMsg is the run error's text, "" on clean runs.
+	ErrMsg string
+}
+
+// Cols is the columnar (struct-of-arrays) storage of a run of events: one
+// parallel array per Event field, indexed by the event's position in its
+// lane. Flags packs the boolean fields (flagGated).
+type Cols struct {
+	Kind    []Kind
+	Flags   []uint8
+	Peer    []int32
+	Tag     []int32
+	Size    []int32
+	Step    []int32
+	Stage   []int32
+	SendSeq []int32
+	T0      []float64
+	T1      []float64
+	Arrival []float64
+	SendEnd []float64
+}
+
+// Len returns the number of events stored.
+func (c *Cols) Len() int { return len(c.Kind) }
+
+// append pushes one event onto every column.
+func (c *Cols) append(ev *Event) {
+	var fl uint8
+	if ev.Gated {
+		fl = flagGated
+	}
+	c.Kind = append(c.Kind, ev.Kind)
+	c.Flags = append(c.Flags, fl)
+	c.Peer = append(c.Peer, ev.Peer)
+	c.Tag = append(c.Tag, ev.Tag)
+	c.Size = append(c.Size, ev.Size)
+	c.Step = append(c.Step, ev.Step)
+	c.Stage = append(c.Stage, ev.Stage)
+	c.SendSeq = append(c.SendSeq, ev.SendSeq)
+	c.T0 = append(c.T0, ev.T0)
+	c.T1 = append(c.T1, ev.T1)
+	c.Arrival = append(c.Arrival, ev.Arrival)
+	c.SendEnd = append(c.SendEnd, ev.SendEnd)
+}
+
+// Event materializes event i, stamping the given lane rank.
+func (c *Cols) Event(i int, rank int32) Event {
+	return Event{
+		Kind:    c.Kind[i],
+		Gated:   c.Flags[i]&flagGated != 0,
+		Rank:    rank,
+		Peer:    c.Peer[i],
+		Tag:     c.Tag[i],
+		Size:    c.Size[i],
+		Step:    c.Step[i],
+		Stage:   c.Stage[i],
+		SendSeq: c.SendSeq[i],
+		T0:      c.T0[i],
+		T1:      c.T1[i],
+		Arrival: c.Arrival[i],
+		SendEnd: c.SendEnd[i],
+	}
+}
+
+// truncate empties every column, keeping the backing arrays for reuse.
+func (c *Cols) truncate() {
+	c.Kind = c.Kind[:0]
+	c.Flags = c.Flags[:0]
+	c.Peer = c.Peer[:0]
+	c.Tag = c.Tag[:0]
+	c.Size = c.Size[:0]
+	c.Step = c.Step[:0]
+	c.Stage = c.Stage[:0]
+	c.SendSeq = c.SendSeq[:0]
+	c.T0 = c.T0[:0]
+	c.T1 = c.T1[:0]
+	c.Arrival = c.Arrival[:0]
+	c.SendEnd = c.SendEnd[:0]
+}
+
+// grow pre-sizes empty columns for n events (the lane-pool size estimate).
+func (c *Cols) grow(n int) {
+	if n <= 0 {
+		return
+	}
+	c.Kind = make([]Kind, 0, n)
+	c.Flags = make([]uint8, 0, n)
+	c.Peer = make([]int32, 0, n)
+	c.Tag = make([]int32, 0, n)
+	c.Size = make([]int32, 0, n)
+	c.Step = make([]int32, 0, n)
+	c.Stage = make([]int32, 0, n)
+	c.SendSeq = make([]int32, 0, n)
+	c.T0 = make([]float64, 0, n)
+	c.T1 = make([]float64, 0, n)
+	c.Arrival = make([]float64, 0, n)
+	c.SendEnd = make([]float64, 0, n)
+}
+
+// slice returns a view of events [i, j) as a Cols header sharing c's
+// arrays.
+func (c *Cols) slice(i, j int) Cols {
+	return Cols{
+		Kind:    c.Kind[i:j],
+		Flags:   c.Flags[i:j],
+		Peer:    c.Peer[i:j],
+		Tag:     c.Tag[i:j],
+		Size:    c.Size[i:j],
+		Step:    c.Step[i:j],
+		Stage:   c.Stage[i:j],
+		SendSeq: c.SendSeq[i:j],
+		T0:      c.T0[i:j],
+		T1:      c.T1[i:j],
+		Arrival: c.Arrival[i:j],
+		SendEnd: c.SendEnd[i:j],
+	}
+}
+
+// appendCols appends src's events onto c (the chunk-concatenation path of
+// the spill reader).
+func (c *Cols) appendCols(src *Cols) {
+	c.Kind = append(c.Kind, src.Kind...)
+	c.Flags = append(c.Flags, src.Flags...)
+	c.Peer = append(c.Peer, src.Peer...)
+	c.Tag = append(c.Tag, src.Tag...)
+	c.Size = append(c.Size, src.Size...)
+	c.Step = append(c.Step, src.Step...)
+	c.Stage = append(c.Stage, src.Stage...)
+	c.SendSeq = append(c.SendSeq, src.SendSeq...)
+	c.T0 = append(c.T0, src.T0...)
+	c.T1 = append(c.T1, src.T1...)
+	c.Arrival = append(c.Arrival, src.Arrival...)
+	c.SendEnd = append(c.SendEnd, src.SendEnd...)
+}
+
+// Lane is one rank's append-only event stream, stored columnar. A lane is
+// written by exactly one goroutine (the rank's) and must not be read until
+// the run has ended. On spill-backed runs a lane flushes full column chunks
+// to the shared sink, so only the current chunk stays resident.
 type Lane struct {
-	rank int32
-	ev   []Event
-	_    [32]byte // rank + slice header are 32 bytes; pad the struct to 64
+	c     Cols
+	rank  int32
+	chunk int32      // spill chunk size in events, 0 when not spilling
+	base  int32      // events already flushed to the spill sink
+	sink  *spillSink // shared chunk writer, nil when not spilling
+	// Pad the struct to a multiple of 64 bytes so neighbouring lanes in the
+	// recorder's lane array do not false-share a cache line while their
+	// ranks append concurrently.
+	_ [48]byte
 }
 
 // Append records one event, stamping the lane's rank.
 func (l *Lane) Append(ev Event) {
 	ev.Rank = l.rank
-	l.ev = append(l.ev, ev)
+	l.c.append(&ev)
+	if l.sink != nil && int32(l.c.Len()) >= l.chunk {
+		l.flush()
+	}
 }
 
-// Len returns the number of events recorded so far; the simulator uses it to
-// link a message to the send event about to be appended.
-func (l *Lane) Len() int { return len(l.ev) }
+// Len returns the number of events recorded so far (including spilled ones);
+// the simulator uses it to link a message to the send event about to be
+// appended.
+func (l *Lane) Len() int { return int(l.base) + l.c.Len() }
+
+// flush hands the lane's resident columns to the spill sink and truncates
+// them. The sink serializes concurrent lane flushes internally.
+func (l *Lane) flush() {
+	if l.c.Len() == 0 {
+		return
+	}
+	l.sink.writeChunk(l.rank, &l.c)
+	l.base += int32(l.c.Len())
+	l.c.truncate()
+}
 
 // Disabled is the nil recorder: attaching it to a run records nothing, and
 // the simulator's per-event cost is a single nil test.
@@ -170,6 +361,11 @@ var ErrNoRun = errors.New("trace: recorder holds no completed run (attach it to 
 // rank goroutines possibly still running (a wall-clock deadline with an
 // uninterruptible rank); such lanes cannot be read safely.
 var ErrUnclean = errors.New("trace: run was torn down before every rank stopped; trace discarded")
+
+// ErrSpilled is returned by Trace when the recorded run streamed its lanes
+// to a spill sink (SpillTo): the events live in the spill file, not in RAM —
+// open it with OpenSpillFile and analyze the returned Source.
+var ErrSpilled = errors.New("trace: run was spilled to disk; open the spill file instead of Trace()")
 
 // Recorder accumulates the events of one simulation run. Create one with
 // NewRecorder, attach it via the run options (hbsp.WithRecorder or
@@ -191,6 +387,17 @@ type Recorder struct {
 	messages int64
 	bytes    int64
 	runErr   error
+
+	// Spill state: armedW/armedOpts hold a SpillTo target until the next
+	// BeginRun consumes it (one run per SpillTo call); sink is the live
+	// chunk writer of the current run; spilled marks the sealed run as
+	// spill-backed (Trace returns ErrSpilled); spillErr is the first write
+	// or finalization error.
+	armedW    io.Writer
+	armedOpts SpillOptions
+	sink      *spillSink
+	spilled   bool
+	spillErr  error
 }
 
 // NewRecorder returns an empty recorder.
@@ -211,17 +418,62 @@ func (r *Recorder) SetLabel(label string) {
 // for the nil recorder (Disabled).
 func (r *Recorder) Enabled() bool { return r != nil }
 
+// SpillTo arranges for the NEXT recorded run to stream its lanes to w in the
+// binary spill format instead of holding them in RAM: whenever a lane
+// accumulates ChunkEvents resident events its columns are encoded and
+// written out, bounding recorder memory at roughly Procs × ChunkEvents
+// events. The run's summary, the chunk index and the footer are written when
+// the engine seals the run (EndRun); check SpillErr afterwards and open the
+// result with OpenSpillFile/OpenSpill. After a spilled run, Trace returns
+// ErrSpilled. The arrangement is one-shot: the run after the spilled one
+// records in RAM again unless SpillTo is called again.
+func (r *Recorder) SpillTo(w io.Writer, opts SpillOptions) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.armedW = w
+	r.armedOpts = opts
+	r.spillErr = nil
+	r.mu.Unlock()
+}
+
+// SpillErr returns the first error of the current spill (write failure, or
+// ErrUnclean when the run's teardown left lanes unreadable), nil on success.
+func (r *Recorder) SpillErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spillErr
+}
+
+// SpillStats reports what the last spilled run wrote: encoded chunks, events
+// and payload bytes (0s when the run did not spill).
+func (r *Recorder) SpillStats() (chunks int, events, bytes int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return 0, 0, 0
+	}
+	return r.sink.stats()
+}
+
 // BeginRun resets the recorder for a run with the given metadata and sizes
 // one lane per rank. The simulator calls it; user code does not.
 //
 // Lane storage is pooled: when the previous run's lanes were never exported
 // through Trace (the benchmark and sweep pattern — run, read the Result,
-// run again), their event blocks are truncated and reused, so a recorder in
+// run again), their column blocks are truncated and reused, so a recorder in
 // steady state appends into already-sized lanes and allocates nothing. Once
 // Trace has been called, the lanes are shared with the returned view and the
 // next run allocates fresh ones — pre-sized from the previous run's per-rank
 // event counts, so even the exporting pattern pays one right-sized
-// allocation per lane instead of a growth series.
+// allocation series per lane instead of a growth series.
 func (r *Recorder) BeginRun(meta Meta) {
 	if r == nil {
 		return
@@ -238,6 +490,19 @@ func (r *Recorder) BeginRun(meta Meta) {
 	r.times = nil
 	r.makespan = 0
 	r.messages, r.bytes = 0, 0
+
+	r.sink = nil
+	r.spilled = false
+	if r.armedW != nil {
+		r.sink, r.spillErr = newSpillSink(r.armedW, r.meta)
+		r.spilled = true
+		r.armedW = nil
+	}
+	chunk := int32(0)
+	if r.sink != nil {
+		chunk = int32(r.armedOpts.chunkFor(meta.Procs))
+	}
+
 	if len(r.lanes) == meta.Procs {
 		// Remember the finished run's event counts: they are the size
 		// estimate the next allocation (if any) is seeded with.
@@ -245,22 +510,27 @@ func (r *Recorder) BeginRun(meta Meta) {
 			r.prevLens = make([]int, meta.Procs)
 		}
 		for i := range r.lanes {
-			r.prevLens[i] = len(r.lanes[i].ev)
+			r.prevLens[i] = r.lanes[i].Len()
 		}
 	}
 	if !r.exported && len(r.lanes) == meta.Procs {
 		for i := range r.lanes {
-			r.lanes[i].ev = r.lanes[i].ev[:0]
-			r.lanes[i].rank = int32(i)
+			l := &r.lanes[i]
+			l.c.truncate()
+			l.rank = int32(i)
+			l.base = 0
+			l.sink, l.chunk = r.sink, chunk
 		}
 		return
 	}
 	r.exported = false
 	r.lanes = make([]Lane, meta.Procs)
 	for i := range r.lanes {
-		r.lanes[i].rank = int32(i)
-		if len(r.prevLens) == meta.Procs && r.prevLens[i] > 0 {
-			r.lanes[i].ev = make([]Event, 0, r.prevLens[i])
+		l := &r.lanes[i]
+		l.rank = int32(i)
+		l.sink, l.chunk = r.sink, chunk
+		if r.sink == nil && len(r.prevLens) == meta.Procs && r.prevLens[i] > 0 {
+			l.c.grow(r.prevLens[i])
 		}
 	}
 }
@@ -274,6 +544,8 @@ func (r *Recorder) LaneOf(rank int) *Lane {
 // EndRun seals the current run with its result. clean must be false when the
 // teardown could have left rank goroutines running (their lanes may still be
 // written to and are discarded). The simulator calls it; user code does not.
+// On spill-backed runs EndRun flushes the remaining lane chunks and writes
+// the summary, index and footer, completing the spill file.
 func (r *Recorder) EndRun(times []float64, makespan float64, messages, bytes int64, runErr error, clean bool) {
 	if r == nil {
 		return
@@ -290,12 +562,35 @@ func (r *Recorder) EndRun(times []float64, makespan float64, messages, bytes int
 	r.messages, r.bytes = messages, bytes
 	if r.unclean {
 		r.lanes = nil
+		if r.sink != nil && r.spillErr == nil {
+			r.spillErr = ErrUnclean
+		}
+		return
+	}
+	if r.sink != nil {
+		// Flush the per-lane remainders in rank order (deterministic tail
+		// layout), then seal the file.
+		laneLens := make([]int, len(r.lanes))
+		for i := range r.lanes {
+			r.lanes[i].flush()
+			laneLens[i] = r.lanes[i].Len()
+		}
+		errMsg := ""
+		if runErr != nil {
+			errMsg = runErr.Error()
+		}
+		sum := Summary{Times: r.times, MakeSpan: makespan, Messages: messages,
+			Bytes: bytes, Steps: r.sink.steps(), ErrMsg: errMsg}
+		if err := r.sink.finish(sum); err != nil && r.spillErr == nil {
+			r.spillErr = err
+		}
 	}
 }
 
 // Trace merges the recorded lanes into the analyzable, deterministic view of
 // the run. It may be called any number of times; each call builds a fresh
-// Trace from the sealed lanes.
+// Trace from the sealed lanes. On spill-backed runs it returns ErrSpilled:
+// the events live in the spill file.
 func (r *Recorder) Trace() (*Trace, error) {
 	if r == nil {
 		return nil, ErrNoRun
@@ -308,31 +603,53 @@ func (r *Recorder) Trace() (*Trace, error) {
 	if r.unclean {
 		return nil, ErrUnclean
 	}
+	if r.spilled {
+		return nil, ErrSpilled
+	}
 	// The returned view shares the lane storage; the next BeginRun must
 	// allocate fresh lanes instead of truncating these.
 	r.exported = true
 	t := &Trace{
 		Meta:     r.meta,
-		Lanes:    make([][]Event, len(r.lanes)),
 		Times:    append([]float64(nil), r.times...),
 		MakeSpan: r.makespan,
 		Messages: r.messages,
 		Bytes:    r.bytes,
 		Err:      r.runErr,
+		lanes:    make([]Cols, len(r.lanes)),
 	}
 	for i := range r.lanes {
-		t.Lanes[i] = r.lanes[i].ev
+		t.lanes[i] = r.lanes[i].c
 	}
 	return t, nil
+}
+
+// Source is the lane-level view of one recorded run that every analysis,
+// exporter and rollup consumes: run metadata, the run summary, and ordered
+// per-lane column access. Both the in-RAM *Trace and the spill-backed
+// *Spill implement it, so a P=65536 run analyzed off disk flows through the
+// same single-pass consumers as a P=16 run held in memory.
+type Source interface {
+	// RunMeta returns the run's metadata.
+	RunMeta() Meta
+	// RunSummary returns the run-level result data.
+	RunSummary() Summary
+	// NumLanes returns the lane (rank) count.
+	NumLanes() int
+	// LaneLen returns the number of events in rank's lane without decoding
+	// it.
+	LaneLen(rank int) int
+	// LaneCols returns rank's columns in lane (clock) order. The returned
+	// view is valid until the next LaneCols call on the same source —
+	// spill readers rotate a small decode cache — so consumers stream one
+	// lane at a time and must not retain it.
+	LaneCols(rank int) (*Cols, error)
 }
 
 // Trace is the merged, immutable view of one recorded run.
 type Trace struct {
 	// Meta labels the run (procs, seed, machine, workload).
 	Meta Meta
-	// Lanes holds each rank's events in that rank's own clock order. The
-	// slices are shared with the recorder; treat them as read-only.
-	Lanes [][]Event
 	// Times are the per-rank final virtual times of the run (nil when the
 	// run failed before producing a result).
 	Times []float64
@@ -344,6 +661,10 @@ type Trace struct {
 	// Err is the run's error, if any.
 	Err error
 
+	// lanes holds each rank's columns in that rank's own clock order. The
+	// arrays are shared with the recorder; treat them as read-only.
+	lanes []Cols
+
 	// cp memoizes CriticalPath: the trace is immutable, every consumer
 	// (report, CLI assert, experiment series) wants the same chain, and the
 	// walk is O(events). Guarded by a Once so a Trace is safe to analyze
@@ -352,18 +673,47 @@ type Trace struct {
 	cp     *CriticalPath
 }
 
+// RunMeta implements Source.
+func (t *Trace) RunMeta() Meta { return t.Meta }
+
+// RunSummary implements Source.
+func (t *Trace) RunSummary() Summary {
+	errMsg := ""
+	if t.Err != nil {
+		errMsg = t.Err.Error()
+	}
+	return Summary{Times: t.Times, MakeSpan: t.MakeSpan, Messages: t.Messages,
+		Bytes: t.Bytes, Steps: t.Steps(), ErrMsg: errMsg}
+}
+
+// NumLanes returns the lane (rank) count.
+func (t *Trace) NumLanes() int { return len(t.lanes) }
+
+// LaneLen returns the number of events in rank's lane.
+func (t *Trace) LaneLen(rank int) int { return t.lanes[rank].Len() }
+
+// LaneCols returns rank's columns; for an in-RAM trace the view stays valid
+// for the trace's lifetime.
+func (t *Trace) LaneCols(rank int) (*Cols, error) { return &t.lanes[rank], nil }
+
+// LaneEvents materializes rank's lane as an event slice, in lane order.
+func (t *Trace) LaneEvents(rank int) []Event {
+	c := &t.lanes[rank]
+	out := make([]Event, c.Len())
+	for i := range out {
+		out[i] = c.Event(i, int32(rank))
+	}
+	return out
+}
+
 // Events returns all lanes merged into one deterministic stream, ordered by
 // (T0, T1, rank, per-rank sequence). Because each lane is deterministic and
 // the key is a pure function of the events, repeated runs with the same seed
 // yield identical streams.
 func (t *Trace) Events() []Event {
-	n := 0
-	for _, l := range t.Lanes {
-		n += len(l)
-	}
-	out := make([]Event, 0, n)
-	for _, l := range t.Lanes {
-		out = append(out, l...)
+	out := make([]Event, 0, t.NumEvents())
+	for rank := range t.lanes {
+		out = append(out, t.LaneEvents(rank)...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := &out[i], &out[j]
@@ -381,8 +731,8 @@ func (t *Trace) Events() []Event {
 // NumEvents returns the total event count across all lanes.
 func (t *Trace) NumEvents() int {
 	n := 0
-	for _, l := range t.Lanes {
-		n += len(l)
+	for i := range t.lanes {
+		n += t.lanes[i].Len()
 	}
 	return n
 }
@@ -392,12 +742,21 @@ func (t *Trace) NumEvents() int {
 // final boundary mark still land in a bucket of their own.
 func (t *Trace) Steps() int {
 	max := int32(0)
-	for _, l := range t.Lanes {
-		for i := range l {
-			if l[i].Step > max {
-				max = l[i].Step
+	for i := range t.lanes {
+		for _, s := range t.lanes[i].Step {
+			if s > max {
+				max = s
 			}
 		}
 	}
 	return int(max) + 1
+}
+
+// NumEventsOf totals the lane lengths of any source.
+func NumEventsOf(src Source) int {
+	n := 0
+	for rank := 0; rank < src.NumLanes(); rank++ {
+		n += src.LaneLen(rank)
+	}
+	return n
 }

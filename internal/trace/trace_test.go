@@ -183,8 +183,8 @@ func TestCriticalPathOnMPIBarrier(t *testing.T) {
 	}
 	// A dissemination barrier's stages must show up as stage marks.
 	stages := map[int32]bool{}
-	for _, lane := range tr.Lanes {
-		for _, ev := range lane {
+	for r := 0; r < tr.NumLanes(); r++ {
+		for _, ev := range tr.LaneEvents(r) {
 			if ev.Kind == trace.KindStage {
 				stages[ev.Stage] = true
 			}
@@ -341,8 +341,8 @@ func TestRecorderReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Meta.Procs != 8 || len(tr.Lanes) != 8 {
-		t.Fatalf("recorder holds procs=%d lanes=%d, want the last run's 8", tr.Meta.Procs, len(tr.Lanes))
+	if tr.Meta.Procs != 8 || tr.NumLanes() != 8 {
+		t.Fatalf("recorder holds procs=%d lanes=%d, want the last run's 8", tr.Meta.Procs, tr.NumLanes())
 	}
 }
 
