@@ -46,6 +46,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"testing"
 
@@ -92,8 +93,19 @@ func main() {
 	out := flag.String("out", "BENCH_simnet.json", "output JSON path")
 	diff := flag.String("diff", "", "baseline JSON to compare allocs/op against (CI regression gate)")
 	tol := flag.Float64("tol", 0.10, "relative allocs/op tolerance for -diff")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	testing.Init()
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("simbench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("simbench: -cpuprofile: %v", err)
+		}
+	}
 	if *quick {
 		// One iteration per benchmark instead of the 1s default.
 		if err := flag.Set("test.benchtime", "1x"); err != nil {
@@ -127,6 +139,8 @@ func main() {
 		emit(benchSyncDE(m, *quick))
 		emit(benchSyncFault(m, *quick))
 		emit(benchTotalExchangeDE(m, *quick))
+		emit(benchSweepBytesDE(m, *quick))
+		emit(benchSweepScaleDE(p, *quick))
 	}
 	symSweep := []int{65536, 262144}
 	if *quick {
@@ -136,6 +150,7 @@ func main() {
 		m := symMachine(p)
 		emit(benchSyncSym(m, *quick))
 		emit(benchTotalExchangeSym(m, *quick))
+		emit(benchSweepBytesSym(m, *quick))
 	}
 	if !*quick {
 		// The headline scaling point: one superstep count exchange at a
@@ -159,6 +174,21 @@ func main() {
 		log.Fatalf("simbench: %v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("simbench: -memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("simbench: -memprofile: %v", err)
+		}
+		f.Close()
+	}
 
 	if *diff != "" {
 		if err := diffAllocs(*diff, entries, *tol); err != nil {
@@ -459,4 +489,157 @@ func benchTotalExchangeSym(m *cluster.Machine, quick bool) Entry {
 		}
 		return res.Messages, nil
 	})
+}
+
+// sweepEvalOptions mirrors RunSchedule's conventions (acks on, empty stages
+// pay a compute draw, default deadline), so every point of the sweep entries
+// is bit-identical to an independent sched.RunSchedule call — the contract
+// the cross-engine sweep goldens pin.
+func sweepEvalOptions() sched.SweepOptions {
+	o := sim.DefaultOptions()
+	return sched.SweepOptions{
+		AckSends:         o.AckSends,
+		SymmetryCollapse: o.SymmetryCollapse,
+		ComputeEmpty:     true,
+		Deadline:         o.Deadline,
+	}
+}
+
+// sweepPoints is the point count of the sweep entries: the 64-point sweeps
+// the incremental evaluator targets, cut down in quick mode.
+func sweepPoints(quick bool) int {
+	if quick {
+		return 8
+	}
+	return 64
+}
+
+// perPoint renormalizes a whole-sweep measurement to per-point figures, the
+// unit the sweep_* entries report so they compare directly against the
+// single-point entries (total_exchange_de evaluates one point per op).
+func perPoint(e Entry, points int) Entry {
+	e.NsPerOp /= float64(points)
+	e.AllocsPerOp /= int64(points)
+	e.BytesPerOp /= int64(points)
+	return e
+}
+
+// benchSweepBytesDE measures a bytes-axis sweep — sweepPoints distinct
+// total-exchange payloads at one rank count — through a single reused
+// sched.SweepEvaluator on the heterogeneous Xeon machine. After the first
+// point the evaluator re-prices the message terms of its memoized circulant
+// term tape instead of re-simulating every edge, so the per-point ns/op
+// against total_exchange_de (one independent evaluation per op) is the
+// incremental-reuse speedup the sweep paths ship.
+func benchSweepBytesDE(m *cluster.Machine, quick bool) Entry {
+	p := m.Procs()
+	points := sweepPoints(quick)
+	payloads := make([]int, points)
+	for i := range payloads {
+		payloads[i] = 16 * (i + 1)
+	}
+	sw, err := sched.NewSweepEvaluator(m, sweepEvalOptions())
+	if err != nil {
+		log.Fatalf("simbench: sweep evaluator for %d ranks: %v", p, err)
+	}
+	defer sw.Release()
+	e := run("sweep_bytes_de", p, quick, func() (int64, error) {
+		var msgs int64
+		for _, pl := range payloads {
+			s, err := collective.StreamTotalExchange(p, pl)
+			if err != nil {
+				return 0, err
+			}
+			res, err := sw.Run(context.Background(), m, s, 1)
+			if err != nil {
+				return 0, err
+			}
+			msgs += res.Messages
+		}
+		return msgs, nil
+	})
+	return perPoint(e, points)
+}
+
+// benchSweepScaleDE measures a LogGP-scale sweep: sweepPoints points cycling
+// through eight uniform link scalings of the Xeon profile, evaluated on one
+// reused SweepEvaluator at a fixed payload. Every point re-prices the full
+// term tape (a uniform scaling touches every stage), so this entry tracks the
+// dirty-stage re-pricing cost, where sweep_bytes_de tracks the cheaper
+// message-term path.
+func benchSweepScaleDE(procs int, quick bool) Entry {
+	points := sweepPoints(quick)
+	factors := [...]float64{1, 1.25, 1.5, 2, 0.75, 0.5, 3, 1.1}
+	nodes := (procs + 7) / 8
+	if nodes < 1 {
+		nodes = 1
+	}
+	prof := cluster.XeonCluster(nodes)
+	prof.NoiseRel = 0 // the shared benchmark machine is noise-free
+	base, err := prof.Machine(procs)
+	if err != nil {
+		log.Fatalf("simbench: machine for %d ranks: %v", procs, err)
+	}
+	machines := make([]*cluster.Machine, len(factors))
+	for i, f := range factors {
+		machines[i], err = prof.Scaled(f, f, f, f).Machine(procs)
+		if err != nil {
+			log.Fatalf("simbench: scaled machine for %d ranks: %v", procs, err)
+		}
+	}
+	stream, err := collective.StreamTotalExchange(procs, 64)
+	if err != nil {
+		log.Fatalf("simbench: streaming total exchange for %d ranks: %v", procs, err)
+	}
+	sw, err := sched.NewSweepEvaluator(base, sweepEvalOptions())
+	if err != nil {
+		log.Fatalf("simbench: sweep evaluator for %d ranks: %v", procs, err)
+	}
+	defer sw.Release()
+	e := run("sweep_scale_de", procs, quick, func() (int64, error) {
+		var msgs int64
+		for i := 0; i < points; i++ {
+			res, err := sw.Run(context.Background(), machines[i%len(factors)], stream, 1)
+			if err != nil {
+				return 0, err
+			}
+			msgs += res.Messages
+		}
+		return msgs, nil
+	})
+	return perPoint(e, points)
+}
+
+// benchSweepBytesSym is the bytes-axis sweep on the flat homogeneous machine:
+// the symmetry collapse evaluates one representative rank per circulant stage
+// and the sweep evaluator replays its collapsed term tape across payloads, so
+// the per-point cost at P=65536+ is dominated by the O(P) result replication.
+func benchSweepBytesSym(m *cluster.Machine, quick bool) Entry {
+	p := m.Procs()
+	points := sweepPoints(quick)
+	payloads := make([]int, points)
+	for i := range payloads {
+		payloads[i] = 16 * (i + 1)
+	}
+	sw, err := sched.NewSweepEvaluator(m, sweepEvalOptions())
+	if err != nil {
+		log.Fatalf("simbench: sweep evaluator for %d ranks: %v", p, err)
+	}
+	defer sw.Release()
+	e := run("sweep_bytes_sym", p, quick, func() (int64, error) {
+		var msgs int64
+		for _, pl := range payloads {
+			s, err := collective.StreamTotalExchange(p, pl)
+			if err != nil {
+				return 0, err
+			}
+			res, err := sw.Run(context.Background(), m, s, 1)
+			if err != nil {
+				return 0, err
+			}
+			msgs += res.Messages
+		}
+		return msgs, nil
+	})
+	return perPoint(e, points)
 }

@@ -112,6 +112,16 @@
 // evaluation everywhere — the escape hatch, and the control column when
 // diffing the two paths.
 //
+// For parameter sweeps — many points varying payload size, LogGP link
+// scaling or seed over one schedule family — sched.NewSweepEvaluator keeps
+// the compiled schedule, the collapse partition and memoized per-stage term
+// tapes alive across points, re-pricing only what a changed axis touches
+// instead of re-evaluating from scratch; every point stays bit-identical to
+// an independent sched.RunSchedule call. The experiments sweep series
+// (experiments.BytesSweepSeries, experiments.ScaleSweepSeries) and the
+// server's NDJSON sweep path run on it; SweepEvaluator.Stats reports what
+// was reused.
+//
 // # Fault injection
 //
 // WithFaults attaches a fault.Plan — deterministic, seeded, validated
@@ -155,8 +165,13 @@
 // X-Hbspd-Cache header). Identical concurrent misses coalesce into a
 // single evaluation; a global concurrency limiter sheds excess load with
 // 429; per-request budgets map to WithDeadline (408); client disconnects
-// tear the evaluation down via the request context (499). See the server
-// package documentation for the wire format.
+// tear the evaluation down via the request context (499). Cache-missed
+// collective points on the default engine run on pooled sched
+// sweep evaluators keyed by the profile's base fingerprint, so the points
+// of one sweep — and distinct single-point misses against the same profile
+// — share compiled schedules and memoized term tapes (reuse shows up as
+// the sweepPointsReused and partitionsReused counters of /metrics). See
+// the server package documentation for the wire format.
 //
 // The public packages layer as follows: cluster (platform profiles,
 // topologies, machines) feeds sim (the virtual-time simulator), on which bsp

@@ -52,6 +52,47 @@ func TestRunPointsEmpty(t *testing.T) {
 	}
 }
 
+func TestRunPointsWithWorkerLifecycle(t *testing.T) {
+	const n = 64
+	var made, closed, calls atomic.Int64
+	out, err := RunPointsWith(n,
+		func() (*atomic.Int64, error) {
+			made.Add(1)
+			return new(atomic.Int64), nil
+		},
+		func(w *atomic.Int64) { closed.Add(1) },
+		func(w *atomic.Int64, i int) (int, error) {
+			w.Add(1)
+			calls.Add(1)
+			return i * 3, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n || calls.Load() != n {
+		t.Fatalf("len=%d calls=%d, want %d", len(out), calls.Load(), n)
+	}
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("out[%d] = %d, results out of order", i, v)
+		}
+	}
+	if made.Load() != closed.Load() || made.Load() < 1 {
+		t.Fatalf("made %d workers, closed %d — every make needs a matching close", made.Load(), closed.Load())
+	}
+}
+
+func TestRunPointsWithMakeError(t *testing.T) {
+	errMake := errors.New("no evaluator")
+	_, err := RunPointsWith(8,
+		func() (int, error) { return 0, errMake },
+		nil,
+		func(w, i int) (int, error) { return i, nil })
+	if !errors.Is(err, errMake) {
+		t.Fatalf("err = %v, want the worker construction error", err)
+	}
+}
+
 func TestParallelSeriesFlattensInSweepOrder(t *testing.T) {
 	points := []int{3, 1, 0, 2}
 	out, err := ParallelSeries(points, func(p int) ([]string, error) {

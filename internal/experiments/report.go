@@ -154,6 +154,21 @@ func RunAll(w io.Writer, opts Options) error {
 	}
 	fmt.Fprint(w, CollapseScalingTable("Symmetry-collapsed sync scaling (flat homogeneous cluster)", collapse).String(), "\n")
 
+	// Incremental sweeps: the bytes and scale axes of the total exchange
+	// evaluated through reused SweepEvaluators — every point bit-identical
+	// to an independent direct evaluation.
+	bytesSweep, err := BytesSweepSeries(xeon, opts.MaxProcsXeon, []int{16, 64, 256, 1024})
+	if err != nil {
+		return fmt.Errorf("bytes sweep: %w", err)
+	}
+	fmt.Fprint(w, SweepSeriesTable("Incremental bytes sweep: total exchange (8x2x4)", bytesSweep).String(), "\n")
+
+	scaleSweep, err := ScaleSweepSeries(xeon, opts.MaxProcsXeon, 64, []float64{0.5, 1, 1.5, 2})
+	if err != nil {
+		return fmt.Errorf("scale sweep: %w", err)
+	}
+	fmt.Fprint(w, SweepSeriesTable("Incremental scale sweep: total exchange (8x2x4)", scaleSweep).String(), "\n")
+
 	// Fault injection: predicted vs simulated makespan inflation under a
 	// single straggler, and fail-stop recovery cost vs checkpoint interval.
 	straggler, err := StragglerSeries(16, 8, []float64{1, 1.5, 2, 4, 8})

@@ -187,6 +187,67 @@ func (m *Machine) UniformPairs() bool {
 	return m.placement.Policy == topology.RoundRobin && m.Procs() <= t.Nodes
 }
 
+// PairTerm returns the multiplicative decomposition of the pair (i, j)'s
+// parameters: every pairwise parameter of the machine equals the class column
+// returned by TermLinks times the returned factor, bit for bit. For self
+// pairs the factor is 1 (the self column already carries the exact values:
+// zero latency/gap/beta and the unscaled invocation overhead, matching the
+// special-cased self paths of the profile formulas). This is the capability
+// the sweep evaluator's term tape is built from (sched.TermMachine): the
+// factor and class are invariants of (seed, spread, placement), so one tape
+// re-prices exactly under scaled link columns.
+func (m *Machine) PairTerm(i, j int) (factor float64, class uint8) {
+	d := m.placement.Distance(i, j)
+	if d == topology.DistanceSelf {
+		return 1, uint8(d)
+	}
+	return m.profile.pairFactor(i, j), uint8(d)
+}
+
+// TermLinks returns the per-distance-class parameter columns of PairTerm's
+// decomposition, indexed by distance class. Multiplying a column entry by a
+// pair's PairTerm factor reproduces the pairwise accessors exactly — the
+// same two operands in the same single multiplication the profile formulas
+// (and the dense matrix fill) perform.
+func (m *Machine) TermLinks() (lat, gap, beta, ovh []float64) {
+	n := int(topology.DistanceGroup) + 1
+	lat = make([]float64, n)
+	gap = make([]float64, n)
+	beta = make([]float64, n)
+	ovh = make([]float64, n)
+	ovh[topology.DistanceSelf] = m.profile.SelfOverhead
+	for d := topology.DistanceSocket; d <= topology.DistanceGroup; d++ {
+		l := m.profile.Links[d]
+		lat[d], gap[d], beta[d], ovh[d] = l.Latency, l.Gap, l.Beta, l.Overhead
+	}
+	return lat, gap, beta, ovh
+}
+
+// TermCompatible reports whether o shares this machine's PairTerm
+// decomposition: same placement (and hence distance classes and NICs) and
+// same heterogeneity stream (seed, spread) and noise magnitude. Machines that
+// differ only in their link columns (scaled profiles) or run seed are
+// compatible — a tape of (factor, class) terms built against one re-prices
+// exactly against the other.
+func (m *Machine) TermCompatible(o any) bool {
+	om, ok := o.(*Machine)
+	if !ok {
+		return false
+	}
+	if om == m {
+		return true
+	}
+	pa, pb := m.placement, om.placement
+	if pa != pb && (pa.Topology != pb.Topology || pa.Policy != pb.Policy || pa.Ranks() != pb.Ranks()) {
+		return false
+	}
+	a, b := m.profile, om.profile
+	return a.Seed == b.Seed && a.HeteroSpread == b.HeteroSpread && a.NoiseRel == b.NoiseRel
+}
+
+// NoiseFree reports whether the noise stream is identically 1.
+func (m *Machine) NoiseFree() bool { return m.profile.NoiseRel <= 0 }
+
 // Noise returns a multiplicative jitter factor (>= 1) for the seq-th noisy
 // event observed by rank i. The stream is a deterministic function of the
 // machine's run seed, the rank and the sequence number, so simulations are

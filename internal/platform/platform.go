@@ -220,6 +220,28 @@ func (p *Profile) pairMatrix(pl *topology.Placement, f func(*topology.Placement,
 	return m
 }
 
+// Scaled returns a copy of the profile with every link class' LogGP
+// parameters multiplied by the given factors (SelfOverhead scales with ovh).
+// The copy has its own Links map, so the source profile — possibly a shared
+// preset — is never mutated. Seed, HeteroSpread and NoiseRel are unchanged,
+// which makes machines of a profile and its scalings term-compatible
+// (TermCompatible): a sweep over LogGP scalings re-prices one cached term
+// structure instead of re-deriving the pairwise matrices per point.
+func (p *Profile) Scaled(lat, gap, beta, ovh float64) *Profile {
+	c := *p
+	c.Links = make(map[topology.Distance]Link, len(p.Links))
+	for d, l := range p.Links {
+		c.Links[d] = Link{
+			Latency:  l.Latency * lat,
+			Gap:      l.Gap * gap,
+			Beta:     l.Beta * beta,
+			Overhead: l.Overhead * ovh,
+		}
+	}
+	c.SelfOverhead = p.SelfOverhead * ovh
+	return &c
+}
+
 // KernelRate returns the sustainable rate, in flop/s, of the kernel on the
 // core hosting the given node, for a working set of n elements.
 func (p *Profile) KernelRate(node int, k kernels.Kernel, n int) float64 {

@@ -1,0 +1,427 @@
+package sched_test
+
+import (
+	"context"
+	"testing"
+
+	"hbsp/internal/barrier"
+	"hbsp/internal/fault"
+	"hbsp/internal/platform"
+	"hbsp/internal/sched"
+	"hbsp/internal/simnet"
+	"hbsp/internal/trace"
+)
+
+// sweepOptionsFor mirrors RunSchedule's fixed conventions (computeEmpty true,
+// the schedule tag space) so sweep points diff cleanly against it.
+func sweepOptionsFor(o simnet.Options) sched.SweepOptions {
+	return sched.SweepOptions{
+		AckSends:         o.AckSends,
+		SymmetryCollapse: o.SymmetryCollapse,
+		ComputeEmpty:     true,
+		Faults:           o.Faults,
+		Recorder:         o.Recorder,
+		Deadline:         o.Deadline,
+	}
+}
+
+// diffSweepPoint evaluates one point through the sweep evaluator and through
+// an independent RunSchedule call and requires bit-identical everything:
+// per-rank times, makespan, traffic counters and the collapse diagnostic.
+func diffSweepPoint(t *testing.T, tag string, sw *sched.SweepEvaluator, m *platform.Machine, s sched.Schedule, execs int, o simnet.Options) {
+	t.Helper()
+	want, err := sched.RunSchedule(context.Background(), m, s, execs, o)
+	if err != nil {
+		t.Fatalf("%s: RunSchedule: %v", tag, err)
+	}
+	got, err := sw.Run(context.Background(), m, s, execs)
+	if err != nil {
+		t.Fatalf("%s: SweepEvaluator.Run: %v", tag, err)
+	}
+	if len(got.Times) != len(want.Times) {
+		t.Fatalf("%s: %d times, want %d", tag, len(got.Times), len(want.Times))
+	}
+	for r := range want.Times {
+		if got.Times[r] != want.Times[r] {
+			t.Fatalf("%s rank %d: sweep %v, independent %v", tag, r, got.Times[r], want.Times[r])
+		}
+	}
+	if got.MakeSpan != want.MakeSpan {
+		t.Errorf("%s makespan: sweep %v, independent %v", tag, got.MakeSpan, want.MakeSpan)
+	}
+	if got.Messages != want.Messages || got.Bytes != want.Bytes {
+		t.Errorf("%s traffic: sweep %d/%d, independent %d/%d",
+			tag, got.Messages, got.Bytes, want.Messages, want.Bytes)
+	}
+	if got.Collapse != want.Collapse {
+		t.Errorf("%s collapse: sweep %+v, independent %+v", tag, got.Collapse, want.Collapse)
+	}
+}
+
+// sweepMachines returns the machine matrix of the golden diffs: the
+// heterogeneous Xeon cluster (HeteroSpread > 0, so collapse falls back and
+// the term-tape path carries the evaluation) and the pairwise-uniform flat
+// cluster (symmetry-collapsed path, memoized partitions).
+func sweepMachines(t *testing.T, p int) map[string]*platform.Machine {
+	t.Helper()
+	hetero, err := platform.XeonClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := platform.FlatClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*platform.Machine{"hetero": hetero, "flat": flat}
+}
+
+// TestSweepGoldenBitIdentical is the correctness bar of the sweep evaluator:
+// across P from 16 to 4096, both the per-rank term-tape path (heterogeneous
+// machine) and the collapsed path (uniform machine), acks on and off, a
+// bytes-axis sweep over circulant and non-circulant schedules must reproduce
+// independent RunSchedule calls bit for bit at every point — including the
+// pure-replay repeats of an unchanged point.
+func TestSweepGoldenBitIdentical(t *testing.T) {
+	for _, p := range []int{16, 256, 4096} {
+		if testing.Short() && p > 256 {
+			continue
+		}
+		for mname, m := range sweepMachines(t, p) {
+			for _, ack := range []bool{true, false} {
+				o := simnet.DefaultOptions()
+				o.AckSends = ack
+				sw, err := sched.NewSweepEvaluator(m, sweepOptionsFor(o))
+				if err != nil {
+					t.Fatal(err)
+				}
+				diss, err := barrier.StreamDissemination(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bytesAxis := []int{0, 64, 1024}
+				if p > 256 {
+					bytesAxis = []int{64, 1024}
+				}
+				for _, b := range bytesAxis {
+					ar, err := barrier.StreamAllReduce(p, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tag := mname + "/allreduce"
+					diffSweepPoint(t, tag, sw, m, ar, 2, o)
+					if p <= 256 {
+						te, err := barrier.StreamTotalExchange(p, b)
+						if err != nil {
+							t.Fatal(err)
+						}
+						diffSweepPoint(t, mname+"/total-exchange", sw, m, te, 2, o)
+						bc, err := barrier.StreamBroadcast(p, 0, b)
+						if err != nil {
+							t.Fatal(err)
+						}
+						diffSweepPoint(t, mname+"/broadcast", sw, m, bc, 2, o)
+					}
+				}
+				// Unchanged points: the second evaluation is a pure replay on
+				// the term path and must still match exactly.
+				diffSweepPoint(t, mname+"/diss", sw, m, diss, 2, o)
+				diffSweepPoint(t, mname+"/diss-repeat", sw, m, diss, 2, o)
+				st := sw.Stats()
+				if mname == "hetero" && st.TapesBuilt == 0 {
+					t.Errorf("p=%d %s ack=%v: no term tapes built (term path not exercised)", p, mname, ack)
+				}
+				if mname == "hetero" && st.PointsReused == 0 {
+					t.Errorf("p=%d %s ack=%v: repeated point was not a pure replay: %+v", p, mname, ack, st)
+				}
+				if mname == "flat" && st.PartitionsReused == 0 {
+					t.Errorf("p=%d %s ack=%v: no partition reuse on the collapsed path: %+v", p, mname, ack, st)
+				}
+				sw.Release()
+			}
+		}
+	}
+}
+
+// TestSweepGoldenScaleAxis sweeps LogGP scalings: machines instantiated from
+// scaled copies of the profile are term-compatible with the base, so the
+// evaluator re-prices its cached tape under each point's link columns —
+// and every point must match an independent evaluation bit for bit.
+func TestSweepGoldenScaleAxis(t *testing.T) {
+	for _, p := range []int{16, 256} {
+		base := platform.XeonCluster((p + 7) / 8)
+		bm, err := base.Machine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := simnet.DefaultOptions()
+		sw, err := sched.NewSweepEvaluator(bm, sweepOptionsFor(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := barrier.StreamTotalExchange(p, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scales := []struct {
+			name                string
+			lat, gap, beta, ovh float64
+		}{
+			{"identity", 1, 1, 1, 1},
+			{"latx2", 2, 1, 1, 1},
+			{"gapx0.5", 1, 0.5, 1, 1},
+			{"betax4", 1, 1, 4, 1},
+			{"ovhx3", 1, 1, 1, 3},
+			{"all", 1.5, 1.5, 1.5, 1.5},
+		}
+		for _, sc := range scales {
+			pm, err := base.Scaled(sc.lat, sc.gap, sc.beta, sc.ovh).Machine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSweepPoint(t, "scale/"+sc.name, sw, pm, te, 2, o)
+		}
+		st := sw.Stats()
+		if st.TapesBuilt != 1 || st.TapesReused < int64(len(scales)-1) {
+			t.Errorf("p=%d: scale sweep should reuse one tape across scalings: %+v", p, st)
+		}
+		if st.Rebases != 0 {
+			t.Errorf("p=%d: scaled machines must not rebase the evaluator: %+v", p, st)
+		}
+		sw.Release()
+	}
+}
+
+// TestSweepGoldenFaults repeats the diff under fault plans — uniform link
+// degradation, a straggler, a fail-stop and deterministic jitter — which
+// force the per-rank fallback and live fault terms during replay.
+func TestSweepGoldenFaults(t *testing.T) {
+	p := 64
+	plans := map[string]*fault.Plan{
+		"links":     {Links: []fault.LinkRule{{Src: -1, Dst: -1, Class: -1, LatencyFactor: 2, BetaFactor: 2}}},
+		"straggler": {Slowdowns: []fault.Slowdown{{Rank: 3, Factor: 2}}},
+		"failstop":  {FailStops: []fault.FailStop{{Rank: 3, FailAt: 1e-5, Restart: 1e-4}}},
+		"srclink":   {Links: []fault.LinkRule{{Src: 3, Dst: -1, Class: -1, LatencyFactor: 3, BetaFactor: 3}}},
+	}
+	for mname, m := range sweepMachines(t, p) {
+		for pname, plan := range plans {
+			o := simnet.DefaultOptions()
+			o.Faults = plan
+			sw, err := sched.NewSweepEvaluator(m, sweepOptionsFor(o))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range []int{0, 64, 256} {
+				te, err := barrier.StreamTotalExchange(p, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffSweepPoint(t, mname+"/"+pname+"/te", sw, m, te, 2, o)
+			}
+			diss, err := barrier.StreamDissemination(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffSweepPoint(t, mname+"/"+pname+"/diss", sw, m, diss, 2, o)
+			sw.Release()
+		}
+	}
+}
+
+// TestSweepGoldenNoisy diffs a noisy machine across a run-seed axis: points
+// that share a seed are pure replays, points with new seeds redraw every
+// jitter factor live — both must match independent evaluation exactly.
+func TestSweepGoldenNoisy(t *testing.T) {
+	p := 64
+	base := platform.Xeon8x2x4() // NoiseRel > 0
+	bm, err := base.Machine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simnet.DefaultOptions()
+	sw, err := sched.NewSweepEvaluator(bm, sweepOptionsFor(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Release()
+	te, err := barrier.StreamTotalExchange(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2, 3, 2} {
+		pm := bm.WithRunSeed(seed)
+		diffSweepPoint(t, "noisy", sw, pm, te, 2, o)
+	}
+	// Same seed again: identical noise stream, identical columns → replay.
+	diffSweepPoint(t, "noisy-repeat", sw, bm.WithRunSeed(2), te, 2, o)
+	if st := sw.Stats(); st.PointsReused == 0 {
+		t.Errorf("repeated seed was not a pure replay: %+v", st)
+	}
+}
+
+// TestSweepGoldenTraced attaches a recorder to both paths: every point of a
+// traced sweep must produce the identical event stream an independent traced
+// RunSchedule produces, run for run.
+func TestSweepGoldenTraced(t *testing.T) {
+	p := 16
+	for mname, m := range sweepMachines(t, p) {
+		recSweep := trace.NewRecorder()
+		oSweep := simnet.DefaultOptions()
+		oSweep.Recorder = recSweep
+		sw, err := sched.NewSweepEvaluator(m, sweepOptionsFor(oSweep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recRef := trace.NewRecorder()
+		oRef := simnet.DefaultOptions()
+		oRef.Recorder = recRef
+
+		for _, b := range []int{0, 64, 64} {
+			te, err := barrier.StreamTotalExchange(p, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sched.RunSchedule(context.Background(), m, te, 2, oRef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sw.Run(context.Background(), m, te, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range want.Times {
+				if got.Times[r] != want.Times[r] {
+					t.Fatalf("%s traced bytes=%d rank %d: sweep %v, independent %v", mname, b, r, got.Times[r], want.Times[r])
+				}
+			}
+		}
+		if s, w := eventStream(t, recSweep), eventStream(t, recRef); s != w {
+			t.Errorf("%s: traced sweep event stream differs from independent runs", mname)
+		}
+		sw.Release()
+	}
+}
+
+// TestSweepCollapseOff forces per-rank evaluation on a machine that would
+// otherwise collapse, pinning the CollapseOff option through the sweep path.
+func TestSweepCollapseOff(t *testing.T) {
+	p := 64
+	m, err := platform.FlatClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simnet.DefaultOptions()
+	o.SymmetryCollapse = simnet.CollapseOff
+	sw, err := sched.NewSweepEvaluator(m, sweepOptionsFor(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Release()
+	for _, b := range []int{0, 64, 1024} {
+		te, err := barrier.StreamTotalExchange(p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffSweepPoint(t, "collapse-off", sw, m, te, 2, o)
+	}
+	if st := sw.Stats(); st.TapesBuilt == 0 || st.TapesReused == 0 {
+		t.Errorf("CollapseOff term path built/reused no tapes: %+v", st)
+	}
+}
+
+// TestSweepMemoEviction pins the eviction path: a budget sized for roughly
+// one tape, alternating schedule structures, must evict tapes rather than
+// grow, and every point must stay bit-identical to independent evaluation.
+func TestSweepMemoEviction(t *testing.T) {
+	p := 64
+	m, err := platform.XeonClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simnet.DefaultOptions()
+	opt := sweepOptionsFor(o)
+	opt.MemoBudget = 100 << 10 // ~one 64-rank total-exchange tape
+	sw, err := sched.NewSweepEvaluator(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Release()
+	te, err := barrier.StreamTotalExchange(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := barrier.StreamAllGatherRing(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		diffSweepPoint(t, "evict/te", sw, m, te, 2, o)
+		diffSweepPoint(t, "evict/ring", sw, m, ring, 2, o)
+	}
+	st := sw.Stats()
+	if st.TapesEvicted == 0 {
+		t.Fatalf("alternating structures under a one-tape budget evicted nothing: %+v", st)
+	}
+	if st.MemoBytes > opt.MemoBudget {
+		t.Errorf("memo %d bytes exceeds budget %d", st.MemoBytes, opt.MemoBudget)
+	}
+
+	// A budget below any tape disables taping but must not change results.
+	optNone := sweepOptionsFor(o)
+	optNone.MemoBudget = -1
+	swNone, err := sched.NewSweepEvaluator(m, optNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer swNone.Release()
+	diffSweepPoint(t, "no-tape", swNone, m, te, 2, o)
+	if st := swNone.Stats(); st.TapesBuilt != 0 {
+		t.Errorf("disabled budget still built tapes: %+v", st)
+	}
+}
+
+// TestSweepPrefixSkip pins dirty-stage propagation: on a multi-stage
+// circulant schedule where only a late stage's payload changes, the
+// evaluator must resume from a checkpoint instead of re-evaluating from
+// stage zero — and still match independent evaluation exactly.
+func TestSweepPrefixSkip(t *testing.T) {
+	p := 64
+	m, err := platform.XeonClusterMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simnet.DefaultOptions()
+	sw, err := sched.NewSweepEvaluator(m, sweepOptionsFor(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Release()
+
+	offs := make([]int, p-1)
+	sizes := make([]int, p-1)
+	for k := 1; k < p; k++ {
+		offs[k-1] = k
+		sizes[k-1] = 64
+	}
+	s0, err := sched.NewCirculant(p, offs, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSweepPoint(t, "prefix/base", sw, m, s0, 1, o)
+
+	// Change only the last stage's payload: same offsets → same tape, and
+	// stages before the change replay from a checkpoint.
+	sizes2 := append([]int(nil), sizes...)
+	sizes2[len(sizes2)-1] = 4096
+	s1, err := sched.NewCirculant(p, offs, sizes2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSweepPoint(t, "prefix/tail-change", sw, m, s1, 1, o)
+	st := sw.Stats()
+	if st.PrefixStagesSkipped == 0 {
+		t.Errorf("tail-only change skipped no prefix stages: %+v", st)
+	}
+	if st.TapesBuilt != 1 {
+		t.Errorf("same offsets should share one tape: %+v", st)
+	}
+}

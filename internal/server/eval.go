@@ -185,10 +185,33 @@ func (s *Server) evalPoint(ctx context.Context, req *PredictRequest, pt point, d
 	return body, how, nil
 }
 
-// evaluate runs one cache-missed point: build the session, run the workload,
-// render the PredictPoint. The rendered bytes are what the cache stores, so
-// hits are byte-identical to the miss that filled them.
+// evaluate runs one cache-missed point — on a pooled sweep evaluator when
+// the point is eligible, through a full session otherwise — and renders the
+// PredictPoint. The rendered bytes are what the cache stores, so hits are
+// byte-identical to the miss that filled them; the two evaluation paths
+// produce bit-identical results, so which one filled an entry is
+// unobservable.
 func (s *Server) evaluate(ctx context.Context, req *PredictRequest, rp *resolvedProfile, w *WorkloadSpec, pt point, seed int64, deadline time.Time) ([]byte, error) {
+	var (
+		res     *sim.Result
+		perIter float64
+		rec     *trace.Recorder
+		err     error
+	)
+	if s.sweptEligible(req, rp, w) {
+		res, err = s.evaluateSwept(ctx, req, rp, w, pt, seed, deadline)
+	} else {
+		res, perIter, rec, err = s.evaluateSession(ctx, req, rp, w, pt, seed, deadline)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.renderPoint(req, rp, w, pt, seed, res, perIter, rec)
+}
+
+// evaluateSession runs one point through the full session machinery — the
+// path every workload kind supports.
+func (s *Server) evaluateSession(ctx context.Context, req *PredictRequest, rp *resolvedProfile, w *WorkloadSpec, pt point, seed int64, deadline time.Time) (*sim.Result, float64, *trace.Recorder, error) {
 	opts := []hbsp.Option{}
 	if rp.cluster != nil {
 		opts = append(opts, hbsp.WithSeed(seed))
@@ -208,7 +231,7 @@ func (s *Server) evaluate(ctx context.Context, req *PredictRequest, rp *resolved
 	if !deadline.IsZero() {
 		left := time.Until(deadline)
 		if left <= 0 {
-			return nil, fmt.Errorf("%w: request budget exhausted before evaluation", hbsp.ErrDeadline)
+			return nil, 0, nil, fmt.Errorf("%w: request budget exhausted before evaluation", hbsp.ErrDeadline)
 		}
 		opts = append(opts, hbsp.WithDeadline(left))
 	}
@@ -221,20 +244,25 @@ func (s *Server) evaluate(ctx context.Context, req *PredictRequest, rp *resolved
 	if w.Kind == "sync" && w.Variant == "schedule" {
 		pat, err := s.barrierPattern("dissemination", pt.procs)
 		if err != nil {
-			return nil, err
+			return nil, 0, nil, err
 		}
 		opts = append(opts, hbsp.WithScheduleSynchronizer(pat))
 	}
 
 	sess, err := hbsp.New(rp.machine, opts...)
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 	res, perIter, err := s.runWorkload(ctx, sess, w, pt.procs)
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
+	return res, perIter, rec, nil
+}
 
+// renderPoint renders an evaluated point to its NDJSON line (JSON object
+// plus trailing newline), the shared tail of both evaluation paths.
+func (s *Server) renderPoint(req *PredictRequest, rp *resolvedProfile, w *WorkloadSpec, pt point, seed int64, res *sim.Result, perIter float64, rec *trace.Recorder) ([]byte, error) {
 	p := &PredictPoint{
 		Workload:           w.Kind,
 		Variant:            w.Variant,

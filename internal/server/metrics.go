@@ -27,6 +27,9 @@ type metrics struct {
 	inFlight    atomic.Int64 // currently admitted evaluations (gauge)
 	queued      atomic.Int64 // evaluations waiting for a slot (gauge)
 
+	sweepPointsReused atomic.Int64 // points whose evaluation reused a sweep evaluator's memoized term tape or cached result
+	partitionsReused  atomic.Int64 // points whose symmetry partition came from a sweep evaluator's memo instead of re-refinement
+
 	errInvalidRequest atomic.Int64
 	errInvalidMachine atomic.Int64
 	errInvalidFault   atomic.Int64
@@ -64,6 +67,9 @@ type MetricsSnapshot struct {
 	InFlight    int64 `json:"inFlight"`
 	Queued      int64 `json:"queued"`
 
+	SweepPointsReused int64 `json:"sweepPointsReused"`
+	PartitionsReused  int64 `json:"partitionsReused"`
+
 	Errors struct {
 		InvalidRequest int64 `json:"invalidRequest"`
 		InvalidMachine int64 `json:"invalidMachine"`
@@ -94,6 +100,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	s.Shed = m.shed.Load()
 	s.InFlight = m.inFlight.Load()
 	s.Queued = m.queued.Load()
+	s.SweepPointsReused = m.sweepPointsReused.Load()
+	s.PartitionsReused = m.partitionsReused.Load()
 	s.Errors.InvalidRequest = m.errInvalidRequest.Load()
 	s.Errors.InvalidMachine = m.errInvalidMachine.Load()
 	s.Errors.InvalidFault = m.errInvalidFault.Load()

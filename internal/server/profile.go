@@ -22,6 +22,12 @@ import (
 type resolvedProfile struct {
 	machine     sim.Machine
 	fingerprint string
+	// baseFingerprint is the fingerprint of the profile before the point's
+	// LogGP scaling was applied (equal to fingerprint for unscaled points).
+	// Scaled machines stay term-compatible with their base, so the sweep
+	// evaluator pool keys on it: every scale point of one profile rides the
+	// same evaluator and its memoized term tapes.
+	baseFingerprint string
 	// cluster is non-nil for profile-backed machines (preset or custom);
 	// matrix uploads leave it nil, which is what gates the workloads that
 	// need a kernel-rate model.
@@ -59,10 +65,12 @@ func (s *Server) resolveProfile(spec *ProfileSpec, scale ScaleSpec, procs int) (
 	if err != nil {
 		return nil, err
 	}
+	baseFP := prof.Fingerprint()
+	fp := baseFP
 	if !scale.identity() {
 		prof = scaleProfile(prof, scale.normalized())
+		fp = prof.Fingerprint()
 	}
-	fp := prof.Fingerprint()
 	key := fmt.Sprintf("machine/%s/p%d", fp, procs)
 	if cached, ok := s.machines.Get(key); ok {
 		rp := cached.(*resolvedProfile)
@@ -72,7 +80,7 @@ func (s *Server) resolveProfile(spec *ProfileSpec, scale ScaleSpec, procs int) (
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", hbsp.ErrInvalidMachine, err)
 	}
-	rp := &resolvedProfile{machine: m, fingerprint: fp, cluster: m}
+	rp := &resolvedProfile{machine: m, fingerprint: fp, baseFingerprint: baseFP, cluster: m}
 	s.machines.Put(key, rp)
 	return rp, nil
 }
@@ -223,18 +231,7 @@ func resolveCore(c *CustomProfile) (cluster.Core, error) {
 // Scaling changes the fingerprint, so scaled points never alias unscaled
 // cache entries.
 func scaleProfile(p *cluster.Profile, s ScaleSpec) *cluster.Profile {
-	c := *p
-	c.Links = make(map[cluster.Distance]cluster.Link, len(p.Links))
-	for d, l := range p.Links {
-		c.Links[d] = cluster.Link{
-			Latency:  l.Latency * s.Latency,
-			Gap:      l.Gap * s.Gap,
-			Beta:     l.Beta * s.Beta,
-			Overhead: l.Overhead * s.Overhead,
-		}
-	}
-	c.SelfOverhead = p.SelfOverhead * s.Overhead
-	return &c
+	return p.Scaled(s.Latency, s.Gap, s.Beta, s.Overhead)
 }
 
 // matrixMachine implements sim.Machine over uploaded pairwise matrices. It
@@ -333,8 +330,9 @@ func (s *Server) resolveMatrices(spec *MatrixProfile, procs int) (*resolvedProfi
 		return cached.(*resolvedProfile), nil
 	}
 	rp := &resolvedProfile{
-		machine:     &matrixMachine{lat: lat, gap: gap, beta: beta, ovh: ovh, selfOverhead: spec.SelfOverhead, nic: nic},
-		fingerprint: fp,
+		machine:         &matrixMachine{lat: lat, gap: gap, beta: beta, ovh: ovh, selfOverhead: spec.SelfOverhead, nic: nic},
+		fingerprint:     fp,
+		baseFingerprint: fp,
 	}
 	s.machines.Put(key, rp)
 	return rp, nil

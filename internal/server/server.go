@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -76,6 +77,8 @@ type Server struct {
 	results   *lruCache // pointKey -> rendered response bytes
 	machines  *lruCache // (profile fingerprint, procs) -> *resolvedProfile
 	patterns  *lruCache // barrier variants by (variant, procs)
+	sweeps    *lruCache // sweepKey -> *sweepEntry (pooled sweep evaluators)
+	sweepMu   sync.Mutex
 	schedules bsp.ScheduleSource
 	flights   *flightGroup
 	limit     *limiter
@@ -93,6 +96,7 @@ func New(cfg Config) *Server {
 		results:   newLRU(cfg.CacheEntries),
 		machines:  newLRU(cfg.MachineEntries),
 		patterns:  newLRU(256),
+		sweeps:    newLRU(sweepPoolEntries),
 		schedules: bsp.NewScheduleCache(),
 		flights:   newFlightGroup(),
 		limit:     newLimiter(cfg.MaxConcurrent, cfg.MaxQueue, m),

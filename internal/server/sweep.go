@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hbsp"
+	"hbsp/collective"
+	"hbsp/sched"
+	"hbsp/sim"
+)
+
+// The incremental sweep path: schedule-expressible collective points under
+// the default engine skip the session machinery entirely and run on a pooled
+// sched.SweepEvaluator. Evaluators are keyed by the profile's *base*
+// fingerprint (before any LogGP scaling) plus everything an evaluator fixes
+// at construction — rank count, ack mode, collapse mode, fault plan — so all
+// points of one NDJSON sweep ride the same evaluator, and so do coalesced
+// single-point misses against the same profile arriving across requests.
+// Results are bit-identical to the session path (the sweep evaluator's
+// contract), so the rendered bytes an entry produces are indistinguishable
+// from the legacy evaluation they replace.
+
+// sweepPoolEntries bounds the evaluator pool. Entries hold an evaluator
+// arena plus memoized term tapes (bounded by the evaluator's own memo
+// budget); evicted entries are left to the garbage collector — another
+// goroutine may still be evaluating on one, so they are never released
+// eagerly.
+const sweepPoolEntries = 64
+
+// sweepEntry is one pooled evaluator. The mutex serializes points — a
+// SweepEvaluator is single-threaded by design — and last holds the stats
+// snapshot of the previous point, so per-point deltas feed the /metrics
+// reuse counters.
+type sweepEntry struct {
+	mu   sync.Mutex
+	sw   *sched.SweepEvaluator
+	last sched.SweepStats
+}
+
+// sweptEligible reports whether a point can run on the sweep-evaluator path:
+// a schedule-expressible collective on a profile-backed machine under the
+// default engine, untraced (tracing forces per-rank lanes and the session's
+// recorder plumbing).
+func (s *Server) sweptEligible(req *PredictRequest, rp *resolvedProfile, w *WorkloadSpec) bool {
+	if req.Options.Engine != "auto" || req.Options.Trace {
+		return false
+	}
+	if rp.cluster == nil {
+		return false
+	}
+	switch w.Kind {
+	case "barrier", "broadcast", "reduce", "allreduce", "allgather", "totalexchange":
+		return true
+	}
+	return false
+}
+
+// sweepKey canonicalizes everything a pooled evaluator fixes at
+// construction. The run seed is absent deliberately: evaluators re-price
+// seed changes point by point.
+func sweepKey(rp *resolvedProfile, procs int, req *PredictRequest) string {
+	ack := true
+	if req.Options.AckSends != nil {
+		ack = *req.Options.AckSends
+	}
+	return fmt.Sprintf("sweep/%s/p%d/ack%t/%s/%s",
+		rp.baseFingerprint, procs, ack, req.Options.Collapse, req.Faults.Fingerprint())
+}
+
+// sweepEvaluator fetches (or builds) the pooled evaluator of a key. The
+// admission mutex makes get-or-create atomic, so concurrent misses on one
+// key share a single evaluator instead of building duplicates.
+func (s *Server) sweepEvaluator(key string, req *PredictRequest, rp *resolvedProfile, seed int64) (*sweepEntry, error) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if cached, ok := s.sweeps.Get(key); ok {
+		return cached.(*sweepEntry), nil
+	}
+	opt := sched.SweepOptions{
+		// The gate-inline collective paths this replaces bill nothing on
+		// stages where a rank has no edges.
+		ComputeEmpty: false,
+	}
+	if req.Options.AckSends != nil {
+		opt.AckSends = *req.Options.AckSends
+	} else {
+		opt.AckSends = true
+	}
+	if req.Options.Collapse == "off" {
+		opt.SymmetryCollapse = sim.CollapseOff
+	}
+	if req.Faults != nil && !req.Faults.Empty() {
+		opt.Faults = req.Faults
+	}
+	sw, err := sched.NewSweepEvaluator(rp.cluster.WithRunSeed(seed), opt)
+	if err != nil {
+		return nil, err
+	}
+	ent := &sweepEntry{sw: sw}
+	s.sweeps.Put(key, ent)
+	return ent, nil
+}
+
+// evaluateSwept runs one eligible point on its pooled evaluator and returns
+// the run result, bit-identical to the session evaluation of the same point.
+func (s *Server) evaluateSwept(ctx context.Context, req *PredictRequest, rp *resolvedProfile, w *WorkloadSpec, pt point, seed int64, deadline time.Time) (*sim.Result, error) {
+	var (
+		pat *collective.Pattern
+		err error
+	)
+	if w.Kind == "barrier" {
+		pat, err = s.barrierPattern(w.Variant, pt.procs)
+	} else {
+		pat, err = s.collectivePattern(w.Kind, pt.procs, w.Root, w.Bytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	ent, err := s.sweepEvaluator(sweepKey(rp, pt.procs, req), req, rp, seed)
+	if err != nil {
+		return nil, err
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+
+	if deadline.IsZero() {
+		ent.sw.SetDeadline(0)
+	} else {
+		left := time.Until(deadline)
+		if left <= 0 {
+			return nil, fmt.Errorf("%w: request budget exhausted before evaluation", hbsp.ErrDeadline)
+		}
+		ent.sw.SetDeadline(left)
+	}
+
+	res, err := ent.sw.Run(ctx, rp.cluster.WithRunSeed(seed), pat.ScheduleView(), 1)
+	st := ent.sw.Stats()
+	s.m.sweepPointsReused.Add((st.PointsReused + st.TapesReused) - (ent.last.PointsReused + ent.last.TapesReused))
+	s.m.partitionsReused.Add(st.PartitionsReused - ent.last.PartitionsReused)
+	ent.last = st
+	return res, err
+}

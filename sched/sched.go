@@ -78,3 +78,29 @@ func RunProgram(ctx context.Context, m sim.Machine, pr *sim.Program, o sim.Optio
 func RunSchedule(ctx context.Context, m sim.Machine, s Schedule, execs int, o sim.Options) (*sim.Result, error) {
 	return sched.RunSchedule(ctx, m, s, execs, o)
 }
+
+// SweepEvaluator evaluates a family of schedule points — a parameter sweep
+// over bytes, LogGP scalings or run seeds — reusing everything the points
+// share: the evaluator arena, memoized symmetry partitions and per-edge term
+// tapes. Every point is bit-identical to an independent RunSchedule call
+// with the same options; an unchanged point is a pure replay of the cached
+// result. Not safe for concurrent use — parallel sweeps give each worker its
+// own evaluator.
+type SweepEvaluator = sched.SweepEvaluator
+
+// SweepOptions configures a SweepEvaluator (its fixed per-sweep options:
+// acks, collapse mode, fault plan, recorder, memo budget).
+type SweepOptions = sched.SweepOptions
+
+// SweepStats reports what a SweepEvaluator reused across its points.
+type SweepStats = sched.SweepStats
+
+// DefaultSweepMemoBudget is the default bound on a sweep evaluator's
+// memoized term tapes.
+const DefaultSweepMemoBudget = sched.DefaultSweepMemoBudget
+
+// NewSweepEvaluator returns a sweep evaluator over the machine. Release it
+// when the sweep is done.
+func NewSweepEvaluator(m sim.Machine, opt SweepOptions) (*SweepEvaluator, error) {
+	return sched.NewSweepEvaluator(m, opt)
+}
